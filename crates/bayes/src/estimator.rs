@@ -1,0 +1,206 @@
+//! Per-device estimator of the power-reduction ratio `γ_n`.
+//!
+//! This is the state machine the LPVS scheduler holds for every device
+//! (paper §V-D): a Gaussian belief, a conjugate update applied at the
+//! end of each slot in which the device played transformed video, and a
+//! truncated expectation over the Table I band used as the point
+//! estimate for the next slot's optimization.
+
+use crate::conjugate::ConjugateUpdate;
+use crate::gaussian::Gaussian;
+use crate::truncated::TruncatedGaussian;
+use crate::{GAMMA_LOWER, GAMMA_PRIOR_MEAN, GAMMA_PRIOR_VARIANCE, GAMMA_UPPER};
+use serde::{Deserialize, Serialize};
+
+/// Default observation-noise standard deviation: per-slot measured
+/// savings wobble a few percentage points around the device's true
+/// ratio depending on content.
+pub const DEFAULT_OBSERVATION_STD: f64 = 0.03;
+
+/// Online Bayesian estimator for one device's power-reduction ratio.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_bayes::GammaEstimator;
+///
+/// let mut est = GammaEstimator::paper_default();
+/// let before = est.expected();
+/// est.observe(0.22); // device saves less than the prior suggested
+/// assert!(est.expected() < before);
+/// assert!(est.observations() == 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GammaEstimator {
+    belief: Gaussian,
+    rule: ConjugateUpdate,
+    lo: f64,
+    hi: f64,
+    observations: usize,
+}
+
+impl GammaEstimator {
+    /// Creates an estimator with an explicit prior, observation noise,
+    /// and truncation band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` (via [`TruncatedGaussian`]) or the noise
+    /// variance is not positive (via [`ConjugateUpdate`]).
+    pub fn new(prior: Gaussian, observation_variance: f64, lo: f64, hi: f64) -> Self {
+        // Validate the band eagerly.
+        let _ = TruncatedGaussian::new(prior, lo, hi);
+        Self {
+            belief: prior,
+            rule: ConjugateUpdate::new(observation_variance),
+            lo,
+            hi,
+            observations: 0,
+        }
+    }
+
+    /// The paper's emulation setup: prior `N(0.31, 12)` truncated to
+    /// `[0.13, 0.49]` (§VI-B).
+    pub fn paper_default() -> Self {
+        Self::new(
+            Gaussian::new(GAMMA_PRIOR_MEAN, GAMMA_PRIOR_VARIANCE),
+            DEFAULT_OBSERVATION_STD * DEFAULT_OBSERVATION_STD,
+            GAMMA_LOWER,
+            GAMMA_UPPER,
+        )
+    }
+
+    /// Current Gaussian belief (untruncated).
+    pub fn belief(&self) -> Gaussian {
+        self.belief
+    }
+
+    /// Truncation band `[lo, hi]`.
+    pub fn band(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Number of observations folded in so far.
+    pub fn observations(&self) -> usize {
+        self.observations
+    }
+
+    /// Point estimate for scheduling: the posterior mean truncated to
+    /// the band — the paper's eq. 19.
+    pub fn expected(&self) -> f64 {
+        TruncatedGaussian::new(self.belief, self.lo, self.hi).mean()
+    }
+
+    /// Posterior standard deviation (untruncated belief), a measure of
+    /// remaining uncertainty.
+    pub fn uncertainty(&self) -> f64 {
+        self.belief.std_dev()
+    }
+
+    /// Folds in one observed per-slot power-reduction ratio (eq. 17).
+    ///
+    /// Observations are clamped to `[0, 1]` — a measured ratio outside
+    /// that range is a measurement artifact, not a usable signal.
+    pub fn observe(&mut self, delta: f64) {
+        let delta = delta.clamp(0.0, 1.0);
+        self.belief = self.rule.update(self.belief, delta);
+        self.observations += 1;
+    }
+
+    /// Folds in several observations at once.
+    pub fn observe_batch(&mut self, deltas: &[f64]) {
+        for &d in deltas {
+            self.observe(d);
+        }
+    }
+}
+
+impl Default for GammaEstimator {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_starts_at_band_center() {
+        let est = GammaEstimator::paper_default();
+        // σ² = 12 over a 0.36-wide band is effectively uniform.
+        assert!((est.expected() - 0.31).abs() < 1e-3);
+        assert_eq!(est.observations(), 0);
+    }
+
+    #[test]
+    fn converges_to_true_ratio() {
+        let mut est = GammaEstimator::paper_default();
+        let truth = 0.42;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..60 {
+            let noise: f64 = rng.gen_range(-0.03..0.03);
+            est.observe(truth + noise);
+        }
+        assert!(
+            (est.expected() - truth).abs() < 0.01,
+            "estimate {} vs truth {truth}",
+            est.expected()
+        );
+    }
+
+    #[test]
+    fn uncertainty_monotonically_decreases() {
+        let mut est = GammaEstimator::paper_default();
+        let mut prev = est.uncertainty();
+        for i in 0..10 {
+            est.observe(0.3 + 0.001 * i as f64);
+            let u = est.uncertainty();
+            assert!(u < prev);
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn expected_always_inside_band() {
+        let mut est = GammaEstimator::paper_default();
+        // Feed absurd observations; the point estimate must stay banded.
+        for _ in 0..20 {
+            est.observe(0.99);
+        }
+        assert!(est.expected() <= GAMMA_UPPER + 1e-12);
+        for _ in 0..100 {
+            est.observe(0.0);
+        }
+        assert!(est.expected() >= GAMMA_LOWER - 1e-12);
+    }
+
+    #[test]
+    fn observations_clamped() {
+        let mut a = GammaEstimator::paper_default();
+        let mut b = GammaEstimator::paper_default();
+        a.observe(1.7);
+        b.observe(1.0);
+        assert_eq!(a.belief(), b.belief());
+    }
+
+    #[test]
+    fn batch_equals_loop() {
+        let mut a = GammaEstimator::paper_default();
+        let mut b = GammaEstimator::paper_default();
+        let obs = [0.3, 0.35, 0.4];
+        a.observe_batch(&obs);
+        for &o in &obs {
+            b.observe(o);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.observations(), 3);
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(GammaEstimator::default(), GammaEstimator::paper_default());
+    }
+}

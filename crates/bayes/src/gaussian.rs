@@ -1,0 +1,213 @@
+//! Gaussian distribution primitives.
+//!
+//! The standard library exposes no `erf`, so the CDF uses the
+//! Abramowitz & Stegun 7.1.26 rational approximation (|error| < 1.5e-7,
+//! far below every tolerance in this workspace).
+
+use serde::{Deserialize, Serialize};
+
+/// `1 / sqrt(2π)`.
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// A Gaussian (normal) distribution `N(mean, variance)`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_bayes::Gaussian;
+///
+/// let g = Gaussian::new(0.0, 1.0);
+/// assert!((g.cdf(0.0) - 0.5).abs() < 1e-9);
+/// assert!(g.pdf(0.0) > g.pdf(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: f64,
+    variance: f64,
+}
+
+impl Gaussian {
+    /// Creates `N(mean, variance)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is not strictly positive or either argument
+    /// is not finite.
+    pub fn new(mean: f64, variance: f64) -> Self {
+        assert!(mean.is_finite(), "mean must be finite");
+        assert!(
+            variance.is_finite() && variance > 0.0,
+            "variance must be finite and positive"
+        );
+        Self { mean, variance }
+    }
+
+    /// Standard normal `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Distribution variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let sd = self.std_dev();
+        let z = (x - self.mean) / sd;
+        INV_SQRT_2PI / sd * (-0.5 * z * z).exp()
+    }
+
+    /// Cumulative distribution `P(X ≤ x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev();
+        standard_normal_cdf(z)
+    }
+
+    /// Quantile (inverse CDF) via bisection on [`Gaussian::cdf`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+        // Bracket ±10σ covers p down to ~1e-23.
+        let mut lo = self.mean - 10.0 * self.std_dev();
+        let mut hi = self.mean + 10.0 * self.std_dev();
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Draws one sample using the Box–Muller transform.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev() * z
+    }
+}
+
+impl std::fmt::Display for Gaussian {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N({:.4}, {:.4})", self.mean, self.variance)
+    }
+}
+
+/// Standard normal CDF via the A&S 7.1.26 `erf` approximation.
+pub fn standard_normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 (|ε| ≤ 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let g = Gaussian::new(2.0, 4.0);
+        assert!(g.pdf(2.0) > g.pdf(1.0));
+        assert!(g.pdf(2.0) > g.pdf(3.0));
+        assert!((g.pdf(1.0) - g.pdf(3.0)).abs() < 1e-12); // symmetry
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let g = Gaussian::new(0.5, 2.0);
+        let total = crate::integrate::simpson(|x| g.pdf(x), -20.0, 21.0, 4096);
+        assert!((total - 1.0).abs() < 1e-6, "integral {total}");
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let g = Gaussian::standard();
+        assert!((g.cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((g.cdf(1.0) - 0.841_344_7).abs() < 1e-6);
+        assert!((g.cdf(-1.96) - 0.025).abs() < 1e-4);
+        assert!((g.cdf(1.96) - 0.975).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let g = Gaussian::new(1.0, 3.0);
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let x = i as f64 * 0.2;
+            let c = g.cdf(x);
+            assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gaussian::new(-3.0, 0.25);
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = g.quantile(p);
+            assert!((g.cdf(x) - p).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn erf_reference_points() {
+        assert!((erf(0.0)).abs() < 3e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 2e-7);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 2e-7);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let g = Gaussian::new(5.0, 9.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "sample mean {mean}");
+        assert!((var - 9.0).abs() < 0.4, "sample variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be finite and positive")]
+    fn zero_variance_rejected() {
+        let _ = Gaussian::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Gaussian::standard().to_string(), "N(0.0000, 1.0000)");
+    }
+}

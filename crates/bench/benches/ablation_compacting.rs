@@ -1,0 +1,41 @@
+//! Ablation: information compacting (eq. 11) vs. walking the chunk
+//! recursion (eqs. 4–5) for per-device feasibility — the §V-B speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpvs_core::compact::{chunk_level_feasible, compact_device};
+use lpvs_emulator::experiment::synthetic_problem;
+use std::hint::black_box;
+
+fn bench_compacting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility");
+    for &n in &[500usize, 2000] {
+        let problem = synthetic_problem(n, 100.0, 1.0, 11);
+        group.bench_with_input(
+            BenchmarkId::new("compacted", n),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    for r in &p.requests {
+                        black_box(compact_device(black_box(r)));
+                    }
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chunk_recursion", n),
+            &problem,
+            |b, p| {
+                b.iter(|| {
+                    for r in &p.requests {
+                        black_box(chunk_level_feasible(black_box(r), true));
+                        black_box(chunk_level_feasible(black_box(r), false));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compacting);
+criterion_main!(benches);

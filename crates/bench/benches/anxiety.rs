@@ -1,0 +1,47 @@
+//! Hot-path microbenchmarks: anxiety-curve evaluation and Bayesian γ
+//! updates — both run once per device per chunk/slot inside the
+//! scheduler loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpvs_bayes::GammaEstimator;
+use lpvs_survey::curve::AnxietyCurve;
+use lpvs_survey::extraction::extract_curve;
+use lpvs_survey::generator::SurveyGenerator;
+use std::hint::black_box;
+
+fn bench_phi(c: &mut Criterion) {
+    let curve = AnxietyCurve::paper_shape();
+    c.bench_function("phi_interpolation", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1000 {
+                acc += curve.phi(black_box(i as f64 / 1000.0));
+            }
+            acc
+        });
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let cohort = SurveyGenerator::paper_cohort(11).generate();
+    let answers: Vec<u8> = cohort.iter().map(|p| p.charge_level).collect();
+    c.bench_function("curve_extraction_2032", |b| {
+        b.iter(|| extract_curve(black_box(&answers).iter().copied()));
+    });
+}
+
+fn bench_gamma_updates(c: &mut Criterion) {
+    c.bench_function("gamma_observe_and_expect", |b| {
+        b.iter(|| {
+            let mut est = GammaEstimator::paper_default();
+            for i in 0..50 {
+                est.observe(black_box(0.25 + 0.002 * i as f64));
+                black_box(est.expected());
+            }
+            est
+        });
+    });
+}
+
+criterion_group!(benches, bench_phi, bench_extraction, bench_gamma_updates);
+criterion_main!(benches);

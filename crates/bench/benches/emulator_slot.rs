@@ -1,0 +1,28 @@
+//! Whole-emulation throughput: one hour of a mid-size virtual cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpvs_core::baseline::Policy;
+use lpvs_emulator::engine::{Emulator, EmulatorConfig};
+use std::hint::black_box;
+
+fn bench_emulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulation");
+    group.sample_size(10);
+    for (name, policy) in [("lpvs", Policy::Lpvs), ("no_transform", Policy::NoTransform)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = EmulatorConfig {
+                    devices: 60,
+                    slots: 12,
+                    seed: 9,
+                    ..EmulatorConfig::default()
+                };
+                black_box(Emulator::new(config, policy).run())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! LP relaxation throughput of the bounded-variable simplex — the
+//! inner loop of every branch-and-bound node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lpvs_solver::{LinearProgram, Relation};
+use std::hint::black_box;
+
+/// Builds the LP relaxation of an n-item, 2-row knapsack (the LPVS
+/// Phase-1 shape).
+fn knapsack_relaxation(n: usize, seed: u64) -> LinearProgram {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let values: Vec<f64> = (0..n).map(|_| 10.0 + 90.0 * next()).collect();
+    let w1: Vec<f64> = (0..n).map(|_| 0.4 + 2.0 * next()).collect();
+    let w2: Vec<f64> = (0..n).map(|_| 0.05 + 0.2 * next()).collect();
+    let mut lp = LinearProgram::maximize(values).expect("finite values");
+    lp.add_row(w1, Relation::Le, n as f64 * 0.25).expect("row");
+    lp.add_row(w2, Relation::Le, n as f64 * 0.03).expect("row");
+    for v in 0..n {
+        lp.set_bounds(v, 0.0, 1.0).expect("bounds");
+    }
+    lp
+}
+
+fn bench_relaxation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_relaxation");
+    for &n in &[100usize, 500, 2000, 5000] {
+        let lp = knapsack_relaxation(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp, |b, lp| {
+            b.iter(|| black_box(lp).solve().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_relaxation
+}
+criterion_main!(benches);

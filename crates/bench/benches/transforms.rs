@@ -1,0 +1,47 @@
+//! Per-chunk transform throughput — the paper's motivation for doing
+//! this work at the edge is exactly that these are too expensive for
+//! phones; the edge must sustain ~100 concurrent streams.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lpvs_bench::genre_corpus;
+use lpvs_display::quality::QualityBudget;
+use lpvs_display::spec::{DisplaySpec, Resolution};
+use lpvs_display::transform::{BacklightScaling, ColorTransform, SubpixelShutoff, Transform};
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let corpus = genre_corpus();
+    let budget = QualityBudget::default();
+    let lcd = DisplaySpec::lcd_phone(Resolution::FHD);
+    let oled = DisplaySpec::oled_phone(Resolution::FHD);
+
+    let mut group = c.benchmark_group("transform_corpus");
+    group.bench_function("backlight_scaling", |b| {
+        let t = BacklightScaling::new(budget);
+        b.iter(|| {
+            for frame in &corpus {
+                black_box(t.apply(black_box(frame), &lcd));
+            }
+        });
+    });
+    group.bench_function("color_transform", |b| {
+        let t = ColorTransform::new(budget);
+        b.iter(|| {
+            for frame in &corpus {
+                black_box(t.apply(black_box(frame), &oled));
+            }
+        });
+    });
+    group.bench_function("subpixel_shutoff", |b| {
+        let t = SubpixelShutoff::new(budget);
+        b.iter(|| {
+            for frame in &corpus {
+                black_box(t.apply(black_box(frame), &oled));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation: Bayesian γ learning vs. a fixed prior vs. a clairvoyant
+//! oracle (DESIGN.md §5, paper Remark 2 / §V-D).
+//!
+//! Under a tight server the scheduler must rank devices by expected
+//! savings; wrong γ estimates misallocate the budget. The oracle
+//! upper-bounds what estimation can achieve, the fixed prior is the
+//! no-learning floor, and the Bayesian estimator should close most of
+//! the gap after a few slots of observations.
+
+use lpvs_bench::pct;
+use lpvs_core::baseline::Policy;
+use lpvs_emulator::engine::{Emulator, EmulatorConfig, GammaMode};
+
+fn main() {
+    println!("Ablation — γ estimation: fixed prior vs Bayesian vs oracle\n");
+    let base = EmulatorConfig {
+        devices: 150,
+        slots: 12,
+        seed: 17,
+        lambda: 1.0,
+        server_streams: 30,
+        ..EmulatorConfig::default()
+    };
+    let baseline = Emulator::new(base, Policy::NoTransform).run();
+
+    println!(
+        "{:>22} | {:>14} | {:>18}",
+        "γ mode", "energy saving", "anxiety reduction"
+    );
+    println!("{}", "-".repeat(62));
+    for (name, mode) in [
+        ("fixed prior (0.31)", GammaMode::Fixed(0.31)),
+        ("Bayesian (paper)", GammaMode::Learned),
+        ("oracle", GammaMode::Oracle),
+    ] {
+        let report =
+            Emulator::new(EmulatorConfig { gamma_mode: mode, ..base }, Policy::Lpvs).run();
+        println!(
+            "{:>22} | {:>14} | {:>18}",
+            name,
+            pct(report.display_saving_ratio()),
+            pct(report.anxiety_reduction_vs(&baseline)),
+        );
+    }
+    println!(
+        "\nreading: the oracle upper-bounds both metrics; after a few observed \
+         slots the\nBayesian estimator closes most of the anxiety-reduction gap \
+         to the oracle, while a\nfixed prior cannot tell big savers from small \
+         ones when ranking under tight capacity."
+    );
+}

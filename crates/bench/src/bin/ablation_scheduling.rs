@@ -1,0 +1,74 @@
+//! Ablation: scheduling modes — instant vs. one-slot-ahead decisions
+//! (paper §VI-B.2's "one-slot-ahead" working mode), and prefetch window
+//! policies bounding the available chunks `K_m` (paper eq. 1).
+
+use lpvs_bench::pct;
+use lpvs_core::baseline::Policy;
+use lpvs_edge::cache::PrefetchPolicy;
+use lpvs_emulator::engine::{Emulator, EmulatorConfig};
+
+fn main() {
+    let base = EmulatorConfig {
+        devices: 120,
+        slots: 12,
+        seed: 29,
+        lambda: 1.0,
+        server_streams: 40,
+        ..EmulatorConfig::default()
+    };
+    println!("Ablation — scheduling mode and prefetch window\n");
+    println!(
+        "{:>34} | {:>14} | {:>18} | {:>8}",
+        "variant", "energy saving", "anxiety reduction", "churn"
+    );
+    println!("{}", "-".repeat(84));
+    let variants: [(&str, EmulatorConfig); 5] = [
+        ("instant, full prefetch", base),
+        ("one-slot-ahead, full prefetch", EmulatorConfig { one_slot_ahead: true, ..base }),
+        (
+            "instant, 10-chunk window",
+            EmulatorConfig { prefetch: PrefetchPolicy::Window { chunks: 10 }, ..base },
+        ),
+        (
+            "instant, popularity-boosted",
+            EmulatorConfig {
+                prefetch: PrefetchPolicy::PopularityBoosted {
+                    base: 8,
+                    per_hundred_viewers: 4,
+                    max_chunks: 30,
+                },
+                ..base
+            },
+        ),
+        (
+            "one-slot-ahead, 10-chunk window",
+            EmulatorConfig {
+                one_slot_ahead: true,
+                prefetch: PrefetchPolicy::Window { chunks: 10 },
+                ..base
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        // Pair each variant with its own no-transform baseline so the
+        // comparison isolates the scheduling knob.
+        let baseline = Emulator::new(config, Policy::NoTransform).run();
+        let report = Emulator::new(config, Policy::Lpvs).run();
+        println!(
+            "{:>34} | {:>14} | {:>18} | {:>8}",
+            name,
+            pct(report.display_saving_ratio()),
+            pct(report.anxiety_reduction_vs(&baseline)),
+            report
+                .mean_churn()
+                .map(pct)
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+    }
+    println!(
+        "\nreading: one-slot-ahead staleness costs a fraction of a point of \
+         saving (Remark 1's\npremise — batteries move little within 5 \
+         minutes); tighter prefetch windows shrink the\nschedulable window \
+         K_m and with it the absolute savings, not the selection logic."
+    );
+}

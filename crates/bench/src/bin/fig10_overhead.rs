@@ -1,0 +1,22 @@
+//! Regenerates Fig. 10: LPVS scheduler running time vs. virtual-cluster
+//! size, with the linear fit the paper reports.
+
+use lpvs_emulator::experiment::overhead;
+use lpvs_emulator::report::render_overhead;
+
+fn main() {
+    println!("Fig. 10 — scheduler running time vs VC size\n");
+    let sizes = [250, 500, 1000, 2000, 3000, 4000, 5000];
+    let (rows, fit) = overhead(&sizes, 2023);
+    print!("{}", render_overhead(&rows, &fit));
+    let slot_budget = 300.0;
+    let capacity = if fit.slope > 0.0 {
+        ((slot_budget - fit.intercept) / fit.slope) as u64
+    } else {
+        u64::MAX
+    };
+    println!(
+        "\nextrapolated devices schedulable within one 5-minute slot: {capacity} \
+         (paper: >5,000)"
+    );
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 1: per-component smartphone power during video
+//! playback, for an LCD and an OLED phone.
+
+use lpvs_display::component::{ComponentBudget, PhoneComponent};
+use lpvs_display::spec::DisplayKind;
+
+fn main() {
+    println!("Fig. 1 — component power during video playback (mW)\n");
+    println!(
+        "{:>10} | {:>9} | {:>9} | {:>7} | {:>7}",
+        "component", "LCD phone", "OLED phone", "LCD %", "OLED %"
+    );
+    println!("{}", "-".repeat(56));
+    let lcd = ComponentBudget::video_playback(DisplayKind::Lcd);
+    let oled = ComponentBudget::video_playback(DisplayKind::Oled);
+    for c in PhoneComponent::ALL {
+        println!(
+            "{:>10} | {:>9.0} | {:>10.0} | {:>6.1}% | {:>6.1}%",
+            c.to_string(),
+            lcd.milliwatts(c),
+            oled.milliwatts(c),
+            100.0 * lcd.fraction(c),
+            100.0 * oled.fraction(c),
+        );
+    }
+    println!("{}", "-".repeat(56));
+    println!(
+        "{:>10} | {:>9.0} | {:>10.0} |",
+        "total",
+        lcd.total_mw(),
+        oled.total_mw()
+    );
+    println!(
+        "\nshape check: display dominates on both phones \
+         (LCD {:.0}%, OLED {:.0}% of total) — the paper's Fig. 1 takeaway.",
+        100.0 * lcd.fraction(PhoneComponent::Display),
+        100.0 * oled.fraction(PhoneComponent::Display),
+    );
+}

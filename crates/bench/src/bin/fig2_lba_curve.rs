@@ -1,0 +1,42 @@
+//! Regenerates Fig. 2: the low-battery-anxiety curve extracted from a
+//! 2,032-respondent cohort, with the linear reference and the shape
+//! diagnostics the paper calls out.
+
+use lpvs_survey::curve::AnxietyCurve;
+use lpvs_survey::extraction::extract_curve;
+use lpvs_survey::generator::SurveyGenerator;
+
+fn main() {
+    let cohort = SurveyGenerator::paper_cohort(2019).generate();
+    let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
+    let linear = AnxietyCurve::linear();
+
+    println!("Fig. 2 — anxiety degree vs battery level (2,032 synthetic respondents)\n");
+    println!("{:>8} | {:>14} | {:>8}", "battery", "anxiety degree", "linear");
+    println!("{}", "-".repeat(38));
+    for level in (5..=100).step_by(5) {
+        println!(
+            "{:>7}% | {:>14.3} | {:>8.3}",
+            level,
+            curve.level(level),
+            linear.level(level)
+        );
+    }
+    println!("{}", "-".repeat(38));
+    println!("sharpest rise when battery drops to: {}%  (paper: 20%)", curve.sharpest_rise());
+    println!(
+        "curvature above 20%: {:+.6} (convex > 0)   (paper: convex)",
+        curve.mean_curvature(25, 95)
+    );
+    println!(
+        "curvature below 20%: {:+.6} (concave < 0)  (paper: concave)",
+        curve.mean_curvature(2, 19)
+    );
+    let lba = cohort.iter().filter(|p| p.suffers_lba).count();
+    println!(
+        "respondents suffering LBA: {}/{} = {:.2}%  (paper: 1,867/2,032 = 91.88%)",
+        lba,
+        cohort.len(),
+        100.0 * lba as f64 / cohort.len() as f64
+    );
+}

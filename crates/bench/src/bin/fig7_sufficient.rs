@@ -1,0 +1,13 @@
+//! Regenerates Fig. 7: energy saving and anxiety reduction under
+//! sufficient edge resource (VC sizes 50–100, all within the server's
+//! 100-stream transform budget).
+
+use lpvs_emulator::experiment::sufficient_capacity;
+use lpvs_emulator::report::render_sufficient;
+
+fn main() {
+    println!("Fig. 7 — LPVS under sufficient edge resource\n");
+    // The paper's group sizes: 50 to 100. Two emulated hours each.
+    let rows = sufficient_capacity(&[50, 60, 70, 80, 90, 100], 24, 2020);
+    print!("{}", render_sufficient(&rows));
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 9: time-per-viewer (TPV) of low-battery users with
+//! and without LPVS, under sufficient edge capacity.
+
+use lpvs_emulator::experiment::retention_with_model;
+use lpvs_emulator::report::render_tpv;
+
+fn main() {
+    println!("Fig. 9 — time per viewer of low-battery users\n");
+    // 80 viewers, a 10-hour horizon so every low-battery user reaches
+    // their give-up threshold.
+    println!("(a) full device model (display + radio/CPU floor):\n");
+    let tpv = retention_with_model(80, 120, 2022, false);
+    print!("{}", render_tpv(&tpv));
+    println!("\n(b) paper's energy model (γ applies to the whole power rate):\n");
+    let tpv = retention_with_model(80, 120, 2022, true);
+    print!("{}", render_tpv(&tpv));
+    println!(
+        "\nreading: under the paper's own energy model the gain lands on the \
+         reported ~39%;\nthe full device model attenuates it by the untouched \
+         non-display floor."
+    );
+}

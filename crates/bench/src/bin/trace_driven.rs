@@ -1,0 +1,40 @@
+//! Trace-driven end-to-end run: virtual clusters formed from the
+//! busiest live sessions of the (synthetic, paper-calibrated) Twitch
+//! trace, as in the paper's §VI-B emulation setup.
+
+use lpvs_bench::pct;
+use lpvs_emulator::experiment::trace_driven;
+use lpvs_trace::generator::TraceGenerator;
+use lpvs_trace::summary::TraceSummary;
+
+fn main() {
+    let trace = TraceGenerator::paper_scale(2024).generate();
+    let summary = TraceSummary::from_trace(&trace);
+    println!(
+        "trace: {} channels, {} sessions (paper: 1,566 / 4,761)\n",
+        summary.channels, summary.sessions
+    );
+
+    let report = trace_driven(&trace, 12, 24, 31);
+    println!(
+        "{:>8} | {:>8} | {:>6} | {:>14} | {:>18}",
+        "channel", "viewers", "slots", "energy saving", "anxiety reduction"
+    );
+    println!("{}", "-".repeat(66));
+    for r in &report.rows {
+        println!(
+            "{:>8} | {:>8} | {:>6} | {:>14} | {:>18}",
+            r.channel,
+            r.viewers,
+            r.slots,
+            pct(r.energy_saving),
+            pct(r.anxiety_reduction),
+        );
+    }
+    println!("{}", "-".repeat(66));
+    println!(
+        "viewer-slot-weighted: energy saving {}, anxiety reduction {}",
+        pct(report.weighted_energy_saving),
+        pct(report.weighted_anxiety_reduction),
+    );
+}

@@ -1,0 +1,60 @@
+//! # lpvs-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper's evaluation (run them with
+//! `cargo run --release -p lpvs-bench --bin <name>`), plus criterion
+//! benches for the performance-sensitive paths and the DESIGN.md
+//! ablations:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_component_power` | Fig. 1 component power split |
+//! | `table1_strategies` | Table I claimed vs. measured savings |
+//! | `fig2_lba_curve` | Fig. 2 anxiety curve |
+//! | `table2_demographics` | Table II cohort composition |
+//! | `fig5_session_histogram` | Fig. 5 session-duration histogram |
+//! | `fig7_sufficient` | Fig. 7 energy/anxiety under sufficient capacity |
+//! | `fig8_limited` | Fig. 8 λ sweep under limited capacity |
+//! | `fig9_tpv` | Fig. 9 time-per-viewer of low-battery users |
+//! | `fig10_overhead` | Fig. 10 scheduler runtime scaling |
+//! | `ablation_phase2` | Phase-2 on/off (quality) |
+//! | `ablation_bayes` | learned vs fixed vs oracle γ (quality) |
+//! | `ablation_policies` | LPVS vs the §III-C baselines (quality) |
+//! | bench `scheduler` | schedule() runtime across N |
+//! | bench `simplex` | LP relaxation throughput |
+//! | bench `transforms` | per-chunk transform throughput |
+//! | bench `emulator_slot` | one emulated slot |
+//! | bench `ablation_compacting` | compacted vs chunk-level feasibility |
+
+#![warn(missing_docs)]
+
+use lpvs_display::stats::FrameStats;
+use lpvs_media::content::{ContentModel, Genre};
+
+/// A small deterministic content corpus shared by Table I and the
+/// transform benches: 40 chunks from each genre.
+pub fn genre_corpus() -> Vec<FrameStats> {
+    Genre::ALL
+        .iter()
+        .flat_map(|&g| ContentModel::new(g, 0xbe9c).chunk_stats(40))
+        .collect()
+}
+
+/// Formats a ratio as a percent with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_genres() {
+        assert_eq!(genre_corpus().len(), 5 * 40);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.3713), "37.13%");
+    }
+}

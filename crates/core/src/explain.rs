@@ -1,0 +1,184 @@
+//! Human-readable schedule explanations.
+//!
+//! An operator staring at a slot decision wants to know *why* device 17
+//! was passed over. This module classifies every device's outcome —
+//! the production-debugging layer on top of the optimizer.
+
+use crate::compact::compact_device;
+use crate::objective::device_objective;
+use crate::problem::SlotProblem;
+use serde::{Deserialize, Serialize};
+
+/// Why a device ended up selected or not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Reason {
+    /// Selected: transforming it reduces the joint objective and fits.
+    Selected {
+        /// Energy the transform saves over the slot (J).
+        saving_j: f64,
+        /// Objective improvement of transforming this device (J-equivalents).
+        objective_gain: f64,
+    },
+    /// Not selected: transforming would violate the device's energy
+    /// feasibility (constraint 11) — the battery cannot even sustain
+    /// the transformed slot.
+    EnergyInfeasible,
+    /// Not selected: the transform would help, but the edge server's
+    /// capacity went to devices with larger gains.
+    LostOnCapacity {
+        /// Energy the transform would have saved (J).
+        saving_j: f64,
+    },
+    /// Not selected: transforming would not improve the objective
+    /// (e.g. γ ≈ 0 or the anxiety term is indifferent).
+    NoBenefit,
+}
+
+impl Reason {
+    /// Short machine-friendly tag for logs.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Reason::Selected { .. } => "selected",
+            Reason::EnergyInfeasible => "energy-infeasible",
+            Reason::LostOnCapacity { .. } => "lost-on-capacity",
+            Reason::NoBenefit => "no-benefit",
+        }
+    }
+}
+
+/// Per-device explanation of one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// One reason per device, aligned with the problem's request order.
+    pub reasons: Vec<Reason>,
+}
+
+impl Explanation {
+    /// Number of devices with the given tag.
+    pub fn count(&self, tag: &str) -> usize {
+        self.reasons.iter().filter(|r| r.tag() == tag).count()
+    }
+
+    /// Renders a compact per-tag summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} selected, {} lost on capacity, {} energy-infeasible, {} without benefit",
+            self.count("selected"),
+            self.count("lost-on-capacity"),
+            self.count("energy-infeasible"),
+            self.count("no-benefit"),
+        )
+    }
+}
+
+/// Explains a selection over a slot problem.
+///
+/// # Panics
+///
+/// Panics if `selected.len()` differs from the device count.
+pub fn explain(problem: &SlotProblem, selected: &[bool]) -> Explanation {
+    assert_eq!(selected.len(), problem.len(), "selection has wrong length");
+    let reasons = problem
+        .requests
+        .iter()
+        .zip(selected)
+        .map(|(request, &chosen)| {
+            if chosen {
+                let off = device_objective(request, false, problem.lambda, &problem.curve);
+                let on = device_objective(request, true, problem.lambda, &problem.curve);
+                return Reason::Selected {
+                    saving_j: request.saving_j(),
+                    objective_gain: off - on,
+                };
+            }
+            if !compact_device(request).transform_feasible {
+                return Reason::EnergyInfeasible;
+            }
+            let off = device_objective(request, false, problem.lambda, &problem.curve);
+            let on = device_objective(request, true, problem.lambda, &problem.curve);
+            if on < off - 1e-12 {
+                Reason::LostOnCapacity { saving_j: request.saving_j() }
+            } else {
+                Reason::NoBenefit
+            }
+        })
+        .collect();
+    Explanation { reasons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DeviceRequest;
+    use crate::scheduler::LpvsScheduler;
+    use lpvs_survey::curve::AnxietyCurve;
+
+    fn device(gamma: f64, fraction: f64, compute: f64) -> DeviceRequest {
+        DeviceRequest::uniform(
+            1.0,
+            10.0,
+            30,
+            fraction * 55_440.0,
+            55_440.0,
+            gamma,
+            compute,
+            0.1,
+        )
+    }
+
+    fn explained(capacity: f64) -> (SlotProblem, Explanation) {
+        let mut p = SlotProblem::new(capacity, 100.0, 1.0, AnxietyCurve::paper_shape());
+        p.push(device(0.45, 0.5, 1.0)); // strong saver
+        p.push(device(0.20, 0.5, 1.0)); // weaker saver
+        p.push(device(0.30, 0.001, 1.0)); // nearly dead: infeasible even compacted
+        let schedule = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        let e = explain(&p, &schedule.selected);
+        (p, e)
+    }
+
+    #[test]
+    fn classifies_all_outcomes_under_tight_capacity() {
+        let (_, e) = explained(1.0);
+        assert_eq!(e.count("selected"), 1);
+        assert_eq!(e.count("lost-on-capacity"), 1);
+        assert_eq!(e.count("energy-infeasible"), 1);
+        assert!(matches!(e.reasons[0], Reason::Selected { .. }));
+        assert!(matches!(e.reasons[1], Reason::LostOnCapacity { .. }));
+        assert_eq!(e.reasons[2], Reason::EnergyInfeasible);
+    }
+
+    #[test]
+    fn ample_capacity_leaves_no_capacity_losers() {
+        let (_, e) = explained(10.0);
+        assert_eq!(e.count("selected"), 2);
+        assert_eq!(e.count("lost-on-capacity"), 0);
+    }
+
+    #[test]
+    fn selected_reasons_carry_positive_gains() {
+        let (_, e) = explained(10.0);
+        for r in &e.reasons {
+            if let Reason::Selected { saving_j, objective_gain } = r {
+                assert!(*saving_j > 0.0);
+                assert!(*objective_gain > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_bucket() {
+        let (_, e) = explained(1.0);
+        let s = e.summary();
+        assert!(s.contains("1 selected"));
+        assert!(s.contains("1 lost on capacity"));
+        assert!(s.contains("1 energy-infeasible"));
+    }
+
+    #[test]
+    fn zero_gamma_is_no_benefit() {
+        let mut p = SlotProblem::new(10.0, 100.0, 0.0, AnxietyCurve::paper_shape());
+        p.push(device(0.0, 0.5, 1.0));
+        let e = explain(&p, &[false]);
+        assert_eq!(e.reasons[0], Reason::NoBenefit);
+    }
+}

@@ -1,0 +1,78 @@
+//! # lpvs-core — the LPVS scheduler
+//!
+//! This crate is the paper's primary contribution (§IV–V): at each
+//! scheduling point, choose the subset of mobile devices whose video
+//! streams the edge server will transform, minimizing a joint objective
+//! of display energy and λ-weighted low-battery anxiety, subject to the
+//! server's compute/storage capacity and each device's energy
+//! feasibility.
+//!
+//! The solution pipeline follows the paper exactly:
+//!
+//! * [`problem`] — the slot problem: per-device chunk power rates,
+//!   energy status, γ estimate, and resource costs, plus the server
+//!   capacities and λ;
+//! * [`compact`] — *information compacting* (§V-B): eliminates the
+//!   per-chunk energy recursion from the constraints (eqs. 9–11) so the
+//!   feasibility of transforming a device becomes a single per-device
+//!   precomputation;
+//! * [`objective`] — the compacted objective (eq. 13), separable per
+//!   device, with an equivalent chunk-recursive evaluator used to
+//!   verify the equivalence claim;
+//! * [`phase1`] — Phase-1 (§V-C): energy-saving maximization as a 0/1
+//!   ILP over the capacity knapsacks, solved exactly with
+//!   [`lpvs_solver`]'s branch-and-bound (or greedily, for ablation);
+//! * [`phase2`] — Phase-2 (§V-C): anxiety-driven swapping that trades
+//!   selected devices for high-anxiety ones whenever the full
+//!   λ-weighted objective improves;
+//! * [`scheduler`] — [`LpvsScheduler`] tying the phases together, with
+//!   configuration switches for every ablation DESIGN.md names;
+//! * [`baseline`] — the comparison policies: no transform, random
+//!   selection, greedy lowest-battery, greedy highest-saving, and an
+//!   exhaustive oracle for small clusters;
+//! * [`explain`](mod@crate::explain) — per-device explanations of a schedule (selected /
+//!   lost on capacity / energy-infeasible / no benefit);
+//! * [`provision`] — capacity shadow prices from the Phase-1 LP
+//!   relaxation (marginal joules per compute unit / storage GB).
+//!
+//! A note on conventions: γ is the *saved* fraction — transformed
+//! power is `(1 − γ)·p` (see `lpvs_display::transform` and DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use lpvs_core::problem::{DeviceRequest, SlotProblem};
+//! use lpvs_core::scheduler::LpvsScheduler;
+//! use lpvs_survey::curve::AnxietyCurve;
+//!
+//! // Two devices, capacity for one transform: the low-battery device
+//! // with real savings wins.
+//! let mut problem = SlotProblem::new(1.0, 0.5, 1.0, AnxietyCurve::paper_shape());
+//! problem.push(DeviceRequest::uniform(1.2, 10.0, 30, 0.15 * 55_440.0, 55_440.0, 0.35, 1.0, 0.1));
+//! problem.push(DeviceRequest::uniform(1.2, 10.0, 30, 0.90 * 55_440.0, 55_440.0, 0.35, 1.0, 0.1));
+//! let schedule = LpvsScheduler::paper_default().schedule(&problem).unwrap();
+//! assert!(schedule.selected[0]);
+//! assert!(!schedule.selected[1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod compact;
+pub mod explain;
+pub mod objective;
+pub mod phase1;
+pub mod phase2;
+pub mod problem;
+pub mod provision;
+pub mod scheduler;
+
+pub use baseline::{Policy, SelectionPolicy};
+pub use compact::CompactedDevice;
+pub use explain::{explain, Explanation, Reason};
+pub use objective::{device_objective, objective_value, objective_value_recursive};
+pub use phase1::{solve_phase1, Phase1Config, Phase1Result, Phase1Solver};
+pub use phase2::{run_phase2, Phase2Stats};
+pub use problem::{DeviceRequest, SlotProblem};
+pub use provision::{price_capacity, CapacityPrices};
+pub use scheduler::{LpvsScheduler, Schedule, ScheduleStats, SchedulerConfig};

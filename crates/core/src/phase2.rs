@@ -1,0 +1,242 @@
+//! Phase-2: anxiety-driven swapping (paper §V-C).
+//!
+//! Phase-1 maximizes energy savings but is blind to *who* is anxious: a
+//! device at 80 % battery with a big panel can out-save a dying phone.
+//! Phase-2 repairs this: unselected devices are ranked by their owners'
+//! anxiety degree (φ of the reported battery fraction) and each is
+//! tentatively swapped against selected devices; a swap is kept only
+//! when the full λ-weighted objective (eq. 13) decreases and both
+//! capacity rows still hold.
+//!
+//! Because the objective is separable per device
+//! (see [`crate::objective`]), evaluating a swap costs O(K) — the two
+//! affected devices' terms — which is what keeps the whole heuristic's
+//! runtime linear-ish in the cluster size (paper Fig. 10).
+
+use crate::compact::compact_device;
+use crate::objective::device_objective;
+use crate::problem::SlotProblem;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one Phase-2 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Phase2Stats {
+    /// Swaps evaluated.
+    pub swaps_tried: usize,
+    /// Swaps that improved the objective and were kept.
+    pub swaps_accepted: usize,
+    /// Unselected devices additionally admitted without eviction
+    /// (possible when Phase-1 left capacity slack).
+    pub additions: usize,
+}
+
+/// Runs Phase-2 in place on a Phase-1 selection.
+///
+/// # Panics
+///
+/// Panics if `selected.len()` differs from the device count.
+pub fn run_phase2(problem: &SlotProblem, selected: &mut [bool]) -> Phase2Stats {
+    assert_eq!(selected.len(), problem.len(), "selection has wrong length");
+    let mut stats = Phase2Stats::default();
+    let n = problem.len();
+
+    // Per-device objective contributions under both decisions, plus
+    // transform feasibility — all O(N·K) once.
+    let lambda = problem.lambda;
+    let off: Vec<f64> = problem
+        .requests
+        .iter()
+        .map(|r| device_objective(r, false, lambda, &problem.curve))
+        .collect();
+    let on: Vec<f64> = problem
+        .requests
+        .iter()
+        .map(|r| device_objective(r, true, lambda, &problem.curve))
+        .collect();
+    let feasible: Vec<bool> = problem
+        .requests
+        .iter()
+        .map(|r| compact_device(r).transform_feasible)
+        .collect();
+
+    // Current capacity usage.
+    let mut g_used = 0.0;
+    let mut h_used = 0.0;
+    for (r, &x) in problem.requests.iter().zip(selected.iter()) {
+        if x {
+            g_used += r.compute_cost;
+            h_used += r.storage_cost_gb;
+        }
+    }
+
+    // Candidates: unselected, transform-feasible devices by descending
+    // anxiety degree.
+    let mut candidates: Vec<usize> = (0..n)
+        .filter(|&i| !selected[i] && feasible[i])
+        .collect();
+    candidates.sort_by(|&a, &b| {
+        let aa = problem.curve.phi(problem.requests[a].battery_fraction());
+        let ab = problem.curve.phi(problem.requests[b].battery_fraction());
+        ab.partial_cmp(&aa).expect("finite anxiety")
+    });
+
+    for cand in candidates {
+        let rc = &problem.requests[cand];
+        let gain_in = on[cand] - off[cand]; // negative = improvement
+
+        // Pure addition when slack allows.
+        if g_used + rc.compute_cost <= problem.compute_capacity + 1e-9
+            && h_used + rc.storage_cost_gb <= problem.storage_capacity_gb + 1e-9
+        {
+            stats.swaps_tried += 1;
+            if gain_in < -1e-12 {
+                selected[cand] = true;
+                g_used += rc.compute_cost;
+                h_used += rc.storage_cost_gb;
+                stats.additions += 1;
+            }
+            continue;
+        }
+
+        // Otherwise look for the eviction that leaves the best total
+        // delta: Δ = (on − off)[cand] + (off − on)[victim].
+        let mut best: Option<(usize, f64)> = None;
+        for victim in 0..n {
+            if !selected[victim] {
+                continue;
+            }
+            let rv = &problem.requests[victim];
+            let fits = g_used - rv.compute_cost + rc.compute_cost
+                <= problem.compute_capacity + 1e-9
+                && h_used - rv.storage_cost_gb + rc.storage_cost_gb
+                    <= problem.storage_capacity_gb + 1e-9;
+            if !fits {
+                continue;
+            }
+            stats.swaps_tried += 1;
+            let delta = gain_in + (off[victim] - on[victim]);
+            match best {
+                Some((_, d)) if d <= delta => {}
+                _ => best = Some((victim, delta)),
+            }
+        }
+        if let Some((victim, delta)) = best {
+            if delta < -1e-12 {
+                selected[victim] = false;
+                selected[cand] = true;
+                let rv = &problem.requests[victim];
+                g_used += rc.compute_cost - rv.compute_cost;
+                h_used += rc.storage_cost_gb - rv.storage_cost_gb;
+                stats.swaps_accepted += 1;
+            }
+        }
+    }
+
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::objective_value;
+    use crate::phase1::{solve_phase1, Phase1Config};
+    use crate::problem::DeviceRequest;
+    use lpvs_survey::curve::AnxietyCurve;
+
+    /// Device at `fraction` battery with `gamma` savings.
+    fn device(watts: f64, gamma: f64, fraction: f64) -> DeviceRequest {
+        DeviceRequest::uniform(
+            watts,
+            10.0,
+            30,
+            fraction * 55_440.0,
+            55_440.0,
+            gamma,
+            1.0,
+            0.1,
+        )
+    }
+
+    #[test]
+    fn swaps_in_the_anxious_device_under_high_lambda() {
+        // Capacity for one. Within a single slot the anxiety term moves
+        // only second-order (the battery drains < 1 % either way), so
+        // Phase-2 tips the decision when energy savings are *close*:
+        // device 0 saves slightly more energy, but device 1 sits at 8 %
+        // battery where the concave anxiety region makes every saved
+        // joule count. With λ large, Phase-2 hands the slot over.
+        let mut p = SlotProblem::new(1.0, 10.0, 60.0, AnxietyCurve::paper_shape());
+        p.push(device(1.0, 0.32, 0.80)); // saving 96 J, no anxiety to speak of
+        p.push(device(1.0, 0.30, 0.08)); // saving 90 J, deep in the cliff
+        let phase1 = solve_phase1(&p, &Phase1Config::default()).unwrap();
+        assert_eq!(phase1.selected, vec![true, false]);
+
+        let mut sel = phase1.selected;
+        let stats = run_phase2(&p, &mut sel);
+        assert_eq!(sel, vec![false, true]);
+        assert_eq!(stats.swaps_accepted, 1);
+    }
+
+    #[test]
+    fn keeps_phase1_when_lambda_is_zero() {
+        let mut p = SlotProblem::new(1.0, 10.0, 0.0, AnxietyCurve::paper_shape());
+        p.push(device(1.5, 0.45, 0.80));
+        p.push(device(1.0, 0.30, 0.08));
+        let mut sel = solve_phase1(&p, &Phase1Config::default()).unwrap().selected;
+        let before = sel.clone();
+        run_phase2(&p, &mut sel);
+        assert_eq!(sel, before, "pure-energy optimum must be stable");
+    }
+
+    #[test]
+    fn never_worsens_the_objective() {
+        let curve = AnxietyCurve::paper_shape();
+        for lambda in [0.0, 0.5, 1.0, 4.0] {
+            let mut p = SlotProblem::new(3.0, 10.0, lambda, curve.clone());
+            for i in 0..8 {
+                let fraction = 0.06 + 0.11 * i as f64;
+                let gamma = 0.2 + 0.03 * (i % 4) as f64;
+                p.push(device(0.8 + 0.1 * (i % 3) as f64, gamma, fraction));
+            }
+            let mut sel = solve_phase1(&p, &Phase1Config::default()).unwrap().selected;
+            let before = objective_value(&p, &sel);
+            run_phase2(&p, &mut sel);
+            let after = objective_value(&p, &sel);
+            assert!(after <= before + 1e-9, "λ={lambda}: {before} → {after}");
+            assert!(p.capacity_feasible(&sel));
+        }
+    }
+
+    #[test]
+    fn fills_leftover_capacity_with_helpful_devices() {
+        // Phase-1 run with the greedy solver may leave slack; Phase-2
+        // should admit beneficial devices outright.
+        let mut p = SlotProblem::new(2.0, 10.0, 1.0, AnxietyCurve::paper_shape());
+        p.push(device(1.5, 0.45, 0.5));
+        p.push(device(1.0, 0.30, 0.3));
+        let mut sel = vec![true, false]; // hand-made under-filled start
+        let stats = run_phase2(&p, &mut sel);
+        assert_eq!(sel, vec![true, true]);
+        assert_eq!(stats.additions, 1);
+    }
+
+    #[test]
+    fn infeasible_candidates_never_enter() {
+        let mut p = SlotProblem::new(1.0, 10.0, 50.0, AnxietyCurve::paper_shape());
+        p.push(device(1.5, 0.45, 0.8));
+        // Anxious but nearly dead: cannot even afford the transformed
+        // slot (battery 0.3 % ≈ 166 J < 234 J needed).
+        p.push(device(1.2, 0.35, 0.003));
+        let mut sel = solve_phase1(&p, &Phase1Config::default()).unwrap().selected;
+        run_phase2(&p, &mut sel);
+        assert!(!sel[1], "energy-infeasible device was swapped in");
+    }
+
+    #[test]
+    fn empty_selection_and_problem_are_fine() {
+        let p = SlotProblem::new(1.0, 1.0, 1.0, AnxietyCurve::paper_shape());
+        let mut sel: Vec<bool> = Vec::new();
+        let stats = run_phase2(&p, &mut sel);
+        assert_eq!(stats, Phase2Stats::default());
+    }
+}

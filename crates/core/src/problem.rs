@@ -1,0 +1,261 @@
+//! The slot problem: everything the scheduler knows at a scheduling
+//! point.
+//!
+//! This is the output of the emulator's "information gathering" stage
+//! (paper Fig. 6): per-device chunk power rates estimated with the
+//! display power models, energy reports, the Bayesian γ estimates, and
+//! the transform resource costs, plus the server capacities and the
+//! provider's λ.
+
+use lpvs_survey::curve::AnxietyCurve;
+use serde::{Deserialize, Serialize};
+
+/// One device's request for the upcoming slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRequest {
+    /// Untransformed whole-device power rate `p(κ)` (W) per available
+    /// chunk, in playback order.
+    pub power_rates_w: Vec<f64>,
+    /// Duration Δ_κ (s) of each chunk (same length as the rates).
+    pub chunk_secs: Vec<f64>,
+    /// Reported remaining energy `e(1)` in joules.
+    pub energy_j: f64,
+    /// Battery capacity in joules (to express energies as the battery
+    /// fractions φ consumes).
+    pub capacity_j: f64,
+    /// Current power-reduction estimate γ ∈ [0, 1).
+    pub gamma: f64,
+    /// Transform compute cost `g` (edge compute units).
+    pub compute_cost: f64,
+    /// Transform storage cost `h` (GB).
+    pub storage_cost_gb: f64,
+}
+
+impl DeviceRequest {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate/duration vectors mismatch or are empty, any
+    /// value is non-finite or negative, γ is outside `[0, 1)`, or the
+    /// capacity is not positive.
+    pub fn new(
+        power_rates_w: Vec<f64>,
+        chunk_secs: Vec<f64>,
+        energy_j: f64,
+        capacity_j: f64,
+        gamma: f64,
+        compute_cost: f64,
+        storage_cost_gb: f64,
+    ) -> Self {
+        assert_eq!(
+            power_rates_w.len(),
+            chunk_secs.len(),
+            "one duration per power rate required"
+        );
+        assert!(!power_rates_w.is_empty(), "a request carries at least one chunk");
+        assert!(
+            power_rates_w.iter().all(|p| p.is_finite() && *p >= 0.0),
+            "power rates must be nonnegative"
+        );
+        assert!(
+            chunk_secs.iter().all(|d| d.is_finite() && *d > 0.0),
+            "chunk durations must be positive"
+        );
+        assert!(energy_j.is_finite() && energy_j >= 0.0, "energy must be nonnegative");
+        assert!(capacity_j.is_finite() && capacity_j > 0.0, "capacity must be positive");
+        assert!((0.0..1.0).contains(&gamma), "gamma must be in [0, 1)");
+        assert!(
+            compute_cost.is_finite() && compute_cost >= 0.0,
+            "compute cost must be nonnegative"
+        );
+        assert!(
+            storage_cost_gb.is_finite() && storage_cost_gb >= 0.0,
+            "storage cost must be nonnegative"
+        );
+        Self {
+            power_rates_w,
+            chunk_secs,
+            energy_j,
+            capacity_j,
+            gamma,
+            compute_cost,
+            storage_cost_gb,
+        }
+    }
+
+    /// Convenience constructor: `chunks` equal chunks of `watts` power
+    /// and `secs` duration each.
+    #[allow(clippy::too_many_arguments)]
+    pub fn uniform(
+        watts: f64,
+        secs: f64,
+        chunks: usize,
+        energy_j: f64,
+        capacity_j: f64,
+        gamma: f64,
+        compute_cost: f64,
+        storage_cost_gb: f64,
+    ) -> Self {
+        Self::new(
+            vec![watts; chunks],
+            vec![secs; chunks],
+            energy_j,
+            capacity_j,
+            gamma,
+            compute_cost,
+            storage_cost_gb,
+        )
+    }
+
+    /// Number of available chunks `K` for this device.
+    pub fn num_chunks(&self) -> usize {
+        self.power_rates_w.len()
+    }
+
+    /// Untransformed slot energy `Σ p(κ)·Δ_κ` (J).
+    pub fn untransformed_energy_j(&self) -> f64 {
+        self.power_rates_w
+            .iter()
+            .zip(&self.chunk_secs)
+            .map(|(p, d)| p * d)
+            .sum()
+    }
+
+    /// Energy saved over the slot if transformed: `γ · Σ p·Δ` (J).
+    pub fn saving_j(&self) -> f64 {
+        self.gamma * self.untransformed_energy_j()
+    }
+
+    /// Current battery fraction.
+    pub fn battery_fraction(&self) -> f64 {
+        (self.energy_j / self.capacity_j).clamp(0.0, 1.0)
+    }
+}
+
+/// The whole slot problem for one virtual cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotProblem {
+    /// Per-device requests.
+    pub requests: Vec<DeviceRequest>,
+    /// Edge compute capacity `C` (units).
+    pub compute_capacity: f64,
+    /// Edge storage capacity `S` (GB).
+    pub storage_capacity_gb: f64,
+    /// Regularization λ balancing energy and anxiety (paper Remark 3).
+    pub lambda: f64,
+    /// The anxiety curve φ.
+    pub curve: AnxietyCurve,
+}
+
+impl SlotProblem {
+    /// Creates an empty problem with the given capacities and λ.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative capacities or λ.
+    pub fn new(
+        compute_capacity: f64,
+        storage_capacity_gb: f64,
+        lambda: f64,
+        curve: AnxietyCurve,
+    ) -> Self {
+        assert!(compute_capacity >= 0.0, "compute capacity must be nonnegative");
+        assert!(storage_capacity_gb >= 0.0, "storage capacity must be nonnegative");
+        assert!(lambda >= 0.0, "lambda must be nonnegative");
+        Self {
+            requests: Vec::new(),
+            compute_capacity,
+            storage_capacity_gb,
+            lambda,
+            curve,
+        }
+    }
+
+    /// Appends a device request.
+    pub fn push(&mut self, request: DeviceRequest) {
+        self.requests.push(request);
+    }
+
+    /// Number of devices in the slot.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// True if no device requested anything.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// True if a selection respects both capacity rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected.len() != self.len()`.
+    pub fn capacity_feasible(&self, selected: &[bool]) -> bool {
+        assert_eq!(selected.len(), self.len(), "selection has wrong length");
+        let mut g = 0.0;
+        let mut h = 0.0;
+        for (r, &x) in self.requests.iter().zip(selected) {
+            if x {
+                g += r.compute_cost;
+                h += r.storage_cost_gb;
+            }
+        }
+        g <= self.compute_capacity + 1e-9 && h <= self.storage_capacity_gb + 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request() -> DeviceRequest {
+        DeviceRequest::uniform(1.5, 10.0, 30, 20_000.0, 55_440.0, 0.3, 1.0, 0.1)
+    }
+
+    #[test]
+    fn energies_accumulate() {
+        let r = request();
+        assert!((r.untransformed_energy_j() - 1.5 * 10.0 * 30.0).abs() < 1e-9);
+        assert!((r.saving_j() - 0.3 * 450.0).abs() < 1e-9);
+        assert!((r.battery_fraction() - 20_000.0 / 55_440.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_fraction_clamps() {
+        let mut r = request();
+        r.energy_j = 99_999_999.0;
+        assert_eq!(r.battery_fraction(), 1.0);
+    }
+
+    #[test]
+    fn capacity_feasibility() {
+        let mut p = SlotProblem::new(1.5, 0.15, 1.0, AnxietyCurve::paper_shape());
+        p.push(request());
+        p.push(request());
+        assert!(p.capacity_feasible(&[true, false]));
+        assert!(!p.capacity_feasible(&[true, true])); // 2.0 > 1.5 compute
+        assert!(p.capacity_feasible(&[false, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn misshaped_selection_rejected() {
+        let mut p = SlotProblem::new(1.0, 1.0, 1.0, AnxietyCurve::paper_shape());
+        p.push(request());
+        let _ = p.capacity_feasible(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn gamma_of_one_rejected() {
+        let _ = DeviceRequest::uniform(1.0, 10.0, 5, 100.0, 1000.0, 1.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chunk")]
+    fn empty_request_rejected() {
+        let _ = DeviceRequest::new(vec![], vec![], 1.0, 1.0, 0.2, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The LPVS scheduler: Phase-1 + Phase-2 with instrumentation.
+
+use crate::objective::objective_value;
+use crate::phase1::{solve_phase1_warm, Phase1Config, Phase1Solver};
+use crate::phase2::{run_phase2, Phase2Stats};
+use crate::problem::SlotProblem;
+use lpvs_solver::SolverError;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Scheduler configuration: every knob DESIGN.md's ablations turn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Phase-1 setup (exact ILP vs. greedy knapsack).
+    pub phase1: Phase1Config,
+    /// Whether to run the anxiety-driven swapping pass.
+    pub enable_phase2: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self { phase1: Phase1Config::default(), enable_phase2: true }
+    }
+}
+
+/// A scheduling decision for one slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Transform decision per device.
+    pub selected: Vec<bool>,
+    /// Run statistics.
+    pub stats: ScheduleStats,
+}
+
+impl Schedule {
+    /// Number of devices selected for transforming.
+    pub fn num_selected(&self) -> usize {
+        self.selected.iter().filter(|&&x| x).count()
+    }
+
+    /// Selection churn against a previous decision: the fraction of
+    /// devices whose transform decision flipped. Returns `None` when
+    /// the lengths differ (the population changed).
+    pub fn churn_vs(&self, previous: &[bool]) -> Option<f64> {
+        if previous.len() != self.selected.len() || self.selected.is_empty() {
+            return None;
+        }
+        let flips = self
+            .selected
+            .iter()
+            .zip(previous)
+            .filter(|(a, b)| a != b)
+            .count();
+        Some(flips as f64 / self.selected.len() as f64)
+    }
+}
+
+/// Instrumentation of one scheduling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleStats {
+    /// Final objective value (eq. 13).
+    pub objective: f64,
+    /// Energy saved by the final selection (J).
+    pub energy_saved_j: f64,
+    /// Devices fixed out by energy feasibility.
+    pub infeasible_devices: usize,
+    /// Branch-and-bound nodes in Phase-1.
+    pub phase1_nodes: usize,
+    /// Phase-2 swap statistics.
+    pub phase2: Phase2Stats,
+    /// Wall-clock time of the whole scheduling run.
+    #[serde(skip, default)]
+    pub runtime: Duration,
+}
+
+/// The LPVS scheduler (paper §V).
+///
+/// # Example
+///
+/// ```
+/// use lpvs_core::problem::{DeviceRequest, SlotProblem};
+/// use lpvs_core::scheduler::LpvsScheduler;
+/// use lpvs_survey::curve::AnxietyCurve;
+///
+/// let mut p = SlotProblem::new(10.0, 10.0, 1.0, AnxietyCurve::paper_shape());
+/// p.push(DeviceRequest::uniform(1.2, 10.0, 30, 20_000.0, 55_440.0, 0.3, 1.0, 0.1));
+/// let schedule = LpvsScheduler::paper_default().schedule(&p).unwrap();
+/// assert_eq!(schedule.num_selected(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LpvsScheduler {
+    config: SchedulerConfig,
+}
+
+impl LpvsScheduler {
+    /// Scheduler with explicit configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The paper's configuration: exact Phase-1 + Phase-2 swapping.
+    pub fn paper_default() -> Self {
+        Self::new(SchedulerConfig::default())
+    }
+
+    /// Phase-1-only variant (ablation `ablation_phase2`).
+    pub fn phase1_only() -> Self {
+        Self::new(SchedulerConfig { enable_phase2: false, ..SchedulerConfig::default() })
+    }
+
+    /// Greedy-knapsack variant (ablation `ablation_solver`).
+    pub fn greedy() -> Self {
+        Self::new(SchedulerConfig {
+            phase1: Phase1Config { solver: Phase1Solver::Greedy, ..Phase1Config::default() },
+            ..SchedulerConfig::default()
+        })
+    }
+
+    /// Active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Computes the slot schedule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolverError`] from Phase-1 (node-budget exhaustion
+    /// with no incumbent; the program itself is always feasible).
+    pub fn schedule(&self, problem: &SlotProblem) -> Result<Schedule, SolverError> {
+        self.schedule_warm(problem, None)
+    }
+
+    /// [`LpvsScheduler::schedule`] seeded with the previous slot's
+    /// selection, biasing ties toward the standing decisions (fewer
+    /// transform restarts across slots).
+    ///
+    /// # Errors
+    ///
+    /// As [`LpvsScheduler::schedule`].
+    pub fn schedule_warm(
+        &self,
+        problem: &SlotProblem,
+        previous: Option<&[bool]>,
+    ) -> Result<Schedule, SolverError> {
+        let start = Instant::now();
+        let phase1 = solve_phase1_warm(problem, &self.config.phase1, previous)?;
+        let mut selected = phase1.selected;
+        let phase2 = if self.config.enable_phase2 {
+            run_phase2(problem, &mut selected)
+        } else {
+            Phase2Stats::default()
+        };
+        let energy_saved_j = problem
+            .requests
+            .iter()
+            .zip(&selected)
+            .map(|(r, &x)| if x { r.saving_j() } else { 0.0 })
+            .sum();
+        let stats = ScheduleStats {
+            objective: objective_value(problem, &selected),
+            energy_saved_j,
+            infeasible_devices: phase1.infeasible_devices,
+            phase1_nodes: phase1.nodes,
+            phase2,
+            runtime: start.elapsed(),
+        };
+        Ok(Schedule { selected, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::DeviceRequest;
+    use lpvs_survey::curve::AnxietyCurve;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_problem(n: usize, capacity: f64, lambda: f64, seed: u64) -> SlotProblem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = SlotProblem::new(capacity, 1e9, lambda, AnxietyCurve::paper_shape());
+        for _ in 0..n {
+            let fraction: f64 = rng.gen_range(0.03..1.0);
+            p.push(DeviceRequest::uniform(
+                rng.gen_range(0.7..1.8),
+                10.0,
+                30,
+                fraction * 55_440.0,
+                55_440.0,
+                rng.gen_range(0.13..0.49),
+                rng.gen_range(0.4..2.3),
+                rng.gen_range(0.05..0.2),
+            ));
+        }
+        p
+    }
+
+    #[test]
+    fn respects_capacity_on_random_instances() {
+        for seed in 0..5 {
+            let p = random_problem(60, 20.0, 1.0, seed);
+            let s = LpvsScheduler::paper_default().schedule(&p).unwrap();
+            assert!(p.capacity_feasible(&s.selected));
+            assert!(s.num_selected() > 0);
+        }
+    }
+
+    #[test]
+    fn phase2_never_hurts_the_objective() {
+        for seed in 0..5 {
+            let p = random_problem(50, 15.0, 2.0, 100 + seed);
+            let full = LpvsScheduler::paper_default().schedule(&p).unwrap();
+            let p1 = LpvsScheduler::phase1_only().schedule(&p).unwrap();
+            assert!(
+                full.stats.objective <= p1.stats.objective + 1e-9,
+                "seed {seed}: {} vs {}",
+                full.stats.objective,
+                p1.stats.objective
+            );
+        }
+    }
+
+    #[test]
+    fn exact_saves_at_least_greedy_energy_when_lambda_zero() {
+        for seed in 0..5 {
+            let p = random_problem(40, 12.0, 0.0, 200 + seed);
+            let exact = LpvsScheduler::phase1_only().schedule(&p).unwrap();
+            let mut greedy_cfg = SchedulerConfig { enable_phase2: false, ..Default::default() };
+            greedy_cfg.phase1.solver = Phase1Solver::Greedy;
+            let greedy = LpvsScheduler::new(greedy_cfg).schedule(&p).unwrap();
+            assert!(
+                exact.stats.energy_saved_j >= greedy.stats.energy_saved_j - 1e-6,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_exhaustive_oracle_on_tiny_clusters() {
+        // With λ > 0 the heuristic is not guaranteed optimal, but on
+        // tiny instances it should land within a few percent of the
+        // exhaustive optimum.
+        for seed in 0..4 {
+            let p = random_problem(8, 3.0, 1.0, 300 + seed);
+            let heuristic = LpvsScheduler::paper_default().schedule(&p).unwrap();
+            let mut best = f64::INFINITY;
+            for mask in 0u32..(1 << 8) {
+                let sel: Vec<bool> = (0..8).map(|i| mask & (1 << i) != 0).collect();
+                if !p.capacity_feasible(&sel) {
+                    continue;
+                }
+                // Skip selections violating energy feasibility.
+                let ok = p
+                    .requests
+                    .iter()
+                    .zip(&sel)
+                    .all(|(r, &x)| !x || crate::compact::compact_device(r).transform_feasible);
+                if !ok {
+                    continue;
+                }
+                best = best.min(crate::objective::objective_value(&p, &sel));
+            }
+            let gap = (heuristic.stats.objective - best) / best.abs().max(1e-9);
+            assert!(gap < 0.03, "seed {seed}: gap {gap}");
+        }
+    }
+
+    #[test]
+    fn warm_schedule_matches_cold_quality_and_reports_churn() {
+        let p = random_problem(40, 12.0, 1.0, 77);
+        let cold = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        let warm = LpvsScheduler::paper_default()
+            .schedule_warm(&p, Some(&cold.selected))
+            .unwrap();
+        // Re-solving from the standing selection keeps the quality.
+        assert!(warm.stats.objective <= cold.stats.objective + 1e-6);
+        let churn = warm.churn_vs(&cold.selected).unwrap();
+        assert!(churn <= 0.2, "excessive churn {churn}");
+        // Length mismatch reports None.
+        assert!(warm.churn_vs(&[true]).is_none());
+    }
+
+    #[test]
+    fn runtime_is_recorded() {
+        let p = random_problem(30, 10.0, 1.0, 7);
+        let s = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        assert!(s.stats.runtime > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_given_the_problem() {
+        let p = random_problem(40, 12.0, 1.0, 9);
+        let a = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        let b = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        assert_eq!(a.selected, b.selected);
+    }
+}

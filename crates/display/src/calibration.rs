@@ -1,0 +1,257 @@
+//! Fitting display power-model coefficients from measurements.
+//!
+//! The models in [`crate::lcd`] and [`crate::oled`] ship with
+//! literature-calibrated constants; anyone with a power meter and a few
+//! test frames can re-calibrate them for their own panel. This module
+//! provides the least-squares fits:
+//!
+//! * OLED: `watts = base + emissive · Σ_c w_c·E[v_c^γ]` — two
+//!   parameters, closed-form simple regression;
+//! * LCD: `watts = floor + bl_max·brightness + panel·drive(content)` —
+//!   three parameters via the 3×3 normal equations.
+
+use crate::oled::CHANNEL_WEIGHTS;
+use crate::stats::FrameStats;
+use serde::{Deserialize, Serialize};
+
+/// A fitted OLED model: `watts = base_w + emissive_w · weighted_light`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OledFit {
+    /// Driver floor (W).
+    pub base_w: f64,
+    /// Emissive coefficient (W per weighted linear-light unit).
+    pub emissive_w: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits the OLED power model to `(frame, measured watts)` samples taken
+/// at a fixed brightness setting (fold the brightness into the emissive
+/// coefficient, as the model is linear in it).
+///
+/// # Panics
+///
+/// Panics with fewer than two samples or when all frames carry the same
+/// weighted light (the slope is then unidentifiable).
+///
+/// # Example
+///
+/// ```
+/// use lpvs_display::calibration::fit_oled;
+/// use lpvs_display::spec::{DisplaySpec, Resolution};
+/// use lpvs_display::stats::FrameStats;
+///
+/// // Synthesize "measurements" from the built-in model, then recover it.
+/// let spec = DisplaySpec::oled_phone(Resolution::FHD);
+/// let samples: Vec<(FrameStats, f64)> = [0.1, 0.3, 0.5, 0.7, 0.9]
+///     .iter()
+///     .map(|&v| {
+///         let f = FrameStats::uniform_gray(v);
+///         let w = spec.power_watts(&f);
+///         (f, w)
+///     })
+///     .collect();
+/// let fit = fit_oled(&samples);
+/// assert!(fit.r_squared > 0.9999);
+/// ```
+pub fn fit_oled(samples: &[(FrameStats, f64)]) -> OledFit {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let points: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|(frame, watts)| {
+            let lm = frame.linear_mean();
+            let weighted: f64 = CHANNEL_WEIGHTS.iter().zip(&lm).map(|(w, m)| w * m).sum();
+            (weighted, *watts)
+        })
+        .collect();
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    assert!(sxx > 1e-12, "frames must span different light levels");
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let emissive_w = sxy / sxx;
+    let base_w = my - emissive_w * mx;
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| (p.1 - (base_w + emissive_w * p.0)).powi(2))
+        .sum();
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+    let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    OledFit { base_w, emissive_w, r_squared }
+}
+
+/// A fitted LCD model:
+/// `watts = floor_w + backlight_w·brightness + panel_w·drive`, where
+/// `drive = 1 + 0.4·(mean_luma − 0.5)` matches [`crate::lcd`]'s content
+/// term.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LcdFit {
+    /// Backlight electronics floor (W).
+    pub floor_w: f64,
+    /// Backlight draw at full luminance (W).
+    pub backlight_w: f64,
+    /// Panel drive power at mid-gray (W).
+    pub panel_w: f64,
+    /// Coefficient of determination of the fit.
+    pub r_squared: f64,
+}
+
+/// Fits the LCD power model to `(frame, brightness, measured watts)`
+/// samples spanning several brightness settings and content levels.
+///
+/// # Panics
+///
+/// Panics with fewer than three samples or when the design matrix is
+/// singular (all brightnesses equal, or all contents equal).
+pub fn fit_lcd(samples: &[(FrameStats, f64, f64)]) -> LcdFit {
+    assert!(samples.len() >= 3, "need at least three samples");
+    // Design: columns (1, brightness, drive); solve AᵀA θ = Aᵀy.
+    let rows: Vec<([f64; 3], f64)> = samples
+        .iter()
+        .map(|(frame, brightness, watts)| {
+            let drive = 1.0 + 0.4 * (frame.mean_luma() - 0.5);
+            ([1.0, *brightness, drive], *watts)
+        })
+        .collect();
+    let mut ata = [[0.0f64; 3]; 3];
+    let mut aty = [0.0f64; 3];
+    for (a, y) in &rows {
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[i][j] += a[i] * a[j];
+            }
+            aty[i] += a[i] * y;
+        }
+    }
+    let theta = solve3(ata, aty).expect("design matrix is singular");
+    let my = rows.iter().map(|(_, y)| y).sum::<f64>() / rows.len() as f64;
+    let ss_res: f64 = rows
+        .iter()
+        .map(|(a, y)| {
+            let pred = theta[0] + theta[1] * a[1] + theta[2] * a[2];
+            (y - pred).powi(2)
+        })
+        .sum();
+    let ss_tot: f64 = rows.iter().map(|(_, y)| (y - my).powi(2)).sum();
+    let r_squared = if ss_tot <= 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LcdFit { floor_w: theta[0], backlight_w: theta[1], panel_w: theta[2], r_squared }
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting; `None` when (numerically) singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let pivot_row = a[col];
+            for (v, p) in a[row][col..3].iter_mut().zip(&pivot_row[col..3]) {
+                *v -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 3];
+    for row in (0..3).rev() {
+        let mut acc = b[row];
+        for k in row + 1..3 {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lcd::LcdPowerModel;
+    use crate::spec::{DisplaySpec, Resolution};
+
+    #[test]
+    fn oled_fit_recovers_the_builtin_model() {
+        let spec = DisplaySpec::oled_phone(Resolution::FHD);
+        let samples: Vec<(FrameStats, f64)> = (1..10)
+            .map(|i| {
+                let f = FrameStats::uniform_gray(i as f64 / 10.0);
+                let w = spec.power_watts(&f);
+                (f, w)
+            })
+            .collect();
+        let fit = fit_oled(&samples);
+        assert!(fit.r_squared > 1.0 - 1e-9);
+        // Reconstructed power matches the model on unseen content.
+        let probe = FrameStats::from_encoded_rgb([0.3, 0.7, 0.5], 4);
+        let lm = probe.linear_mean();
+        let weighted: f64 = CHANNEL_WEIGHTS.iter().zip(&lm).map(|(w, m)| w * m).sum();
+        let predicted = fit.base_w + fit.emissive_w * weighted;
+        assert!((predicted - spec.power_watts(&probe)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn oled_fit_tolerates_measurement_noise() {
+        let spec = DisplaySpec::oled_phone(Resolution::FHD);
+        let samples: Vec<(FrameStats, f64)> = (1..20)
+            .map(|i| {
+                let f = FrameStats::uniform_gray(i as f64 / 20.0);
+                let noise = if i % 2 == 0 { 0.004 } else { -0.004 };
+                let w = spec.power_watts(&f) + noise;
+                (f, w)
+            })
+            .collect();
+        let fit = fit_oled(&samples);
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.emissive_w > 0.0);
+    }
+
+    #[test]
+    fn lcd_fit_recovers_the_builtin_model() {
+        let mut samples = Vec::new();
+        for &b in &[0.3, 0.5, 0.7, 0.9] {
+            for &v in &[0.2, 0.5, 0.8] {
+                let spec = DisplaySpec::lcd_phone(Resolution::FHD).with_brightness(b);
+                let f = FrameStats::uniform_gray(v);
+                let w = LcdPowerModel::for_spec(&spec).power_watts(&f);
+                samples.push((f, b, w));
+            }
+        }
+        let fit = fit_lcd(&samples);
+        assert!(fit.r_squared > 1.0 - 1e-9, "R² {}", fit.r_squared);
+        // The recovered backlight coefficient matches the reference
+        // model's (1.3 W/100 cm² × ~102.5 cm²).
+        assert!((fit.backlight_w - 0.013 * 102.5).abs() < 0.05, "{}", fit.backlight_w);
+        assert!(fit.panel_w > 0.0);
+    }
+
+    #[test]
+    fn solve3_handles_permuted_systems() {
+        // x = 1, y = 2, z = 3 under a matrix needing pivoting.
+        let a = [[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 2.0]];
+        let b = [2.0, 1.0, 6.0];
+        let x = solve3(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve3_reports_singularity() {
+        let a = [[1.0, 1.0, 1.0], [2.0, 2.0, 2.0], [0.0, 0.0, 1.0]];
+        assert!(solve3(a, [1.0, 2.0, 1.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "different light levels")]
+    fn degenerate_oled_samples_rejected() {
+        let f = FrameStats::uniform_gray(0.5);
+        let _ = fit_oled(&[(f.clone(), 1.0), (f, 1.0)]);
+    }
+}

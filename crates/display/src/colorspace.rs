@@ -1,0 +1,190 @@
+//! Color-space conversions and hue-shift measurement.
+//!
+//! The OLED color transforms trade energy against color fidelity; the
+//! perceptual studies they cite bound the *hue* shift much tighter than
+//! the *brightness* shift (dimming is far less objectionable than
+//! tinting). This module provides RGB↔HSV conversion and a hue-shift
+//! metric so that property tests can verify the transforms stay in the
+//! validated regime: uniform darkening keeps hue exactly, per-channel
+//! attenuation shifts it boundedly.
+
+use serde::{Deserialize, Serialize};
+
+/// A color in HSV: hue in degrees `[0, 360)`, saturation and value in
+/// `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hsv {
+    /// Hue angle in degrees, `[0, 360)`; 0 for grays.
+    pub hue: f64,
+    /// Saturation in `[0, 1]`.
+    pub saturation: f64,
+    /// Value (max channel) in `[0, 1]`.
+    pub value: f64,
+}
+
+/// Converts an encoded RGB triple (each in `[0, 1]`) to HSV.
+///
+/// # Panics
+///
+/// Panics if any channel is outside `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_display::colorspace::rgb_to_hsv;
+///
+/// let red = rgb_to_hsv([1.0, 0.0, 0.0]);
+/// assert_eq!(red.hue, 0.0);
+/// let green = rgb_to_hsv([0.0, 1.0, 0.0]);
+/// assert_eq!(green.hue, 120.0);
+/// ```
+pub fn rgb_to_hsv(rgb: [f64; 3]) -> Hsv {
+    assert!(
+        rgb.iter().all(|c| (0.0..=1.0).contains(c)),
+        "channels must be in [0, 1]"
+    );
+    let [r, g, b] = rgb;
+    let max = r.max(g).max(b);
+    let min = r.min(g).min(b);
+    let delta = max - min;
+    let hue = if delta <= 1e-12 {
+        0.0
+    } else if (max - r).abs() <= 1e-12 {
+        60.0 * (((g - b) / delta).rem_euclid(6.0))
+    } else if (max - g).abs() <= 1e-12 {
+        60.0 * ((b - r) / delta + 2.0)
+    } else {
+        60.0 * ((r - g) / delta + 4.0)
+    };
+    let saturation = if max <= 1e-12 { 0.0 } else { delta / max };
+    Hsv { hue, saturation, value: max }
+}
+
+/// Converts HSV back to encoded RGB.
+///
+/// # Panics
+///
+/// Panics if saturation or value is outside `[0, 1]`.
+pub fn hsv_to_rgb(hsv: Hsv) -> [f64; 3] {
+    assert!(
+        (0.0..=1.0).contains(&hsv.saturation) && (0.0..=1.0).contains(&hsv.value),
+        "saturation and value must be in [0, 1]"
+    );
+    let h = hsv.hue.rem_euclid(360.0) / 60.0;
+    let c = hsv.value * hsv.saturation;
+    let x = c * (1.0 - (h.rem_euclid(2.0) - 1.0).abs());
+    let m = hsv.value - c;
+    let (r, g, b) = match h as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    [r + m, g + m, b + m]
+}
+
+/// Angular hue difference in degrees, in `[0, 180]`.
+pub fn hue_distance(a: f64, b: f64) -> f64 {
+    let d = (a - b).rem_euclid(360.0);
+    d.min(360.0 - d)
+}
+
+/// Hue shift (degrees) introduced by scaling the channels of `rgb` by
+/// `factors`. Grays report zero shift for any factors.
+pub fn hue_shift_of_scaling(rgb: [f64; 3], factors: [f64; 3]) -> f64 {
+    let before = rgb_to_hsv(rgb);
+    let after = rgb_to_hsv([
+        (rgb[0] * factors[0]).clamp(0.0, 1.0),
+        (rgb[1] * factors[1]).clamp(0.0, 1.0),
+        (rgb[2] * factors[2]).clamp(0.0, 1.0),
+    ]);
+    if before.saturation <= 1e-9 || after.saturation <= 1e-9 {
+        // At least one side is achromatic: hue is undefined, report the
+        // saturation change as zero hue shift (it is a brightness
+        // artifact, not a tint).
+        return 0.0;
+    }
+    hue_distance(before.hue, after.hue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primaries_have_canonical_hues() {
+        assert_eq!(rgb_to_hsv([1.0, 0.0, 0.0]).hue, 0.0);
+        assert_eq!(rgb_to_hsv([1.0, 1.0, 0.0]).hue, 60.0);
+        assert_eq!(rgb_to_hsv([0.0, 1.0, 0.0]).hue, 120.0);
+        assert_eq!(rgb_to_hsv([0.0, 1.0, 1.0]).hue, 180.0);
+        assert_eq!(rgb_to_hsv([0.0, 0.0, 1.0]).hue, 240.0);
+        assert_eq!(rgb_to_hsv([1.0, 0.0, 1.0]).hue, 300.0);
+    }
+
+    #[test]
+    fn grays_are_achromatic() {
+        for v in [0.0, 0.3, 1.0] {
+            let hsv = rgb_to_hsv([v, v, v]);
+            assert_eq!(hsv.hue, 0.0);
+            assert_eq!(hsv.saturation, 0.0);
+            assert_eq!(hsv.value, v);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for rgb in [
+            [0.2, 0.5, 0.8],
+            [0.9, 0.1, 0.4],
+            [0.0, 0.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [0.5, 0.5, 0.2],
+        ] {
+            let back = hsv_to_rgb(rgb_to_hsv(rgb));
+            for (a, b) in rgb.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "{rgb:?} → {back:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hue_distance_wraps() {
+        assert_eq!(hue_distance(350.0, 10.0), 20.0);
+        assert_eq!(hue_distance(0.0, 180.0), 180.0);
+        assert_eq!(hue_distance(90.0, 90.0), 0.0);
+    }
+
+    #[test]
+    fn uniform_darkening_preserves_hue() {
+        for rgb in [[0.8, 0.3, 0.5], [0.1, 0.9, 0.7]] {
+            let shift = hue_shift_of_scaling(rgb, [0.6, 0.6, 0.6]);
+            assert!(shift < 1e-9, "uniform scale shifted hue by {shift}");
+        }
+    }
+
+    #[test]
+    fn channel_attenuation_shifts_hue_boundedly() {
+        // The color transform's per-channel factors (blue attenuated
+        // hardest, ≤ 45 %) shift hue measurably but modestly. Use a
+        // chromatic base color — grays have no hue to shift.
+        let rgb = [0.7, 0.5, 0.4];
+        let factors = [0.88, 0.92, 0.70]; // a typical allocation
+        let shift = hue_shift_of_scaling(rgb, factors);
+        assert!(shift > 0.0);
+        assert!(shift < 30.0, "hue shift {shift}° exceeds the validated regime");
+    }
+
+    #[test]
+    fn saturated_colors_resist_hue_shift_from_value_changes() {
+        let shift = hue_shift_of_scaling([1.0, 0.0, 0.0], [0.5, 1.0, 1.0]);
+        assert_eq!(shift, 0.0); // pure red darkened stays pure red
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must be in")]
+    fn out_of_range_rgb_rejected() {
+        let _ = rgb_to_hsv([1.5, 0.0, 0.0]);
+    }
+}

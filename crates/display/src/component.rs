@@ -1,0 +1,186 @@
+//! Whole-phone component power budget during video playback (Fig. 1).
+//!
+//! The paper's Fig. 1 motivates everything else: during video playback
+//! the display consumes more than any other hardware component, on both
+//! LCD and OLED phones. The LCD numbers follow Carroll & Heiser's
+//! smartphone power analysis (the paper's ref. \[9\]); the OLED display
+//! figure is scaled up per the OLED/LCD comparison the paper cites
+//! (ref. \[10\]) — OLEDs emit their own light and draw more on the bright
+//! mixed content of typical video.
+
+use crate::spec::DisplayKind;
+use serde::{Deserialize, Serialize};
+
+/// A hardware component of a smartphone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PhoneComponent {
+    /// Display panel (and backlight for LCD).
+    Display,
+    /// Application CPU cores.
+    Cpu,
+    /// GPU / video decoder.
+    Gpu,
+    /// Cellular/Wi-Fi radio streaming the video.
+    Network,
+    /// DRAM.
+    Memory,
+    /// Audio codec and amplifier.
+    Audio,
+    /// Everything else (sensors, PMIC overhead, …).
+    Rest,
+}
+
+impl PhoneComponent {
+    /// All components, in the order Fig. 1 plots them.
+    pub const ALL: [PhoneComponent; 7] = [
+        PhoneComponent::Display,
+        PhoneComponent::Cpu,
+        PhoneComponent::Gpu,
+        PhoneComponent::Network,
+        PhoneComponent::Memory,
+        PhoneComponent::Audio,
+        PhoneComponent::Rest,
+    ];
+}
+
+impl std::fmt::Display for PhoneComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PhoneComponent::Display => "display",
+            PhoneComponent::Cpu => "CPU",
+            PhoneComponent::Gpu => "GPU",
+            PhoneComponent::Network => "network",
+            PhoneComponent::Memory => "memory",
+            PhoneComponent::Audio => "audio",
+            PhoneComponent::Rest => "rest",
+        })
+    }
+}
+
+/// Average per-component power (mW) of one phone class during video
+/// playback.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_display::component::{ComponentBudget, PhoneComponent};
+/// use lpvs_display::spec::DisplayKind;
+///
+/// let budget = ComponentBudget::video_playback(DisplayKind::Oled);
+/// assert_eq!(budget.dominant(), PhoneComponent::Display);
+/// assert!(budget.fraction(PhoneComponent::Display) > 0.4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentBudget {
+    kind: DisplayKind,
+    entries: Vec<(PhoneComponent, f64)>,
+}
+
+impl ComponentBudget {
+    /// The Fig. 1 budget for a phone of the given display kind during
+    /// video playback.
+    pub fn video_playback(kind: DisplayKind) -> Self {
+        let display_mw = match kind {
+            DisplayKind::Lcd => 520.0,
+            DisplayKind::Oled => 780.0,
+        };
+        let entries = vec![
+            (PhoneComponent::Display, display_mw),
+            (PhoneComponent::Cpu, 180.0),
+            (PhoneComponent::Gpu, 110.0),
+            (PhoneComponent::Network, 95.0),
+            (PhoneComponent::Memory, 55.0),
+            (PhoneComponent::Audio, 33.0),
+            (PhoneComponent::Rest, 85.0),
+        ];
+        Self { kind, entries }
+    }
+
+    /// Display kind this budget describes.
+    pub fn kind(&self) -> DisplayKind {
+        self.kind
+    }
+
+    /// Per-component entries in Fig. 1 order.
+    pub fn entries(&self) -> &[(PhoneComponent, f64)] {
+        &self.entries
+    }
+
+    /// Power of one component in milliwatts (0 if absent).
+    pub fn milliwatts(&self, component: PhoneComponent) -> f64 {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == component)
+            .map_or(0.0, |(_, mw)| *mw)
+    }
+
+    /// Total phone power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.entries.iter().map(|(_, mw)| mw).sum()
+    }
+
+    /// Fraction of total power one component accounts for.
+    pub fn fraction(&self, component: PhoneComponent) -> f64 {
+        self.milliwatts(component) / self.total_mw()
+    }
+
+    /// The component drawing the most power.
+    pub fn dominant(&self) -> PhoneComponent {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite power"))
+            .map(|(c, _)| *c)
+            .expect("budget is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dominates_on_both_panel_kinds() {
+        for kind in [DisplayKind::Lcd, DisplayKind::Oled] {
+            let b = ComponentBudget::video_playback(kind);
+            assert_eq!(b.dominant(), PhoneComponent::Display, "{kind}");
+            // Display alone beats every other component; it also exceeds
+            // a third of the whole budget, the Fig. 1 takeaway.
+            assert!(b.fraction(PhoneComponent::Display) > 0.33);
+        }
+    }
+
+    #[test]
+    fn oled_display_draws_more_than_lcd() {
+        let lcd = ComponentBudget::video_playback(DisplayKind::Lcd);
+        let oled = ComponentBudget::video_playback(DisplayKind::Oled);
+        assert!(
+            oled.milliwatts(PhoneComponent::Display) > lcd.milliwatts(PhoneComponent::Display)
+        );
+        // Non-display components are identical across phone classes.
+        for c in PhoneComponent::ALL.into_iter().skip(1) {
+            assert_eq!(lcd.milliwatts(c), oled.milliwatts(c));
+        }
+    }
+
+    #[test]
+    fn totals_are_plausible_phone_power() {
+        // A streaming phone draws roughly 1–1.5 W in total.
+        for kind in [DisplayKind::Lcd, DisplayKind::Oled] {
+            let total = ComponentBudget::video_playback(kind).total_mw();
+            assert!((900.0..1600.0).contains(&total), "total {total} mW");
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = ComponentBudget::video_playback(DisplayKind::Lcd);
+        let sum: f64 = PhoneComponent::ALL.iter().map(|&c| b.fraction(c)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_component_reports_zero() {
+        let b = ComponentBudget { kind: DisplayKind::Lcd, entries: vec![] };
+        assert_eq!(b.milliwatts(PhoneComponent::Cpu), 0.0);
+    }
+}

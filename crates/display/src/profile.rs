@@ -1,0 +1,201 @@
+//! Display power profiles: per-chunk power over time.
+//!
+//! A [`PowerProfile`] is the watt-by-watt story of playing a piece of
+//! content on a given display — the series the paper's Fig. 4 sketches
+//! when it motivates per-chunk power rates. It supports peak/mean
+//! statistics, total energy, and a terminal sparkline for quick
+//! inspection.
+
+use crate::spec::DisplaySpec;
+use crate::stats::FrameStats;
+use serde::{Deserialize, Serialize};
+
+/// A time series of display power over played chunks.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_display::profile::PowerProfile;
+/// use lpvs_display::spec::{DisplaySpec, Resolution};
+/// use lpvs_display::stats::FrameStats;
+///
+/// let spec = DisplaySpec::oled_phone(Resolution::HD);
+/// let frames = vec![
+///     FrameStats::uniform_gray(0.2),
+///     FrameStats::uniform_gray(0.8),
+///     FrameStats::uniform_gray(0.5),
+/// ];
+/// let profile = PowerProfile::of(&frames, 10.0, &spec);
+/// assert_eq!(profile.len(), 3);
+/// assert!(profile.peak_watts() > profile.mean_watts());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// (duration s, watts) per chunk, in playback order.
+    samples: Vec<(f64, f64)>,
+}
+
+impl PowerProfile {
+    /// Profiles a sequence of equal-length chunks on `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_secs` is not strictly positive.
+    pub fn of(frames: &[FrameStats], chunk_secs: f64, spec: &DisplaySpec) -> Self {
+        assert!(chunk_secs > 0.0, "chunk duration must be positive");
+        Self {
+            samples: frames
+                .iter()
+                .map(|f| (chunk_secs, spec.power_watts(f)))
+                .collect(),
+        }
+    }
+
+    /// Builds a profile from explicit `(seconds, watts)` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonpositive durations or negative/non-finite powers.
+    pub fn from_samples(samples: Vec<(f64, f64)>) -> Self {
+        assert!(
+            samples.iter().all(|&(d, w)| d > 0.0 && w.is_finite() && w >= 0.0),
+            "samples must have positive durations and nonnegative power"
+        );
+        Self { samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when the profile holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The raw `(seconds, watts)` samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Total duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.samples.iter().map(|(d, _)| d).sum()
+    }
+
+    /// Total energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.samples.iter().map(|(d, w)| d * w).sum()
+    }
+
+    /// Duration-weighted mean power (0 for an empty profile).
+    pub fn mean_watts(&self) -> f64 {
+        let t = self.duration_secs();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.energy_joules() / t
+        }
+    }
+
+    /// Largest sample (0 for an empty profile).
+    pub fn peak_watts(&self) -> f64 {
+        self.samples.iter().map(|(_, w)| *w).fold(0.0, f64::max)
+    }
+
+    /// Smallest sample (0 for an empty profile).
+    pub fn min_watts(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, w)| *w).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Peak-to-mean ratio — how bursty the content's power is (1 for
+    /// flat content; 0 for an empty profile).
+    pub fn burstiness(&self) -> f64 {
+        let mean = self.mean_watts();
+        if mean <= 0.0 {
+            0.0
+        } else {
+            self.peak_watts() / mean
+        }
+    }
+
+    /// A one-line Unicode sparkline of the power series, normalized to
+    /// the profile's own range.
+    pub fn sparkline(&self) -> String {
+        const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        if self.samples.is_empty() {
+            return String::new();
+        }
+        let max = self.peak_watts();
+        let min = self.samples.iter().map(|(_, w)| *w).fold(f64::INFINITY, f64::min);
+        let range = (max - min).max(1e-12);
+        self.samples
+            .iter()
+            .map(|(_, w)| {
+                let t = ((w - min) / range * (BARS.len() as f64 - 1.0)).round() as usize;
+                BARS[t.min(BARS.len() - 1)]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Resolution;
+
+    fn profile() -> PowerProfile {
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let frames = vec![
+            FrameStats::uniform_gray(0.2),
+            FrameStats::uniform_gray(0.8),
+            FrameStats::uniform_gray(0.5),
+        ];
+        PowerProfile::of(&frames, 10.0, &spec)
+    }
+
+    #[test]
+    fn energy_is_sum_of_products() {
+        let p = PowerProfile::from_samples(vec![(10.0, 1.0), (20.0, 0.5)]);
+        assert!((p.energy_joules() - 20.0).abs() < 1e-12);
+        assert!((p.duration_secs() - 30.0).abs() < 1e-12);
+        assert!((p.mean_watts() - 20.0 / 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_and_burstiness() {
+        let p = profile();
+        assert!(p.peak_watts() >= p.mean_watts());
+        assert!(p.burstiness() >= 1.0);
+        let flat = PowerProfile::from_samples(vec![(1.0, 2.0); 5]);
+        assert!((flat.burstiness() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_has_one_char_per_sample() {
+        let p = profile();
+        assert_eq!(p.sparkline().chars().count(), 3);
+        // Brightest chunk renders the tallest bar.
+        assert_eq!(p.sparkline().chars().nth(1), Some('█'));
+    }
+
+    #[test]
+    fn empty_profile_is_benign() {
+        let p = PowerProfile::from_samples(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.energy_joules(), 0.0);
+        assert_eq!(p.mean_watts(), 0.0);
+        assert_eq!(p.burstiness(), 0.0);
+        assert_eq!(p.sparkline(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive durations")]
+    fn bad_samples_rejected() {
+        let _ = PowerProfile::from_samples(vec![(0.0, 1.0)]);
+    }
+}

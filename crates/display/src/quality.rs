@@ -1,0 +1,176 @@
+//! Distortion metrics and quality budgets for content transforms.
+//!
+//! Every transform trades display energy against perceptual fidelity.
+//! The human visual system tolerates small luminance clipping and small
+//! color shifts (the paper's §II-B and its refs. \[11\], \[17\]); a
+//! [`QualityBudget`] encodes how much of each kind of distortion a
+//! deployment allows, and a [`Distortion`] reports how much a transform
+//! actually introduced.
+
+use serde::{Deserialize, Serialize};
+
+/// Distortion introduced by one transform application.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Distortion {
+    /// Fraction of pixels whose luminance was clipped (backlight
+    /// scaling), in `[0, 1]`.
+    pub clipped_fraction: f64,
+    /// Mean relative luminance lost to clipping, in `[0, 1]`.
+    pub luminance_loss: f64,
+    /// RMS relative shift of the color channels, in `[0, 1]`
+    /// (0 = identical colors).
+    pub color_shift: f64,
+    /// Fraction of spatial detail lost (subpixel shutoff/resolution
+    /// scaling), in `[0, 1]`.
+    pub resolution_loss: f64,
+}
+
+impl Distortion {
+    /// A transform that changed nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Scalar perceptual score in `[0, 1]`: 0 = imperceptible,
+    /// 1 = unwatchable. A weighted RMS of the component distortions,
+    /// with clipping weighted hardest (highlight loss is the most
+    /// visible artifact in video).
+    pub fn perceptual_score(&self) -> f64 {
+        let terms = [
+            3.0 * self.luminance_loss,
+            2.0 * self.clipped_fraction,
+            1.5 * self.color_shift,
+            1.0 * self.resolution_loss,
+        ];
+        let ss: f64 = terms.iter().map(|t| t * t).sum();
+        (ss / terms.len() as f64).sqrt().min(1.0)
+    }
+
+    /// True if every component is within `budget`.
+    pub fn within(&self, budget: &QualityBudget) -> bool {
+        self.clipped_fraction <= budget.max_clipped_fraction + 1e-12
+            && self.luminance_loss <= budget.max_luminance_loss + 1e-12
+            && self.color_shift <= budget.max_color_shift + 1e-12
+            && self.resolution_loss <= budget.max_resolution_loss + 1e-12
+    }
+}
+
+/// How much distortion a deployment tolerates.
+///
+/// The defaults follow the "negligible/tolerable for human perception"
+/// operating points of the cited transform papers: clip at most 1 % of
+/// pixels, lose at most 2 % mean luminance, shift colors by at most
+/// 15 % RMS, drop at most 20 % of subpixels.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_display::quality::{Distortion, QualityBudget};
+///
+/// let strict = QualityBudget::strict();
+/// let lax = QualityBudget::default();
+/// let d = Distortion { color_shift: 0.10, ..Distortion::none() };
+/// assert!(d.within(&lax));
+/// assert!(!d.within(&strict));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityBudget {
+    /// Maximum fraction of clipped pixels.
+    pub max_clipped_fraction: f64,
+    /// Maximum mean relative luminance loss.
+    pub max_luminance_loss: f64,
+    /// Maximum RMS color shift.
+    pub max_color_shift: f64,
+    /// Maximum resolution/detail loss.
+    pub max_resolution_loss: f64,
+}
+
+impl QualityBudget {
+    /// A conservative budget for quality-sensitive content.
+    pub fn strict() -> Self {
+        Self {
+            max_clipped_fraction: 0.002,
+            max_luminance_loss: 0.005,
+            max_color_shift: 0.05,
+            max_resolution_loss: 0.05,
+        }
+    }
+
+    /// An aggressive budget favouring battery life over fidelity (the
+    /// regime a low-battery user would opt into).
+    pub fn aggressive() -> Self {
+        Self {
+            max_clipped_fraction: 0.05,
+            max_luminance_loss: 0.08,
+            max_color_shift: 0.30,
+            max_resolution_loss: 0.30,
+        }
+    }
+}
+
+impl Default for QualityBudget {
+    fn default() -> Self {
+        Self {
+            max_clipped_fraction: 0.01,
+            max_luminance_loss: 0.02,
+            max_color_shift: 0.15,
+            max_resolution_loss: 0.20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_distortion_scores_zero_and_fits_any_budget() {
+        let d = Distortion::none();
+        assert_eq!(d.perceptual_score(), 0.0);
+        assert!(d.within(&QualityBudget::strict()));
+        assert!(d.within(&QualityBudget::default()));
+    }
+
+    #[test]
+    fn score_monotone_in_each_component() {
+        let base = Distortion { color_shift: 0.1, ..Distortion::none() };
+        let worse = Distortion { color_shift: 0.2, ..Distortion::none() };
+        assert!(worse.perceptual_score() > base.perceptual_score());
+        let worse_lum = Distortion { luminance_loss: 0.05, ..base };
+        assert!(worse_lum.perceptual_score() > base.perceptual_score());
+    }
+
+    #[test]
+    fn score_saturates_at_one() {
+        let d = Distortion {
+            clipped_fraction: 1.0,
+            luminance_loss: 1.0,
+            color_shift: 1.0,
+            resolution_loss: 1.0,
+        };
+        assert_eq!(d.perceptual_score(), 1.0);
+    }
+
+    #[test]
+    fn budgets_are_ordered() {
+        let strict = QualityBudget::strict();
+        let default = QualityBudget::default();
+        let aggressive = QualityBudget::aggressive();
+        assert!(strict.max_color_shift < default.max_color_shift);
+        assert!(default.max_color_shift < aggressive.max_color_shift);
+        assert!(strict.max_clipped_fraction < aggressive.max_clipped_fraction);
+    }
+
+    #[test]
+    fn within_checks_every_axis() {
+        let budget = QualityBudget::default();
+        for d in [
+            Distortion { clipped_fraction: 0.5, ..Distortion::none() },
+            Distortion { luminance_loss: 0.5, ..Distortion::none() },
+            Distortion { color_shift: 0.5, ..Distortion::none() },
+            Distortion { resolution_loss: 0.5, ..Distortion::none() },
+        ] {
+            assert!(!d.within(&budget));
+        }
+    }
+}

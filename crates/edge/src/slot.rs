@@ -1,0 +1,122 @@
+//! The scheduling clock: 5-minute slots (paper Remark 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds per scheduling slot (5 minutes, matching the Twitch trace's
+/// sampling interval).
+pub const DEFAULT_SLOT_SECS: f64 = 300.0;
+
+/// A slot clock: converts between wall time, slot indices, and slot
+/// boundaries.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_edge::slot::SlotClock;
+///
+/// let clock = SlotClock::paper_default();
+/// assert_eq!(clock.slot_of_secs(0.0), 0);
+/// assert_eq!(clock.slot_of_secs(299.9), 0);
+/// assert_eq!(clock.slot_of_secs(300.0), 1);
+/// assert_eq!(clock.start_secs(3), 900.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotClock {
+    slot_secs: f64,
+}
+
+impl SlotClock {
+    /// A clock with the given slot length in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the slot length is strictly positive and finite.
+    pub fn new(slot_secs: f64) -> Self {
+        assert!(
+            slot_secs.is_finite() && slot_secs > 0.0,
+            "slot length must be positive"
+        );
+        Self { slot_secs }
+    }
+
+    /// The paper's 5-minute scheduling period.
+    pub fn paper_default() -> Self {
+        Self::new(DEFAULT_SLOT_SECS)
+    }
+
+    /// Slot length in seconds.
+    pub fn slot_secs(&self) -> f64 {
+        self.slot_secs
+    }
+
+    /// Slot index containing the given wall time.
+    pub fn slot_of_secs(&self, secs: f64) -> u64 {
+        (secs.max(0.0) / self.slot_secs) as u64
+    }
+
+    /// Wall time at which `slot` starts.
+    pub fn start_secs(&self, slot: u64) -> f64 {
+        slot as f64 * self.slot_secs
+    }
+
+    /// Remaining seconds of the slot containing `secs`.
+    pub fn remaining_secs(&self, secs: f64) -> f64 {
+        let next = self.start_secs(self.slot_of_secs(secs) + 1);
+        next - secs.max(0.0)
+    }
+
+    /// Number of whole slots covering `duration_secs` (ceiling).
+    pub fn slots_for(&self, duration_secs: f64) -> u64 {
+        (duration_secs.max(0.0) / self.slot_secs).ceil() as u64
+    }
+}
+
+impl Default for SlotClock {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_half_open() {
+        let c = SlotClock::paper_default();
+        assert_eq!(c.slot_of_secs(0.0), 0);
+        assert_eq!(c.slot_of_secs(299.999), 0);
+        assert_eq!(c.slot_of_secs(300.0), 1);
+        assert_eq!(c.slot_of_secs(3000.0), 10);
+    }
+
+    #[test]
+    fn remaining_time_counts_down() {
+        let c = SlotClock::new(100.0);
+        assert!((c.remaining_secs(0.0) - 100.0).abs() < 1e-12);
+        assert!((c.remaining_secs(30.0) - 70.0).abs() < 1e-12);
+        assert!((c.remaining_secs(199.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slots_for_is_a_ceiling() {
+        let c = SlotClock::paper_default();
+        assert_eq!(c.slots_for(0.0), 0);
+        assert_eq!(c.slots_for(1.0), 1);
+        assert_eq!(c.slots_for(300.0), 1);
+        assert_eq!(c.slots_for(301.0), 2);
+    }
+
+    #[test]
+    fn negative_times_clamp_to_zero() {
+        let c = SlotClock::paper_default();
+        assert_eq!(c.slot_of_secs(-5.0), 0);
+        assert_eq!(c.slots_for(-5.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot length")]
+    fn zero_slot_rejected() {
+        let _ = SlotClock::new(0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Composite quality-of-experience scoring.
+//!
+//! The paper treats LBA as "an important quality of experience metric"
+//! (§I) and argues LPVS leaves the classic QoE metrics untouched
+//! (§VII-D). This module makes that claim checkable: a per-viewer QoE
+//! score combining session completion, abandonment, and end-state
+//! anxiety, computable from any [`EmulationReport`].
+
+use crate::metrics::EmulationReport;
+use lpvs_survey::curve::AnxietyCurve;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the QoE components (each component is in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeWeights {
+    /// Weight of watch-time completion (watched / horizon).
+    pub completion: f64,
+    /// Penalty weight for abandoning the session.
+    pub abandonment: f64,
+    /// Penalty weight for end-of-run anxiety.
+    pub anxiety: f64,
+}
+
+impl Default for QoeWeights {
+    /// Completion dominates; abandonment is the business event the
+    /// paper's retention analysis cares about; anxiety rounds it out.
+    fn default() -> Self {
+        Self { completion: 0.5, abandonment: 0.3, anxiety: 0.2 }
+    }
+}
+
+impl QoeWeights {
+    /// Sum of the weights (QoE is reported on a 0–1 scale after
+    /// normalizing by this).
+    pub fn total(&self) -> f64 {
+        self.completion + self.abandonment + self.anxiety
+    }
+}
+
+/// Per-device QoE scores in `[0, 1]` for one emulation run.
+///
+/// # Panics
+///
+/// Panics if `horizon_minutes` is not positive or the weights sum to
+/// zero.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_core::baseline::Policy;
+/// use lpvs_emulator::engine::{Emulator, EmulatorConfig};
+/// use lpvs_emulator::qoe::{qoe_scores, QoeWeights};
+/// use lpvs_survey::curve::AnxietyCurve;
+///
+/// let config = EmulatorConfig { devices: 8, slots: 4, seed: 5, ..Default::default() };
+/// let report = Emulator::new(config, Policy::Lpvs).run();
+/// let scores = qoe_scores(&report, &AnxietyCurve::paper_shape(), 20.0, QoeWeights::default());
+/// assert_eq!(scores.len(), 8);
+/// assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+/// ```
+pub fn qoe_scores(
+    report: &EmulationReport,
+    curve: &AnxietyCurve,
+    horizon_minutes: f64,
+    weights: QoeWeights,
+) -> Vec<f64> {
+    assert!(horizon_minutes > 0.0, "horizon must be positive");
+    let total = weights.total();
+    assert!(total > 0.0, "weights must not all be zero");
+    report
+        .watch_minutes
+        .iter()
+        .zip(&report.gave_up)
+        .zip(&report.final_battery)
+        .map(|((&watched, &gave_up), &battery)| {
+            let completion = (watched / horizon_minutes).clamp(0.0, 1.0);
+            let abandonment = if gave_up { 0.0 } else { 1.0 };
+            let calm = 1.0 - curve.phi(battery);
+            (weights.completion * completion
+                + weights.abandonment * abandonment
+                + weights.anxiety * calm)
+                / total
+        })
+        .collect()
+}
+
+/// Mean QoE across devices (0 for an empty run).
+pub fn mean_qoe(
+    report: &EmulationReport,
+    curve: &AnxietyCurve,
+    horizon_minutes: f64,
+    weights: QoeWeights,
+) -> f64 {
+    let scores = qoe_scores(report, curve, horizon_minutes, weights);
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Emulator, EmulatorConfig};
+    use lpvs_core::baseline::Policy;
+
+    fn runs() -> (EmulationReport, EmulationReport, f64) {
+        let config = EmulatorConfig {
+            devices: 16,
+            slots: 8,
+            seed: 33,
+            battery_capacity_wh: 2.0, // fast drain: abandonment happens
+            ..Default::default()
+        };
+        let horizon = 8.0 * 5.0;
+        (
+            Emulator::new(config, Policy::Lpvs).run(),
+            Emulator::new(config, Policy::NoTransform).run(),
+            horizon,
+        )
+    }
+
+    #[test]
+    fn lpvs_never_degrades_qoe() {
+        let (with, without, horizon) = runs();
+        let curve = AnxietyCurve::paper_shape();
+        let a = mean_qoe(&with, &curve, horizon, QoeWeights::default());
+        let b = mean_qoe(&without, &curve, horizon, QoeWeights::default());
+        assert!(a >= b - 1e-9, "LPVS QoE {a} below baseline {b}");
+    }
+
+    #[test]
+    fn scores_are_bounded_and_ordered_sensibly() {
+        let (with, _, horizon) = runs();
+        let curve = AnxietyCurve::paper_shape();
+        let scores = qoe_scores(&with, &curve, horizon, QoeWeights::default());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        // A device that abandoned scores below one that finished with
+        // the same battery class; check via aggregates.
+        let abandoned: Vec<f64> = scores
+            .iter()
+            .zip(&with.gave_up)
+            .filter(|(_, &g)| g)
+            .map(|(s, _)| *s)
+            .collect();
+        let finished: Vec<f64> = scores
+            .iter()
+            .zip(&with.gave_up)
+            .filter(|(_, &g)| !g)
+            .map(|(s, _)| *s)
+            .collect();
+        if !abandoned.is_empty() && !finished.is_empty() {
+            let ma = abandoned.iter().sum::<f64>() / abandoned.len() as f64;
+            let mf = finished.iter().sum::<f64>() / finished.len() as f64;
+            assert!(mf > ma, "finished {mf} vs abandoned {ma}");
+        }
+    }
+
+    #[test]
+    fn weights_shift_the_score() {
+        let (with, _, horizon) = runs();
+        let curve = AnxietyCurve::paper_shape();
+        let completion_only =
+            QoeWeights { completion: 1.0, abandonment: 0.0, anxiety: 0.0 };
+        let anxiety_only = QoeWeights { completion: 0.0, abandonment: 0.0, anxiety: 1.0 };
+        let a = mean_qoe(&with, &curve, horizon, completion_only);
+        let b = mean_qoe(&with, &curve, horizon, anxiety_only);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon")]
+    fn zero_horizon_rejected() {
+        let (with, _, _) = runs();
+        let _ = qoe_scores(&with, &AnxietyCurve::paper_shape(), 0.0, QoeWeights::default());
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text table rendering shared by bench binaries and examples.
+
+use crate::experiment::{LimitedRow, OverheadRow, SufficientRow, TpvResult};
+use crate::fit::LineFit;
+use std::fmt::Write as _;
+
+/// Renders the Fig. 7 rows (sufficient capacity).
+pub fn render_sufficient(rows: &[SufficientRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} | {:>14} | {:>18}", "VC size", "energy saving", "anxiety reduction");
+    let _ = writeln!(out, "{}", "-".repeat(48));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>13.2}% | {:>17.2}%",
+            r.group_size,
+            100.0 * r.energy_saving,
+            100.0 * r.anxiety_reduction
+        );
+    }
+    if !rows.is_empty() {
+        let avg_e = rows.iter().map(|r| r.energy_saving).sum::<f64>() / rows.len() as f64;
+        let max_e = rows.iter().map(|r| r.energy_saving).fold(f64::MIN, f64::max);
+        let avg_a =
+            rows.iter().map(|r| r.anxiety_reduction).sum::<f64>() / rows.len() as f64;
+        let max_a = rows.iter().map(|r| r.anxiety_reduction).fold(f64::MIN, f64::max);
+        let _ = writeln!(out, "{}", "-".repeat(48));
+        let _ = writeln!(
+            out,
+            "energy saving: avg {:.2}% max {:.2}%   (paper: avg 35.20% max 37.13%)",
+            100.0 * avg_e,
+            100.0 * max_e
+        );
+        let _ = writeln!(
+            out,
+            "anxiety reduction: avg {:.2}% max {:.2}%   (paper: avg 6.82% max 7.36%)",
+            100.0 * avg_a,
+            100.0 * max_a
+        );
+    }
+    out
+}
+
+/// Renders the Fig. 8 grid (limited capacity × λ).
+pub fn render_limited(rows: &[LimitedRow]) -> String {
+    let mut lambdas: Vec<f64> = rows.iter().map(|r| r.lambda).collect();
+    lambdas.sort_by(|a, b| a.partial_cmp(b).expect("finite lambda"));
+    lambdas.dedup();
+    let mut sizes: Vec<usize> = rows.iter().map(|r| r.group_size).collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+
+    let cell = |size: usize, lambda: f64| {
+        rows.iter()
+            .find(|r| r.group_size == size && r.lambda == lambda)
+            .expect("complete grid")
+    };
+
+    let mut out = String::new();
+    for (title, pick) in [
+        ("(a) energy saving", true),
+        ("(b) anxiety reduction", false),
+    ] {
+        let _ = writeln!(out, "{title}");
+        let mut header = format!("{:>8}", "VC size");
+        for l in &lambdas {
+            let _ = write!(header, " | λ={l:<6}");
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for &size in &sizes {
+            let mut line = format!("{size:>8}");
+            for &l in &lambdas {
+                let r = cell(size, l);
+                let v = if pick { r.energy_saving } else { r.anxiety_reduction };
+                let _ = write!(line, " | {:>6.2}%", 100.0 * v);
+            }
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the Fig. 9 comparison.
+pub fn render_tpv(tpv: &TpvResult) -> String {
+    format!(
+        "low-battery users served by LPVS: {}\n\
+         TPV without LPVS: {:.1} min\n\
+         TPV with LPVS:    {:.1} min\n\
+         extra TPV:        {:.1} min ({:.1}%)\n\
+         (paper: 42.3 → 58.7 min, +16.4 min = +38.8%)\n",
+        tpv.users,
+        tpv.without_minutes,
+        tpv.with_minutes,
+        tpv.extra_minutes(),
+        100.0 * tpv.gain_ratio()
+    )
+}
+
+/// Renders the Fig. 10 points and fit (milliseconds; the paper's
+/// CPLEX-based implementation reports seconds).
+pub fn render_overhead(rows: &[OverheadRow], fit: &LineFit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} | {:>14}", "VC size", "runtime (ms)");
+    let _ = writeln!(out, "{}", "-".repeat(28));
+    for r in rows {
+        let _ = writeln!(out, "{:>10} | {:>14.3}", r.devices, 1000.0 * r.runtime_secs);
+    }
+    let _ = writeln!(
+        out,
+        "fit (ms): y = {:.5}x {} {:.3} (R² = {:.3})",
+        1000.0 * fit.slope,
+        if fit.intercept >= 0.0 { "+" } else { "-" },
+        1000.0 * fit.intercept.abs(),
+        fit.r_squared
+    );
+    let _ = writeln!(out, "(paper fit: y = 0.055x - 0.324 seconds, R² = 0.999, on their testbed)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{LimitedRow, SufficientRow};
+
+    #[test]
+    fn sufficient_table_mentions_paper_targets() {
+        let rows = vec![SufficientRow {
+            group_size: 50,
+            energy_saving: 0.35,
+            anxiety_reduction: 0.07,
+        }];
+        let s = render_sufficient(&rows);
+        assert!(s.contains("35.00%"));
+        assert!(s.contains("35.20%")); // paper anchor in the footer
+        assert!(s.contains("VC size"));
+    }
+
+    #[test]
+    fn limited_grid_is_complete() {
+        let rows = vec![
+            LimitedRow { group_size: 100, lambda: 1.0, energy_saving: 0.2, anxiety_reduction: 0.05 },
+            LimitedRow { group_size: 100, lambda: 2.0, energy_saving: 0.18, anxiety_reduction: 0.06 },
+        ];
+        let s = render_limited(&rows);
+        assert!(s.contains("λ=1"));
+        assert!(s.contains("λ=2"));
+        assert!(s.contains("(a) energy saving"));
+        assert!(s.contains("(b) anxiety reduction"));
+    }
+
+    #[test]
+    fn tpv_render_reports_gain() {
+        let t = TpvResult { users: 12, without_minutes: 42.3, with_minutes: 58.7 };
+        let s = render_tpv(&t);
+        assert!(s.contains("16.4 min"));
+        assert!(s.contains("38.8%"));
+    }
+
+    #[test]
+    fn overhead_render_includes_fit() {
+        let rows =
+            vec![OverheadRow { devices: 100, runtime_secs: 0.01 }, OverheadRow { devices: 200, runtime_secs: 0.02 }];
+        let fit = LineFit::fit(&[(100.0, 0.01), (200.0, 0.02)]);
+        let s = render_overhead(&rows, &fit);
+        assert!(s.contains("runtime"));
+        assert!(s.contains("R²"));
+    }
+
+    #[test]
+    fn empty_sufficient_table_renders_header_only() {
+        let s = render_sufficient(&[]);
+        assert!(s.contains("VC size"));
+        assert!(!s.contains("paper:"));
+    }
+}

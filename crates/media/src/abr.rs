@@ -1,0 +1,247 @@
+//! Adaptive bitrate (ABR) selection.
+//!
+//! The paper's scenario hands each viewer a resolution "under the
+//! supported bitrates" (§VI-B). Real players run an ABR loop; this
+//! module provides a buffer-aware one — a simplified BBA-style
+//! controller — so the emulator can derive per-viewer resolutions from
+//! network conditions rather than fiat:
+//!
+//! * throughput below the lowest rung → lowest rung (and the buffer
+//!   drains);
+//! * a safety factor keeps the chosen rung below measured throughput;
+//! * a low buffer forces a downshift, a full one permits an upshift.
+
+use crate::ladder::BitrateLadder;
+use lpvs_display::spec::Resolution;
+use serde::{Deserialize, Serialize};
+
+/// Buffer-aware ABR controller state for one viewer.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_media::abr::AbrController;
+/// use lpvs_media::ladder::BitrateLadder;
+/// use lpvs_display::spec::Resolution;
+///
+/// let mut abr = AbrController::new(BitrateLadder::default());
+/// // Plenty of throughput: climbs the ladder as the buffer fills.
+/// let mut last = Resolution::SD;
+/// for _ in 0..20 {
+///     last = abr.next_resolution(9_000.0, 10.0);
+/// }
+/// assert_eq!(last, Resolution::FHD);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbrController {
+    ladder: BitrateLadder,
+    /// Seconds of video currently buffered.
+    buffer_secs: f64,
+    /// Exponentially smoothed throughput estimate (kbit/s).
+    throughput_kbps: f64,
+    /// Currently selected rung.
+    current: Resolution,
+}
+
+/// Keep the chosen rung at or below this fraction of measured
+/// throughput.
+const SAFETY: f64 = 0.8;
+/// Below this buffer level, force the lowest safe rung.
+const PANIC_BUFFER_SECS: f64 = 5.0;
+/// Above this buffer level, allow climbing one rung.
+const COMFORT_BUFFER_SECS: f64 = 15.0;
+/// Buffer cap (player limit).
+const MAX_BUFFER_SECS: f64 = 30.0;
+/// Throughput EWMA weight for the newest sample.
+const EWMA: f64 = 0.3;
+
+impl AbrController {
+    /// A controller starting at the ladder's lowest rung with an empty
+    /// buffer.
+    pub fn new(ladder: BitrateLadder) -> Self {
+        let current = ladder.rungs()[0].0;
+        Self { ladder, buffer_secs: 0.0, throughput_kbps: 0.0, current }
+    }
+
+    /// Seconds of video buffered.
+    pub fn buffer_secs(&self) -> f64 {
+        self.buffer_secs
+    }
+
+    /// Smoothed throughput estimate (kbit/s).
+    pub fn throughput_kbps(&self) -> f64 {
+        self.throughput_kbps
+    }
+
+    /// Currently selected resolution.
+    pub fn current(&self) -> Resolution {
+        self.current
+    }
+
+    /// Advances one decision epoch: folds in a throughput sample
+    /// (kbit/s) over `elapsed_secs` of playback, updates the buffer,
+    /// and returns the rung for the next segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative throughput sample or elapsed time.
+    pub fn next_resolution(&mut self, sample_kbps: f64, elapsed_secs: f64) -> Resolution {
+        assert!(sample_kbps >= 0.0, "throughput cannot be negative");
+        assert!(elapsed_secs >= 0.0, "time cannot run backwards");
+
+        self.throughput_kbps = if self.throughput_kbps <= 0.0 {
+            sample_kbps
+        } else {
+            EWMA * sample_kbps + (1.0 - EWMA) * self.throughput_kbps
+        };
+
+        // Buffer dynamics: we download at `sample` while consuming at
+        // the current rung's rate.
+        let current_rate = self.ladder.bitrate_kbps(self.current);
+        let fill = if current_rate > 0.0 {
+            elapsed_secs * (sample_kbps / current_rate - 1.0)
+        } else {
+            elapsed_secs
+        };
+        self.buffer_secs = (self.buffer_secs + fill).clamp(0.0, MAX_BUFFER_SECS);
+
+        let safe_kbps = SAFETY * self.throughput_kbps;
+        let safe = self.ladder.best_resolution_under(safe_kbps);
+        let lowest = self.ladder.rungs()[0].0;
+
+        self.current = match safe {
+            None => lowest, // below the whole ladder: ride the floor
+            Some(best) => {
+                if self.buffer_secs < PANIC_BUFFER_SECS {
+                    // Rebuffering risk: drop to the safe rung outright.
+                    best.min_by_pixels(self.current)
+                } else if self.buffer_secs >= COMFORT_BUFFER_SECS {
+                    // Comfortable: climb toward the safe rung one rung
+                    // per epoch.
+                    self.step_toward(best)
+                } else {
+                    // In between: hold unless the current rung became
+                    // unsafe.
+                    if self.ladder.bitrate_kbps(self.current) > safe_kbps {
+                        best
+                    } else {
+                        self.current
+                    }
+                }
+            }
+        };
+        self.current
+    }
+
+    /// Moves one ladder rung from `current` toward `target`.
+    fn step_toward(&self, target: Resolution) -> Resolution {
+        let rungs = self.ladder.rungs();
+        let pos = |r: Resolution| rungs.iter().position(|(x, _)| *x == r).unwrap_or(0);
+        let cur = pos(self.current);
+        let tgt = pos(target);
+        let next = if tgt > cur { cur + 1 } else if tgt < cur { cur - 1 } else { cur };
+        rungs[next].0
+    }
+}
+
+/// Helper: the smaller of two resolutions by pixel count.
+trait MinByPixels {
+    fn min_by_pixels(self, other: Resolution) -> Resolution;
+}
+
+impl MinByPixels for Resolution {
+    fn min_by_pixels(self, other: Resolution) -> Resolution {
+        if self.pixels() <= other.pixels() {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AbrController {
+        AbrController::new(BitrateLadder::default())
+    }
+
+    #[test]
+    fn starts_at_the_bottom() {
+        let abr = controller();
+        assert_eq!(abr.current(), Resolution::SD);
+        assert_eq!(abr.buffer_secs(), 0.0);
+    }
+
+    #[test]
+    fn climbs_under_ample_throughput() {
+        let mut abr = controller();
+        let mut seen = vec![abr.current()];
+        for _ in 0..30 {
+            seen.push(abr.next_resolution(26_000.0, 10.0));
+        }
+        // Ends at the top rung, visiting intermediate rungs on the way.
+        assert_eq!(*seen.last().unwrap(), Resolution::UHD);
+        assert!(seen.contains(&Resolution::FHD));
+        // Never skips more than one rung per epoch.
+        for w in seen.windows(2) {
+            let ladder = BitrateLadder::default();
+            let pos = |r: Resolution| {
+                ladder.rungs().iter().position(|(x, _)| *x == r).unwrap()
+            };
+            assert!(pos(w[1]).abs_diff(pos(w[0])) <= 1);
+        }
+    }
+
+    #[test]
+    fn throttles_on_collapse() {
+        let mut abr = controller();
+        for _ in 0..30 {
+            abr.next_resolution(26_000.0, 10.0);
+        }
+        assert_eq!(abr.current(), Resolution::UHD);
+        // Throughput collapses: buffer drains, controller drops fast.
+        let mut last = abr.current();
+        for _ in 0..12 {
+            last = abr.next_resolution(1_000.0, 10.0);
+        }
+        assert_eq!(last, Resolution::SD);
+    }
+
+    #[test]
+    fn sub_ladder_throughput_rides_the_floor() {
+        let mut abr = controller();
+        for _ in 0..5 {
+            abr.next_resolution(500.0, 10.0);
+        }
+        assert_eq!(abr.current(), Resolution::SD);
+        assert_eq!(abr.buffer_secs(), 0.0); // cannot even sustain SD
+    }
+
+    #[test]
+    fn holds_steady_at_matched_throughput() {
+        let mut abr = controller();
+        // 4.5 Mbit/s: safely 720p (3 Mbit rung; 1080p needs 6).
+        let mut last = abr.current();
+        for _ in 0..40 {
+            last = abr.next_resolution(4_500.0, 10.0);
+        }
+        assert_eq!(last, Resolution::HD);
+    }
+
+    #[test]
+    fn buffer_is_capped() {
+        let mut abr = controller();
+        for _ in 0..100 {
+            abr.next_resolution(50_000.0, 10.0);
+        }
+        assert!(abr.buffer_secs() <= MAX_BUFFER_SECS + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_sample_rejected() {
+        let _ = controller().next_resolution(-1.0, 10.0);
+    }
+}

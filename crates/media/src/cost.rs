@@ -1,0 +1,139 @@
+//! Edge resource-cost functions `g(·)` and `h(·)` (paper §IV-D).
+//!
+//! Video transforming is pixel-wise, so its compute cost scales with
+//! pixel throughput (resolution × frame rate); its storage cost is the
+//! transformed chunks buffered for the slot, which scales with bitrate
+//! × duration. The calibration follows the paper's own sizing: one
+//! Nokia AirFrame open edge server sustains video processing for about
+//! **100 concurrent mobile devices** at the 720p operating point of the
+//! Wowza transcoding benchmarks (paper refs. \[14\], \[15\]).
+
+use lpvs_display::spec::Resolution;
+use serde::{Deserialize, Serialize};
+
+/// Reference pixel throughput: 720p at 30 fps = 1 compute unit.
+const REFERENCE_PIXELS_PER_SEC: f64 = 1280.0 * 720.0 * 30.0;
+
+/// Compute cost `g(d_n(t))` of transforming one stream for a slot, in
+/// compute units (1.0 = one 720p30 stream).
+///
+/// # Example
+///
+/// ```
+/// use lpvs_media::cost::transform_compute_units;
+/// use lpvs_display::spec::Resolution;
+///
+/// let hd = transform_compute_units(Resolution::HD, 30.0);
+/// let fhd = transform_compute_units(Resolution::FHD, 30.0);
+/// assert!((hd - 1.0).abs() < 1e-12);
+/// assert!((fhd / hd - 2.25).abs() < 1e-9); // 1080p has 2.25× the pixels
+/// ```
+pub fn transform_compute_units(resolution: Resolution, fps: f64) -> f64 {
+    assert!(fps > 0.0, "frame rate must be positive");
+    resolution.pixels() as f64 * fps / REFERENCE_PIXELS_PER_SEC
+}
+
+/// Storage cost `h(d_n(t))` of buffering one stream's transformed
+/// chunks, in gigabytes.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_media::cost::storage_gb;
+///
+/// // 3 Mbit/s over a 300 s slot ≈ 0.1125 GB.
+/// let gb = storage_gb(3000.0, 300.0);
+/// assert!((gb - 0.1125).abs() < 1e-9);
+/// ```
+pub fn storage_gb(bitrate_kbps: f64, duration_secs: f64) -> f64 {
+    assert!(bitrate_kbps >= 0.0 && duration_secs >= 0.0, "costs must be nonnegative");
+    bitrate_kbps * duration_secs / 8.0 / 1e6
+}
+
+/// Capacity calibration of one edge server: the `(C, S)` pair of the
+/// paper's constraints (6) and (7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeBudgetCalibration {
+    /// Spare compute available for transforming, in compute units.
+    pub compute_units: f64,
+    /// Spare storage available for transformed chunks, in GB.
+    pub storage_gb: f64,
+}
+
+impl EdgeBudgetCalibration {
+    /// The paper's Nokia AirFrame sizing: ≈ 100 concurrent 720p30
+    /// streams, with storage for those streams over a 5-minute slot
+    /// plus 100 % headroom.
+    pub fn nokia_airframe() -> Self {
+        let streams = 100.0;
+        Self {
+            compute_units: streams * transform_compute_units(Resolution::HD, 30.0),
+            storage_gb: 2.0 * streams * storage_gb(3000.0, 300.0),
+        }
+    }
+
+    /// A calibration supporting `streams` concurrent 720p30 streams.
+    pub fn for_streams(streams: usize) -> Self {
+        let s = streams as f64;
+        Self {
+            compute_units: s * transform_compute_units(Resolution::HD, 30.0),
+            storage_gb: 2.0 * s * storage_gb(3000.0, 300.0),
+        }
+    }
+
+    /// How many concurrent streams of `resolution` at 30 fps the
+    /// compute budget sustains.
+    pub fn supported_streams(&self, resolution: Resolution) -> usize {
+        (self.compute_units / transform_compute_units(resolution, 30.0)).floor() as usize
+    }
+}
+
+impl Default for EdgeBudgetCalibration {
+    fn default() -> Self {
+        Self::nokia_airframe()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn airframe_sizing_matches_paper() {
+        let cal = EdgeBudgetCalibration::nokia_airframe();
+        assert_eq!(cal.supported_streams(Resolution::HD), 100);
+        // Higher resolutions fit proportionally fewer streams.
+        assert_eq!(cal.supported_streams(Resolution::FHD), 44);
+        assert!(cal.supported_streams(Resolution::UHD) < 12);
+    }
+
+    #[test]
+    fn compute_units_scale_with_pixels_and_fps() {
+        let base = transform_compute_units(Resolution::HD, 30.0);
+        assert!((transform_compute_units(Resolution::HD, 60.0) - 2.0 * base).abs() < 1e-12);
+        assert!(
+            (transform_compute_units(Resolution::UHD, 30.0) - 9.0 * base).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn storage_is_linear() {
+        assert_eq!(storage_gb(0.0, 300.0), 0.0);
+        let one = storage_gb(6000.0, 300.0);
+        assert!((storage_gb(6000.0, 600.0) - 2.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn for_streams_scales() {
+        let small = EdgeBudgetCalibration::for_streams(50);
+        let big = EdgeBudgetCalibration::for_streams(200);
+        assert!((big.compute_units / small.compute_units - 4.0).abs() < 1e-12);
+        assert_eq!(small.supported_streams(Resolution::HD), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame rate")]
+    fn zero_fps_rejected() {
+        let _ = transform_compute_units(Resolution::HD, 0.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Server-side transform encoder.
+//!
+//! In the LPVS emulator (paper Fig. 6) every requested video passes
+//! through the encoder; chunks selected by the scheduler are
+//! transformed with the technique matching the requesting device's
+//! display, the rest bypass. The encoder also measures the realized
+//! per-chunk power-reduction ratios whose slot average is the
+//! observation Δ_n fed to the Bayesian estimator (paper §V-D).
+
+use crate::chunk::Chunk;
+use crate::video::Video;
+use lpvs_display::quality::QualityBudget;
+use lpvs_display::spec::{DisplayKind, DisplaySpec};
+use lpvs_display::transform::{
+    BacklightScaling, ColorTransform, SubpixelShutoff, Transform, TransformOutcome,
+};
+use serde::{Deserialize, Serialize};
+
+/// One chunk after encoding: the original, the transform outcome, and
+/// the realized reduction ratio on the target display.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedChunk {
+    /// The source chunk.
+    pub original: Chunk,
+    /// Transform result (identity when the chunk offered no headroom).
+    pub outcome: TransformOutcome,
+    /// Realized power-reduction ratio γ on the target display.
+    pub reduction_ratio: f64,
+}
+
+/// A fully encoded video for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedVideo {
+    chunks: Vec<EncodedChunk>,
+}
+
+impl EncodedVideo {
+    /// Encoded chunks in playback order.
+    pub fn chunks(&self) -> &[EncodedChunk] {
+        &self.chunks
+    }
+
+    /// Duration-weighted mean reduction ratio over the video — the
+    /// observation Δ_n the estimator folds in after the slot plays.
+    pub fn mean_reduction_ratio(&self) -> f64 {
+        let total: f64 = self.chunks.iter().map(|c| c.original.duration_secs).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.chunks
+            .iter()
+            .map(|c| c.reduction_ratio * c.original.duration_secs)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Total display energy (joules) to play the *transformed* video on
+    /// `spec`.
+    pub fn transformed_energy_joules(&self, spec: &DisplaySpec) -> f64 {
+        self.chunks
+            .iter()
+            .map(|c| c.outcome.power_watts(spec) * c.original.duration_secs)
+            .sum()
+    }
+
+    /// Total display energy (joules) to play the *original* video on
+    /// `spec`.
+    pub fn original_energy_joules(&self, spec: &DisplaySpec) -> f64 {
+        self.chunks.iter().map(|c| c.original.energy_joules(spec)).sum()
+    }
+
+    /// Worst perceptual distortion across chunks.
+    pub fn peak_perceptual_score(&self) -> f64 {
+        self.chunks
+            .iter()
+            .map(|c| c.outcome.distortion.perceptual_score())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The transform encoder: picks the display-appropriate transform and
+/// applies it chunk by chunk.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_media::content::{ContentModel, Genre};
+/// use lpvs_media::encoder::TransformEncoder;
+/// use lpvs_display::quality::QualityBudget;
+/// use lpvs_display::spec::{DisplaySpec, Resolution};
+///
+/// let video = ContentModel::new(Genre::Movie, 1).video(1, Resolution::HD, 120.0, 10.0);
+/// let spec = DisplaySpec::lcd_phone(Resolution::HD);
+/// let encoded = TransformEncoder::new(QualityBudget::default()).encode(&video, &spec);
+/// assert!(encoded.transformed_energy_joules(&spec) < encoded.original_energy_joules(&spec));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransformEncoder {
+    budget: QualityBudget,
+}
+
+impl TransformEncoder {
+    /// Creates an encoder with the given quality budget.
+    pub fn new(budget: QualityBudget) -> Self {
+        Self { budget }
+    }
+
+    /// The quality budget in force.
+    pub fn budget(&self) -> &QualityBudget {
+        &self.budget
+    }
+
+    /// Transforms one chunk for the target display: backlight scaling
+    /// for LCD; color transform chained with subpixel shutoff for OLED
+    /// (the Crayon-style combination of Table I row \[17\]).
+    pub fn encode_chunk(&self, chunk: &Chunk, spec: &DisplaySpec) -> EncodedChunk {
+        let outcome = match spec.kind {
+            DisplayKind::Lcd => BacklightScaling::new(self.budget).apply(&chunk.stats, spec),
+            DisplayKind::Oled => {
+                let color = ColorTransform::new(self.budget).apply(&chunk.stats, spec);
+                let shutoff = SubpixelShutoff::new(self.budget).apply(&color.stats, spec);
+                color.then(shutoff)
+            }
+        };
+        let reduction_ratio = outcome.reduction_ratio(&chunk.stats, spec);
+        EncodedChunk { original: chunk.clone(), outcome, reduction_ratio }
+    }
+
+    /// Transforms a whole video for the target display.
+    pub fn encode(&self, video: &Video, spec: &DisplaySpec) -> EncodedVideo {
+        let chunks = video.chunks().iter().map(|c| self.encode_chunk(c, spec)).collect();
+        EncodedVideo { chunks }
+    }
+
+    /// Transforms an arbitrary chunk window (the `K_m` chunks available
+    /// at a scheduling point).
+    pub fn encode_window(&self, window: &[Chunk], spec: &DisplaySpec) -> EncodedVideo {
+        let chunks = window.iter().map(|c| self.encode_chunk(c, spec)).collect();
+        EncodedVideo { chunks }
+    }
+}
+
+impl Default for TransformEncoder {
+    fn default() -> Self {
+        Self::new(QualityBudget::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{ContentModel, Genre};
+    use lpvs_display::spec::Resolution;
+
+    fn video() -> Video {
+        ContentModel::new(Genre::Gaming, 77).video(1, Resolution::HD, 300.0, 10.0)
+    }
+
+    #[test]
+    fn oled_savings_land_in_table_i_band() {
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode(&video(), &spec);
+        let gamma = encoded.mean_reduction_ratio();
+        assert!((0.13..=0.60).contains(&gamma), "mean γ = {gamma}");
+    }
+
+    #[test]
+    fn lcd_savings_are_substantial_on_dark_gaming() {
+        let spec = DisplaySpec::lcd_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode(&video(), &spec);
+        let gamma = encoded.mean_reduction_ratio();
+        assert!(gamma > 0.2, "mean γ = {gamma}");
+    }
+
+    #[test]
+    fn energy_accounting_is_consistent() {
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode(&video(), &spec);
+        let orig = encoded.original_energy_joules(&spec);
+        let tran = encoded.transformed_energy_joules(&spec);
+        let gamma = encoded.mean_reduction_ratio();
+        // Duration-weighted γ must match the energy ratio when all
+        // chunks share a duration.
+        assert!(((1.0 - tran / orig) - gamma).abs() < 0.02, "γ {gamma} vs energy ratio");
+    }
+
+    #[test]
+    fn per_chunk_ratios_vary_with_content() {
+        let spec = DisplaySpec::lcd_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode(&video(), &spec);
+        let ratios: Vec<f64> = encoded.chunks().iter().map(|c| c.reduction_ratio).collect();
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max - min > 0.05, "ratios too uniform: {min}–{max}");
+    }
+
+    #[test]
+    fn distortion_never_exceeds_budget_score() {
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode(&video(), &spec);
+        assert!(encoded.peak_perceptual_score() < 0.4);
+    }
+
+    #[test]
+    fn window_encoding_matches_full_prefix() {
+        let v = video();
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let enc = TransformEncoder::default();
+        let full = enc.encode(&v, &spec);
+        let window = enc.encode_window(v.window(0, 5), &spec);
+        assert_eq!(window.chunks().len(), 5);
+        assert_eq!(window.chunks()[..], full.chunks()[..5]);
+    }
+
+    #[test]
+    fn empty_window_mean_ratio_is_zero() {
+        let spec = DisplaySpec::oled_phone(Resolution::HD);
+        let encoded = TransformEncoder::default().encode_window(&[], &spec);
+        assert_eq!(encoded.mean_reduction_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Synthetic cellular bandwidth traces.
+//!
+//! The ABR controller ([`crate::abr`]) needs throughput samples; this
+//! module synthesizes them with a two-state Gilbert–Elliott-style
+//! model: a *good* state with high mean throughput and a *congested*
+//! state with a fraction of it, plus log-normal-ish per-sample jitter.
+//! The model matches the qualitative character of cellular links — long
+//! good runs punctuated by congestion episodes — which is all the
+//! emulation needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two-state Markov bandwidth model.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_media::network::BandwidthModel;
+///
+/// let mut link = BandwidthModel::cellular(7);
+/// let samples: Vec<f64> = (0..100).map(|_| link.sample_kbps()).collect();
+/// assert!(samples.iter().all(|&s| s > 0.0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandwidthModel {
+    /// Mean throughput in the good state (kbit/s).
+    good_kbps: f64,
+    /// Congested-state throughput as a fraction of good.
+    congested_fraction: f64,
+    /// P(good → congested) per sample.
+    p_degrade: f64,
+    /// P(congested → good) per sample.
+    p_recover: f64,
+    /// Multiplicative jitter half-width (e.g. 0.25 = ±25 %).
+    jitter: f64,
+    congested: bool,
+    rng: StdRng,
+}
+
+impl BandwidthModel {
+    /// Builds a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonpositive throughput, fractions outside `(0, 1]`, or
+    /// probabilities outside `[0, 1]`.
+    pub fn new(
+        good_kbps: f64,
+        congested_fraction: f64,
+        p_degrade: f64,
+        p_recover: f64,
+        jitter: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(good_kbps > 0.0, "throughput must be positive");
+        assert!(
+            congested_fraction > 0.0 && congested_fraction <= 1.0,
+            "congested fraction must be in (0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&p_degrade) && (0.0..=1.0).contains(&p_recover),
+            "transition probabilities must be in [0, 1]"
+        );
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        Self {
+            good_kbps,
+            congested_fraction,
+            p_degrade,
+            p_recover,
+            jitter,
+            congested: false,
+            rng: StdRng::seed_from_u64(seed ^ 0xbead_cafe),
+        }
+    }
+
+    /// A typical mid-band cellular link: ~9 Mbit/s good state, 20 % of
+    /// that when congested, congestion episodes every ~20 samples
+    /// lasting ~5.
+    pub fn cellular(seed: u64) -> Self {
+        Self::new(9_000.0, 0.2, 0.05, 0.2, 0.25, seed)
+    }
+
+    /// A fixed-line-class link that never leaves the good state.
+    pub fn steady(kbps: f64, seed: u64) -> Self {
+        Self::new(kbps, 1.0, 0.0, 1.0, 0.05, seed)
+    }
+
+    /// Whether the link is currently congested.
+    pub fn is_congested(&self) -> bool {
+        self.congested
+    }
+
+    /// Draws the next throughput sample (kbit/s), advancing the state.
+    pub fn sample_kbps(&mut self) -> f64 {
+        let flip: f64 = self.rng.gen_range(0.0..1.0);
+        if self.congested {
+            if flip < self.p_recover {
+                self.congested = false;
+            }
+        } else if flip < self.p_degrade {
+            self.congested = true;
+        }
+        let base = if self.congested {
+            self.good_kbps * self.congested_fraction
+        } else {
+            self.good_kbps
+        };
+        let jitter: f64 = self.rng.gen_range(-self.jitter..=self.jitter);
+        (base * (1.0 + jitter)).max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cellular_link_visits_both_states() {
+        let mut link = BandwidthModel::cellular(3);
+        let samples: Vec<f64> = (0..2000).map(|_| link.sample_kbps()).collect();
+        let low = samples.iter().filter(|&&s| s < 4_000.0).count();
+        let high = samples.iter().filter(|&&s| s > 6_000.0).count();
+        assert!(low > 100, "never congested ({low})");
+        assert!(high > 1000, "rarely good ({high})");
+    }
+
+    #[test]
+    fn congestion_episodes_have_duration() {
+        // Consecutive congested samples should cluster: count runs.
+        let mut link = BandwidthModel::cellular(5);
+        let mut runs = 0usize;
+        let mut congested_samples = 0usize;
+        let mut prev = false;
+        for _ in 0..5000 {
+            link.sample_kbps();
+            let now = link.is_congested();
+            if now && !prev {
+                runs += 1;
+            }
+            if now {
+                congested_samples += 1;
+            }
+            prev = now;
+        }
+        assert!(runs > 0);
+        let mean_run = congested_samples as f64 / runs as f64;
+        assert!(mean_run > 2.0, "episodes too short: {mean_run}");
+    }
+
+    #[test]
+    fn steady_link_stays_good() {
+        let mut link = BandwidthModel::steady(6_000.0, 1);
+        for _ in 0..500 {
+            let s = link.sample_kbps();
+            assert!(!link.is_congested());
+            assert!((5_000.0..7_000.0).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<f64> = {
+            let mut l = BandwidthModel::cellular(9);
+            (0..50).map(|_| l.sample_kbps()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut l = BandwidthModel::cellular(9);
+            (0..50).map(|_| l.sample_kbps()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drives_the_abr_controller_sensibly() {
+        use crate::abr::AbrController;
+        use crate::ladder::BitrateLadder;
+        let mut link = BandwidthModel::cellular(11);
+        let mut abr = AbrController::new(BitrateLadder::default());
+        let mut rungs = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let r = abr.next_resolution(link.sample_kbps(), 10.0);
+            rungs.insert(r.pixels());
+        }
+        // A fluctuating link exercises more than one ladder rung.
+        assert!(rungs.len() >= 2, "ABR never moved: {rungs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn bad_jitter_rejected() {
+        let _ = BandwidthModel::new(1000.0, 0.5, 0.1, 0.1, 1.5, 0);
+    }
+}

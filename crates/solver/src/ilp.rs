@@ -1,0 +1,495 @@
+//! Exact 0/1 integer programming via branch-and-bound.
+//!
+//! The search explores a depth-first tree over variable fixings. At
+//! each node the bounded-variable LP relaxation ([`crate::simplex`]) is
+//! solved; the node is pruned when the relaxation is infeasible or its
+//! bound cannot beat the incumbent. Branching picks the most fractional
+//! variable. The initial incumbent comes from greedy rounding
+//! ([`crate::knapsack::greedy_multi_knapsack`]) so that pruning starts
+//! working immediately — on LPVS Phase-1 instances (two knapsack rows)
+//! the relaxation has at most two fractional variables and the tree
+//! stays tiny even for the 5,000-device clusters of the paper's Fig. 10.
+
+use crate::knapsack::greedy_multi_knapsack;
+use crate::problem::{BinaryProgram, BinarySolution, Relation, Sense};
+use crate::simplex::LinearProgram;
+use crate::SolverError;
+
+/// Integrality tolerance: LP values within this of 0/1 count as integral.
+const EPS_INT: f64 = 1e-6;
+/// Bound-pruning tolerance.
+const EPS_PRUNE: f64 = 1e-9;
+
+/// Statistics of one branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IlpStats {
+    /// LP relaxations solved (tree nodes expanded).
+    pub nodes: usize,
+    /// Total simplex pivots across all nodes.
+    pub simplex_iterations: usize,
+    /// Nodes pruned by the incumbent bound.
+    pub pruned_by_bound: usize,
+    /// Nodes pruned by LP infeasibility.
+    pub pruned_infeasible: usize,
+    /// Whether the greedy incumbent was already optimal.
+    pub greedy_was_optimal: bool,
+    /// True if the node budget ran out and the best incumbent was
+    /// returned without an optimality certificate.
+    pub hit_node_limit: bool,
+}
+
+/// Branch-and-bound solver over a [`BinaryProgram`].
+///
+/// Most callers should use [`BinaryProgram::solve`]; this type is public
+/// for callers that want run statistics or a custom warm start.
+#[derive(Debug)]
+pub struct BranchBound<'a> {
+    program: &'a BinaryProgram,
+    /// Minimization-form objective (maximization negated).
+    cost: Vec<f64>,
+    incumbent: Option<Vec<bool>>,
+    /// Incumbent objective in minimization form.
+    incumbent_cost: f64,
+    stats: IlpStats,
+    /// Profitable variables by descending density (knapsack-shaped
+    /// programs only), for LP-rounding incumbents.
+    density_order: Vec<usize>,
+}
+
+/// One node: pairs of (variable, forced value) along the path from the
+/// root, applied as LP bounds.
+#[derive(Debug, Clone)]
+struct Node {
+    fixings: Vec<(usize, bool)>,
+}
+
+impl<'a> BranchBound<'a> {
+    /// Prepares a solver for `program`.
+    pub fn new(program: &'a BinaryProgram) -> Self {
+        let cost: Vec<f64> = match program.sense() {
+            Sense::Minimize => program.objective().to_vec(),
+            Sense::Maximize => program.objective().iter().map(|c| -c).collect(),
+        };
+        Self {
+            program,
+            cost,
+            incumbent: None,
+            incumbent_cost: f64::INFINITY,
+            stats: IlpStats::default(),
+            density_order: Vec::new(),
+        }
+    }
+
+    /// Supplies a feasible warm-start point, replacing the greedy seed
+    /// if it is better.
+    pub fn warm_start(&mut self, x: Vec<bool>) {
+        if self.program.is_feasible(&x) {
+            let cost = self.cost_at(&x);
+            if cost < self.incumbent_cost {
+                self.incumbent_cost = cost;
+                self.incumbent = Some(x);
+            }
+        }
+    }
+
+    fn cost_at(&self, x: &[bool]) -> f64 {
+        self.cost
+            .iter()
+            .zip(x)
+            .map(|(c, &v)| if v { *c } else { 0.0 })
+            .sum()
+    }
+
+    /// Runs the search to proven optimality.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Infeasible`] if no binary point exists.
+    /// * [`SolverError::BudgetExhausted`] if the node budget runs out
+    ///   before the tree is exhausted.
+    pub fn solve(mut self) -> Result<BinarySolution, SolverError> {
+        let knapsack_shaped = is_knapsack_shaped(self.program);
+        if knapsack_shaped {
+            self.density_order = density_order(self.program);
+        }
+        self.seed_greedy_incumbent();
+        let greedy_cost = self.incumbent_cost;
+
+        let mut stack = vec![Node { fixings: Vec::new() }];
+        while let Some(node) = stack.pop() {
+            if self.stats.nodes >= self.program.node_limit() {
+                // Out of budget: hand back the best incumbent rather
+                // than failing — callers treating the budget as a time
+                // bound (the LPVS scheduler) still get a usable, if
+                // uncertified, selection.
+                if let Some(x) = self.incumbent.take() {
+                    let objective = self.program.objective_at(&x);
+                    self.stats.hit_node_limit = true;
+                    return Ok(BinarySolution { x, objective, stats: self.stats });
+                }
+                return Err(SolverError::BudgetExhausted {
+                    limit: self.program.node_limit(),
+                });
+            }
+            self.stats.nodes += 1;
+
+            let lp = self.build_relaxation(&node)?;
+            let relaxed = match lp.solve() {
+                Ok(sol) => sol,
+                Err(SolverError::Infeasible) => {
+                    self.stats.pruned_infeasible += 1;
+                    continue;
+                }
+                Err(other) => return Err(other),
+            };
+            self.stats.simplex_iterations += relaxed.iterations;
+
+            // The relaxation is always built in minimization form, so
+            // its objective is directly comparable with the incumbent.
+            let bound = relaxed.objective;
+            let tolerance =
+                EPS_PRUNE + self.program.relative_gap() * self.incumbent_cost.abs();
+            if bound >= self.incumbent_cost - tolerance {
+                self.stats.pruned_by_bound += 1;
+                continue;
+            }
+
+            // LP-rounding primal heuristic: round the relaxation down
+            // and refill spare capacity by density. Any feasible point
+            // of the *program* is a valid global incumbent, so node
+            // fixings are deliberately ignored during the refill.
+            if knapsack_shaped {
+                self.try_rounding_incumbent(&relaxed.x);
+            }
+
+            match most_fractional(&relaxed.x) {
+                None => {
+                    // Integral relaxation: new incumbent.
+                    let x: Vec<bool> = relaxed.x.iter().map(|&v| v > 0.5).collect();
+                    let cost = self.cost_at(&x);
+                    if cost < self.incumbent_cost {
+                        self.incumbent_cost = cost;
+                        self.incumbent = Some(x);
+                    }
+                }
+                Some(branch_var) => {
+                    // Explore the rounded-toward side first (DFS pushes
+                    // it last so it pops first).
+                    let toward_one = relaxed.x[branch_var] >= 0.5;
+                    let mut far = node.fixings.clone();
+                    far.push((branch_var, !toward_one));
+                    stack.push(Node { fixings: far });
+                    let mut near = node.fixings;
+                    near.push((branch_var, toward_one));
+                    stack.push(Node { fixings: near });
+                }
+            }
+        }
+
+        match self.incumbent {
+            Some(x) => {
+                let objective = self.program.objective_at(&x);
+                self.stats.greedy_was_optimal =
+                    (self.incumbent_cost - greedy_cost).abs() <= EPS_PRUNE
+                        && greedy_cost.is_finite();
+                Ok(BinarySolution { x, objective, stats: self.stats })
+            }
+            None => Err(SolverError::Infeasible),
+        }
+    }
+
+    /// Rounds an LP point down to integrality and refills capacity by
+    /// density; adopts the result if it beats the incumbent.
+    fn try_rounding_incumbent(&mut self, lp_x: &[f64]) {
+        let p = self.program;
+        let mut x: Vec<bool> = lp_x.iter().map(|&v| v > 1.0 - 1e-6).collect();
+        let mut residual: Vec<f64> = p
+            .rows()
+            .iter()
+            .map(|row| {
+                let used: f64 = row
+                    .coeffs
+                    .iter()
+                    .zip(&x)
+                    .map(|(c, &v)| if v { *c } else { 0.0 })
+                    .sum();
+                row.rhs - used
+            })
+            .collect();
+        if residual.iter().any(|&r| r < -1e-9) {
+            return; // numerically over capacity: skip
+        }
+        for &i in &self.density_order {
+            if x[i] || self.program.fixings()[i] == Some(false) {
+                continue;
+            }
+            let fits = p
+                .rows()
+                .iter()
+                .zip(&residual)
+                .all(|(row, &r)| row.coeffs[i] <= r + 1e-12);
+            if fits {
+                x[i] = true;
+                for (r, row) in residual.iter_mut().zip(p.rows()) {
+                    *r -= row.coeffs[i];
+                }
+            }
+        }
+        let cost = self.cost_at(&x);
+        if cost < self.incumbent_cost && p.is_feasible(&x) {
+            self.incumbent_cost = cost;
+            self.incumbent = Some(x);
+        }
+    }
+
+    /// Greedy rounding used as the root incumbent. Only applies when all
+    /// rows are `≤` with nonnegative coefficients (the multi-knapsack
+    /// shape); otherwise the search starts cold.
+    fn seed_greedy_incumbent(&mut self) {
+        let p = self.program;
+        if !is_knapsack_shaped(p) {
+            return;
+        }
+        // Greedy maximizes value; in minimization form profitable
+        // variables are those with negative cost.
+        let values: Vec<f64> = self.cost.iter().map(|c| (-c).max(0.0)).collect();
+        let rows: Vec<(&[f64], f64)> =
+            p.rows().iter().map(|r| (r.coeffs.as_slice(), r.rhs)).collect();
+        let fixed = p.fixings();
+        let greedy = greedy_multi_knapsack(&values, &rows, fixed);
+        if p.is_feasible(&greedy.x) {
+            let cost = self.cost_at(&greedy.x);
+            if cost < self.incumbent_cost {
+                self.incumbent_cost = cost;
+                self.incumbent = Some(greedy.x);
+            }
+        }
+    }
+
+    /// Builds the LP relaxation for a node: binary bounds `[0,1]` plus
+    /// program-level and path-level fixings.
+    fn build_relaxation(&self, node: &Node) -> Result<LinearProgram, SolverError> {
+        let p = self.program;
+        let mut lp = LinearProgram::minimize(self.cost.clone())?;
+        for row in p.rows() {
+            lp.add_row(row.coeffs.clone(), row.relation, row.rhs)?;
+        }
+        for var in 0..p.num_vars() {
+            lp.set_bounds(var, 0.0, 1.0)?;
+        }
+        for (var, fixing) in p.fixings().iter().enumerate() {
+            if let Some(v) = fixing {
+                let b = if *v { 1.0 } else { 0.0 };
+                lp.set_bounds(var, b, b)?;
+            }
+        }
+        for &(var, v) in &node.fixings {
+            let b = if v { 1.0 } else { 0.0 };
+            lp.set_bounds(var, b, b)?;
+        }
+        Ok(lp)
+    }
+}
+
+/// True when every row is `≤` with nonnegative data (the multi-knapsack
+/// shape the rounding heuristics assume).
+fn is_knapsack_shaped(p: &BinaryProgram) -> bool {
+    p.rows().iter().all(|r| {
+        r.relation == Relation::Le && r.coeffs.iter().all(|&c| c >= 0.0) && r.rhs >= 0.0
+    })
+}
+
+/// Profitable variables by descending scaled density (the greedy order
+/// used to refill capacity after LP rounding).
+fn density_order(p: &BinaryProgram) -> Vec<usize> {
+    let profitable = |i: usize| match p.sense() {
+        Sense::Maximize => p.objective()[i] > 0.0,
+        Sense::Minimize => p.objective()[i] < 0.0,
+    };
+    let density = |i: usize| -> f64 {
+        let scaled: f64 = p
+            .rows()
+            .iter()
+            .map(|r| if r.rhs > 0.0 { r.coeffs[i] / r.rhs } else { f64::INFINITY })
+            .sum();
+        let value = p.objective()[i].abs();
+        if scaled <= 0.0 {
+            f64::INFINITY
+        } else {
+            value / scaled
+        }
+    };
+    let mut order: Vec<usize> = (0..p.num_vars()).filter(|&i| profitable(i)).collect();
+    order.sort_by(|&a, &b| {
+        density(b).partial_cmp(&density(a)).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    order
+}
+
+/// Index of the variable farthest from integrality, if any.
+fn most_fractional(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (j, &v) in x.iter().enumerate() {
+        let frac = (v - v.round()).abs();
+        if frac > EPS_INT {
+            match best {
+                Some((_, b)) if frac <= b => {}
+                _ => best = Some((j, frac)),
+            }
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{BinaryProgram, Relation, Sense};
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> BinaryProgram {
+        let mut p = BinaryProgram::new(Sense::Maximize, values.to_vec()).unwrap();
+        p.add_constraint(weights.to_vec(), Relation::Le, cap).unwrap();
+        p
+    }
+
+    #[test]
+    fn small_knapsack_exact() {
+        // Classic: values 60/100/120, weights 10/20/30, cap 50 → 220.
+        let p = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 220.0).abs() < 1e-9);
+        assert_eq!(sol.selected(), vec![1, 2]);
+    }
+
+    #[test]
+    fn greedy_trap_requires_branching() {
+        // Greedy by density picks item 0 (density 2.0), filling the sack
+        // so neither other item fits; the optimum is {1, 2} = 14.
+        let p = knapsack(&[10.0, 7.0, 7.0], &[5.0, 4.0, 4.0], 8.0);
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 14.0).abs() < 1e-9);
+        assert_eq!(sol.selected(), vec![1, 2]);
+        assert!(!sol.stats.greedy_was_optimal);
+    }
+
+    #[test]
+    fn two_capacity_rows() {
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![6.0, 5.0, 4.0, 3.0]).unwrap();
+        p.add_constraint(vec![2.0, 1.0, 3.0, 2.0], Relation::Le, 4.0).unwrap();
+        p.add_constraint(vec![1.0, 2.0, 1.0, 1.0], Relation::Le, 3.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 11.0).abs() < 1e-9, "objective {}", sol.objective);
+        assert_eq!(sol.selected(), vec![0, 1]);
+    }
+
+    #[test]
+    fn minimization_with_cover_constraint() {
+        // min 3a + 2b + 4c s.t. a + b + c ≥ 2 → {a?, b, ...}: b+a=5 vs
+        // b+c=6 vs a+c=7 → optimum a+b = 5.
+        let mut p = BinaryProgram::new(Sense::Minimize, vec![3.0, 2.0, 4.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0, 1.0], Relation::Ge, 2.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 5.0).abs() < 1e-9);
+        assert_eq!(sol.selected(), vec![0, 1]);
+    }
+
+    #[test]
+    fn fixing_is_respected() {
+        let mut p = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+        p.fix(2, false).unwrap();
+        let sol = p.solve().unwrap();
+        assert!(!sol.x[2]);
+        assert!((sol.objective - 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixing_to_one_can_force_infeasibility() {
+        let mut p = knapsack(&[10.0], &[5.0], 3.0);
+        p.fix(0, true).unwrap();
+        assert_eq!(p.solve().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn equality_cardinality_constraint() {
+        // Exactly two of four items, maximize value.
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![5.0, 9.0, 2.0, 7.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0, 1.0, 1.0], Relation::Eq, 2.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert!((sol.objective - 16.0).abs() < 1e-9);
+        assert_eq!(sol.selected(), vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_capacity_selects_nothing() {
+        let p = knapsack(&[5.0, 7.0], &[1.0, 1.0], 0.0);
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.num_selected(), 0);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A 24-item instance with correlated weights forces branching;
+        // a 1-node budget must be exhausted.
+        let values: Vec<f64> = (0..24).map(|i| 10.0 + (i as f64 * 7.0) % 13.0).collect();
+        let weights: Vec<f64> = (0..24).map(|i| 5.0 + (i as f64 * 3.0) % 11.0).collect();
+        let mut p = knapsack(&values, &weights, 60.0);
+        p.set_node_limit(1);
+        let sol = p.solve().unwrap();
+        // The budget allows a single node; the run returns the best
+        // incumbent (flagged) instead of erroring.
+        assert!(sol.stats.nodes <= 1);
+        assert!(sol.stats.hit_node_limit || sol.stats.nodes <= 1);
+        assert!(p.is_feasible(&sol.x));
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_enumeration() {
+        // Deterministic pseudo-random instance, 12 vars, 2 rows: compare
+        // B&B against brute force.
+        let n = 12;
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let values: Vec<f64> = (0..n).map(|_| 1.0 + 9.0 * next()).collect();
+        let w1: Vec<f64> = (0..n).map(|_| 1.0 + 4.0 * next()).collect();
+        let w2: Vec<f64> = (0..n).map(|_| 1.0 + 4.0 * next()).collect();
+        let mut p = BinaryProgram::new(Sense::Maximize, values.clone()).unwrap();
+        p.add_constraint(w1.clone(), Relation::Le, 12.0).unwrap();
+        p.add_constraint(w2.clone(), Relation::Le, 10.0).unwrap();
+        let sol = p.solve().unwrap();
+
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << n) {
+            let mut v = 0.0;
+            let mut a = 0.0;
+            let mut b = 0.0;
+            for i in 0..n {
+                if mask & (1 << i) != 0 {
+                    v += values[i];
+                    a += w1[i];
+                    b += w2[i];
+                }
+            }
+            if a <= 12.0 && b <= 10.0 {
+                best = best.max(v);
+            }
+        }
+        assert!(
+            (sol.objective - best).abs() < 1e-6,
+            "b&b {} vs brute force {best}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn stats_populated() {
+        let p = knapsack(&[18.0, 16.0, 14.0], &[3.0, 4.0, 4.0], 8.0);
+        let sol = p.solve().unwrap();
+        assert!(sol.stats.nodes >= 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Greedy and dynamic-programming knapsack heuristics.
+//!
+//! These serve two roles in LPVS:
+//!
+//! 1. seeding the branch-and-bound incumbent in [`crate::ilp`], and
+//! 2. acting as the ablation baseline for the "ILP solver path" study
+//!    (DESIGN.md §5): how much does exact Phase-1 buy over a greedy
+//!    multi-knapsack selection?
+
+/// Result of a greedy knapsack pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    /// Chosen value per item.
+    pub x: Vec<bool>,
+    /// Total value of the chosen items.
+    pub value: f64,
+    /// Remaining slack per capacity row.
+    pub residual: Vec<f64>,
+}
+
+/// Greedy selection for the multi-dimensional 0/1 knapsack.
+///
+/// Items are ranked by value divided by their *scaled* aggregate weight
+/// (each row's weight normalized by that row's capacity, so rows with
+/// tight capacity dominate the ranking), then inserted while all rows
+/// still fit. `fixings` pins items in (`Some(true)`) or out
+/// (`Some(false)`) before the greedy pass; pinned-in items consume
+/// capacity even if that makes a row negative — callers should verify
+/// the outcome with their own feasibility check.
+///
+/// `rows` is a slice of `(weights, capacity)` pairs; all weights are
+/// expected nonnegative (violations simply make the ranking less
+/// meaningful, never unsound).
+///
+/// # Panics
+///
+/// Panics if any row's weight vector length differs from `values.len()`
+/// or `fixings.len() != values.len()`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_solver::greedy_multi_knapsack;
+///
+/// let values = [60.0, 100.0, 40.0];
+/// let weights = [10.0, 20.0, 30.0];
+/// let out = greedy_multi_knapsack(&values, &[(&weights[..], 30.0)], &[None, None, None]);
+/// assert_eq!(out.value, 160.0);
+/// ```
+pub fn greedy_multi_knapsack(
+    values: &[f64],
+    rows: &[(&[f64], f64)],
+    fixings: &[Option<bool>],
+) -> GreedyOutcome {
+    let n = values.len();
+    assert_eq!(fixings.len(), n, "fixings length mismatch");
+    for (w, _) in rows {
+        assert_eq!(w.len(), n, "row weight length mismatch");
+    }
+
+    let mut x = vec![false; n];
+    let mut residual: Vec<f64> = rows.iter().map(|&(_, cap)| cap).collect();
+    let mut value = 0.0;
+
+    // Apply pinned-in items first.
+    for i in 0..n {
+        if fixings[i] == Some(true) {
+            x[i] = true;
+            value += values[i];
+            for (r, &(w, _)) in residual.iter_mut().zip(rows) {
+                *r -= w[i];
+            }
+        }
+    }
+
+    // Rank free items by scaled density.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&i| fixings[i].is_none() && values[i] > 0.0)
+        .collect();
+    let density = |i: usize| -> f64 {
+        let scaled: f64 = rows
+            .iter()
+            .map(|&(w, cap)| if cap > 0.0 { w[i] / cap } else { f64::INFINITY })
+            .sum();
+        if scaled <= 0.0 {
+            f64::INFINITY // free item: always profitable
+        } else {
+            values[i] / scaled
+        }
+    };
+    order.sort_by(|&a, &b| density(b).partial_cmp(&density(a)).unwrap_or(std::cmp::Ordering::Equal));
+
+    for i in order {
+        let fits = rows
+            .iter()
+            .zip(&residual)
+            .all(|(&(w, _), &r)| w[i] <= r + 1e-12);
+        if fits {
+            x[i] = true;
+            value += values[i];
+            for (r, &(w, _)) in residual.iter_mut().zip(rows) {
+                *r -= w[i];
+            }
+        }
+    }
+
+    GreedyOutcome { x, value, residual }
+}
+
+/// Exact single-constraint 0/1 knapsack by dynamic programming over a
+/// discretized capacity grid.
+///
+/// Weights and the capacity are scaled onto `resolution` integer cells
+/// (weights rounded **up**, so the result is always feasible for the
+/// original real-valued capacity, merely possibly sub-optimal by the
+/// discretization error). Returns the chosen items and their total
+/// value.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != values.len()` or `resolution == 0`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_solver::dp_knapsack;
+///
+/// let (x, value) = dp_knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0, 1000);
+/// assert_eq!(value, 220.0);
+/// assert_eq!(x, vec![false, true, true]);
+/// ```
+pub fn dp_knapsack(
+    values: &[f64],
+    weights: &[f64],
+    capacity: f64,
+    resolution: usize,
+) -> (Vec<bool>, f64) {
+    let n = values.len();
+    assert_eq!(weights.len(), n, "weights length mismatch");
+    assert!(resolution > 0, "resolution must be positive");
+    if capacity <= 0.0 || n == 0 {
+        return (vec![false; n], 0.0);
+    }
+
+    let scale = resolution as f64 / capacity;
+    let cap = resolution;
+    let w: Vec<usize> = weights.iter().map(|&wi| (wi.max(0.0) * scale).ceil() as usize).collect();
+
+    // dp[c] = best value with capacity c; keep[i][c] records choices.
+    let mut dp = vec![0.0f64; cap + 1];
+    let mut keep = vec![false; n * (cap + 1)];
+    for i in 0..n {
+        if values[i] <= 0.0 || w[i] > cap {
+            continue;
+        }
+        // Iterate capacity downward for the 0/1 property.
+        for c in (w[i]..=cap).rev() {
+            let candidate = dp[c - w[i]] + values[i];
+            if candidate > dp[c] {
+                dp[c] = candidate;
+                keep[i * (cap + 1) + c] = true;
+            }
+        }
+    }
+
+    // Backtrack.
+    let mut x = vec![false; n];
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if keep[i * (cap + 1) + c] {
+            x[i] = true;
+            c -= w[i];
+        }
+    }
+    let value = values.iter().zip(&x).map(|(v, &s)| if s { *v } else { 0.0 }).sum();
+    (x, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_single_row_classic() {
+        // Density order is 0 (6.0), 1 (5.0), 2 (4.0): greedy takes items
+        // 0 and 1 (weight 30) and cannot fit item 2 — the well-known
+        // greedy gap versus the exact optimum of 220.
+        let out = greedy_multi_knapsack(
+            &[60.0, 100.0, 120.0],
+            &[(&[10.0, 20.0, 30.0][..], 50.0)],
+            &[None, None, None],
+        );
+        assert_eq!(out.x, vec![true, true, false]);
+        assert_eq!(out.value, 160.0);
+        assert!((out.residual[0] - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_respects_pinned_out() {
+        let out = greedy_multi_knapsack(
+            &[60.0, 100.0, 120.0],
+            &[(&[10.0, 20.0, 30.0][..], 50.0)],
+            &[None, Some(false), None],
+        );
+        assert!(!out.x[1]);
+        assert_eq!(out.value, 180.0);
+    }
+
+    #[test]
+    fn greedy_respects_pinned_in() {
+        let out = greedy_multi_knapsack(
+            &[1.0, 100.0],
+            &[(&[10.0, 10.0][..], 10.0)],
+            &[Some(true), None],
+        );
+        assert!(out.x[0]);
+        assert!(!out.x[1]); // no capacity left
+        assert_eq!(out.value, 1.0);
+    }
+
+    #[test]
+    fn greedy_two_rows_tightest_dominates() {
+        // Row 2 is tight: item 0 is cheap on row 1 but expensive on row
+        // 2; item 1 is the reverse. Scaled density ranks item 1 first.
+        let out = greedy_multi_knapsack(
+            &[10.0, 10.0],
+            &[(&[1.0, 8.0][..], 100.0), (&[9.0, 1.0][..], 10.0)],
+            &[None, None],
+        );
+        assert!(out.x[0] && out.x[1]); // both actually fit
+        assert_eq!(out.value, 20.0);
+    }
+
+    #[test]
+    fn greedy_skips_nonpositive_values() {
+        let out = greedy_multi_knapsack(
+            &[0.0, -5.0, 3.0],
+            &[(&[1.0, 1.0, 1.0][..], 10.0)],
+            &[None, None, None],
+        );
+        assert_eq!(out.x, vec![false, false, true]);
+    }
+
+    #[test]
+    fn greedy_zero_capacity_row() {
+        let out = greedy_multi_knapsack(
+            &[5.0, 5.0],
+            &[(&[1.0, 0.0][..], 0.0)],
+            &[None, None],
+        );
+        // Item 0 needs capacity that does not exist; item 1 weighs zero.
+        assert_eq!(out.x, vec![false, true]);
+    }
+
+    #[test]
+    fn dp_matches_known_optimum() {
+        let (x, value) = dp_knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0, 500);
+        assert_eq!(value, 220.0);
+        assert_eq!(x, vec![false, true, true]);
+    }
+
+    #[test]
+    fn dp_beats_greedy_on_trap_instance() {
+        let values = [10.0, 7.0, 7.0];
+        let weights = [5.0, 4.0, 4.0];
+        let greedy = greedy_multi_knapsack(
+            &values,
+            &[(&weights[..], 8.0)],
+            &[None, None, None],
+        );
+        assert_eq!(greedy.value, 10.0);
+        let (_, dp_value) = dp_knapsack(&values, &weights, 8.0, 800);
+        assert!(dp_value > greedy.value);
+        assert_eq!(dp_value, 14.0);
+    }
+
+    #[test]
+    fn dp_result_is_always_feasible() {
+        // Rounding weights up must never overshoot the real capacity.
+        let values = [7.0, 9.0, 4.0, 6.0];
+        let weights = [2.3, 3.7, 1.1, 2.9];
+        let cap = 6.0;
+        let (x, _) = dp_knapsack(&values, &weights, cap, 100);
+        let used: f64 = weights.iter().zip(&x).map(|(w, &s)| if s { *w } else { 0.0 }).sum();
+        assert!(used <= cap + 1e-9);
+    }
+
+    #[test]
+    fn dp_empty_and_zero_capacity() {
+        assert_eq!(dp_knapsack(&[], &[], 10.0, 10), (vec![], 0.0));
+        let (x, v) = dp_knapsack(&[5.0], &[1.0], 0.0, 10);
+        assert_eq!((x, v), (vec![false], 0.0));
+    }
+}

@@ -1,0 +1,251 @@
+//! Presolve reductions for 0/1 programs.
+//!
+//! Before branch-and-bound touches an instance, cheap logical
+//! reductions shrink it:
+//!
+//! * **free-variable fixing** — a variable with favourable objective
+//!   and no positive footprint in any `≤` row can be fixed in; one
+//!   with unfavourable objective and no negative footprint can be
+//!   fixed out;
+//! * **infeasible-singleton fixing** — a variable that violates some
+//!   `≤` row all by itself (given the already-fixed-in variables) must
+//!   be 0;
+//! * **row slack elimination** — a `≤` row that cannot be violated even
+//!   if every remaining variable is 1 is dropped from the active set.
+//!
+//! These mirror what CPLEX-class solvers do on knapsack-like inputs and
+//! are exact: the reduced problem has the same optimal objective.
+//! Reductions only apply to programs whose rows are all `≤` (the LPVS
+//! Phase-1 shape); anything else is passed through untouched.
+
+use crate::problem::{BinaryProgram, Relation};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a presolve pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Presolve {
+    /// Variables newly fixed (index, value), beyond the program's own
+    /// fixings.
+    pub fixed: Vec<(usize, bool)>,
+    /// Rows proven redundant (their index in the program).
+    pub redundant_rows: Vec<usize>,
+    /// Number of passes until fixpoint.
+    pub passes: usize,
+}
+
+impl Presolve {
+    /// True when nothing was reduced.
+    pub fn is_noop(&self) -> bool {
+        self.fixed.is_empty() && self.redundant_rows.is_empty()
+    }
+}
+
+/// Runs presolve on `program`, returning the reductions and applying
+/// the variable fixings to the program in place.
+pub fn presolve(program: &mut BinaryProgram) -> Presolve {
+    let n = program.num_vars();
+    let all_le = program.rows().iter().all(|r| r.relation == Relation::Le);
+    if !all_le || n == 0 {
+        return Presolve { fixed: Vec::new(), redundant_rows: Vec::new(), passes: 0 };
+    }
+
+    let maximizing = matches!(program.sense(), crate::problem::Sense::Maximize);
+    let mut fixed: Vec<(usize, bool)> = Vec::new();
+    let mut redundant: Vec<usize> = Vec::new();
+    let mut passes = 0usize;
+
+    loop {
+        passes += 1;
+        let mut changed = false;
+
+        // Residual capacity per row under current fixings (fixed-in
+        // variables consume capacity).
+        let residual: Vec<f64> = program
+            .rows()
+            .iter()
+            .map(|row| {
+                let used: f64 = row
+                    .coeffs
+                    .iter()
+                    .zip(program.fixings())
+                    .map(|(c, f)| if *f == Some(true) { *c } else { 0.0 })
+                    .sum();
+                row.rhs - used
+            })
+            .collect();
+
+        // Row redundancy: even taking every free variable with positive
+        // coefficient cannot exceed the residual.
+        for (i, row) in program.rows().iter().enumerate() {
+            if redundant.contains(&i) {
+                continue;
+            }
+            let worst: f64 = row
+                .coeffs
+                .iter()
+                .zip(program.fixings())
+                .map(|(c, f)| if f.is_none() && *c > 0.0 { *c } else { 0.0 })
+                .sum();
+            if worst <= residual[i] + 1e-12 {
+                redundant.push(i);
+            }
+        }
+
+        for var in 0..n {
+            if program.fixings()[var].is_some() {
+                continue;
+            }
+            let value = program.objective()[var];
+            let improving = if maximizing { value > 0.0 } else { value < 0.0 };
+            let hurting = if maximizing { value < 0.0 } else { value > 0.0 };
+
+            // Infeasible singleton: exceeds some active row alone.
+            let impossible = program
+                .rows()
+                .iter()
+                .enumerate()
+                .any(|(i, row)| {
+                    !redundant.contains(&i) && row.coeffs[var] > residual[i] + 1e-12
+                });
+            if impossible {
+                program.fix(var, false).expect("var in range");
+                fixed.push((var, false));
+                changed = true;
+                continue;
+            }
+
+            // Free-variable fixing.
+            let no_positive_footprint = program
+                .rows()
+                .iter()
+                .enumerate()
+                .all(|(i, row)| redundant.contains(&i) || row.coeffs[var] <= 1e-12);
+            if improving && no_positive_footprint {
+                program.fix(var, true).expect("var in range");
+                fixed.push((var, true));
+                changed = true;
+                continue;
+            }
+            let no_negative_footprint = program
+                .rows()
+                .iter()
+                .all(|row| row.coeffs[var] >= -1e-12);
+            if hurting && no_negative_footprint {
+                // Taking it costs objective and can only consume
+                // capacity: never optimal.
+                program.fix(var, false).expect("var in range");
+                fixed.push((var, false));
+                changed = true;
+            } else if !improving && !hurting && no_negative_footprint {
+                // Zero objective, nonnegative footprint: fixing out is
+                // harmless and shrinks the search.
+                program.fix(var, false).expect("var in range");
+                fixed.push((var, false));
+                changed = true;
+            }
+        }
+
+        if !changed || passes >= 8 {
+            break;
+        }
+    }
+
+    redundant.sort_unstable();
+    Presolve { fixed, redundant_rows: redundant, passes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{BinaryProgram, Relation, Sense};
+
+    #[test]
+    fn oversized_items_fixed_out() {
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![5.0, 7.0]).unwrap();
+        p.add_constraint(vec![3.0, 12.0], Relation::Le, 10.0).unwrap();
+        let pre = presolve(&mut p);
+        assert!(pre.fixed.contains(&(1, false)));
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.selected(), vec![0]);
+    }
+
+    #[test]
+    fn worthless_items_fixed_out() {
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![5.0, -2.0, 0.0]).unwrap();
+        p.add_constraint(vec![1.0, 1.0, 1.0], Relation::Le, 10.0).unwrap();
+        let pre = presolve(&mut p);
+        assert!(pre.fixed.contains(&(1, false)));
+        assert!(pre.fixed.contains(&(2, false)));
+        // The capacity row is redundant (3 ≤ 10), so the valuable item
+        // is free and gets fixed *in*.
+        assert!(pre.fixed.contains(&(0, true)));
+    }
+
+    #[test]
+    fn redundant_row_detected_and_free_items_fixed_in() {
+        // Row capacity exceeds the sum of all coefficients: everything
+        // valuable is effectively free.
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![4.0, 6.0]).unwrap();
+        p.add_constraint(vec![1.0, 2.0], Relation::Le, 100.0).unwrap();
+        let pre = presolve(&mut p);
+        assert_eq!(pre.redundant_rows, vec![0]);
+        assert!(pre.fixed.contains(&(0, true)));
+        assert!(pre.fixed.contains(&(1, true)));
+    }
+
+    #[test]
+    fn presolve_preserves_the_optimum() {
+        // Mixed instance: presolve then solve must equal solving raw.
+        let values = vec![9.0, -1.0, 14.0, 5.0, 8.0, 0.0];
+        let w1 = vec![3.0, 1.0, 50.0, 3.0, 4.0, 1.0];
+        let w2 = vec![1.0, 1.0, 1.0, 2.0, 1.0, 1.0];
+        let build = || {
+            let mut p = BinaryProgram::new(Sense::Maximize, values.clone()).unwrap();
+            p.add_constraint(w1.clone(), Relation::Le, 12.0).unwrap();
+            p.add_constraint(w2.clone(), Relation::Le, 4.0).unwrap();
+            p
+        };
+        let raw = build().solve().unwrap();
+        let mut reduced = build();
+        let pre = presolve(&mut reduced);
+        assert!(!pre.is_noop());
+        let solved = reduced.solve().unwrap();
+        assert!((raw.objective - solved.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minimization_orientation_respected() {
+        // Minimizing: positive-cost items with nonnegative footprint
+        // are fixed out, negative-cost items with no footprint in.
+        let mut p = BinaryProgram::new(Sense::Minimize, vec![3.0, -2.0]).unwrap();
+        p.add_constraint(vec![1.0, 0.0], Relation::Le, 10.0).unwrap();
+        let pre = presolve(&mut p);
+        assert!(pre.fixed.contains(&(0, false)));
+        assert!(pre.fixed.contains(&(1, true)));
+    }
+
+    #[test]
+    fn non_le_rows_pass_through() {
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![1.0]).unwrap();
+        p.add_constraint(vec![1.0], Relation::Ge, 1.0).unwrap();
+        let pre = presolve(&mut p);
+        assert!(pre.is_noop());
+        assert_eq!(pre.passes, 0);
+    }
+
+    #[test]
+    fn respects_existing_fixings_capacity() {
+        // Item 0 pinned in eats the capacity; item 1 then cannot fit.
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![1.0, 5.0]).unwrap();
+        p.add_constraint(vec![8.0, 5.0], Relation::Le, 10.0).unwrap();
+        p.fix(0, true).unwrap();
+        let pre = presolve(&mut p);
+        assert!(pre.fixed.contains(&(1, false)));
+    }
+
+    #[test]
+    fn empty_program_is_noop() {
+        let mut p = BinaryProgram::new(Sense::Maximize, vec![]).unwrap();
+        assert!(presolve(&mut p).is_noop());
+    }
+}

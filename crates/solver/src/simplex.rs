@@ -1,0 +1,939 @@
+//! Dense two-phase primal simplex with implicit variable bounds.
+//!
+//! This module implements the linear-programming engine underneath the
+//! branch-and-bound ILP solver in [`crate::ilp`]. Variable bounds
+//! `l ≤ x ≤ u` are handled inside the pivoting rules (bounded-variable
+//! simplex) instead of as explicit constraint rows, so the tableau for
+//! the LPVS Phase-1 relaxation stays at a handful of rows regardless of
+//! how many devices are in the cluster.
+//!
+//! The implementation is a textbook tableau method:
+//!
+//! * every row gets a slack variable (`≤` → slack in `[0, ∞)`, `≥` →
+//!   slack in `(−∞, 0]`, `=` → slack fixed at zero), giving `Ax + s = b`;
+//! * if the all-slack basis is infeasible, phase 1 introduces
+//!   artificial variables and minimizes their sum;
+//! * phase 2 minimizes the real objective from the feasible basis;
+//! * degenerate pivots are counted and the pricing rule falls back from
+//!   Dantzig to Bland's rule to guarantee termination.
+
+use crate::problem::Relation;
+use crate::SolverError;
+
+/// Cost-row tolerance: reduced costs within `±EPS_COST` count as zero.
+const EPS_COST: f64 = 1e-9;
+/// Ratio-test tolerance for pivot element magnitude.
+const EPS_PIVOT: f64 = 1e-9;
+/// Feasibility tolerance on variable bounds.
+const EPS_BOUND: f64 = 1e-7;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERATE_SWITCH: usize = 64;
+
+/// Terminal status of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded below (for minimization).
+    Unbounded,
+    /// The iteration budget ran out first.
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A linear program `min cᵀx  s.t.  Ax {≤,=,≥} b,  l ≤ x ≤ u`.
+///
+/// Build with [`LinearProgram::minimize`] / [`LinearProgram::maximize`],
+/// add rows with [`LinearProgram::add_row`], adjust bounds with
+/// [`LinearProgram::set_bounds`], then call [`LinearProgram::solve`].
+///
+/// # Example
+///
+/// ```
+/// use lpvs_solver::{LinearProgram, Relation};
+///
+/// # fn main() -> Result<(), lpvs_solver::SolverError> {
+/// // max 3x + 2y  s.t. x + y ≤ 4, x ≤ 2, 0 ≤ x,y ≤ 10
+/// let mut lp = LinearProgram::maximize(vec![3.0, 2.0])?;
+/// lp.add_row(vec![1.0, 1.0], Relation::Le, 4.0)?;
+/// lp.add_row(vec![1.0, 0.0], Relation::Le, 2.0)?;
+/// lp.set_bounds(0, 0.0, 10.0)?;
+/// lp.set_bounds(1, 0.0, 10.0)?;
+/// let sol = lp.solve()?;
+/// assert!((sol.objective - 10.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Objective coefficients in *minimization* form.
+    c: Vec<f64>,
+    /// `true` if the caller asked to maximize (objective negated back on
+    /// the way out).
+    maximizing: bool,
+    rows: Vec<Row>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    iteration_limit: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<f64>,
+    relation: Relation,
+    rhs: f64,
+}
+
+/// Solution of a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value in the caller's orientation (i.e. already
+    /// negated back for maximization problems).
+    pub objective: f64,
+    /// Shadow price per constraint row, in the caller's orientation:
+    /// `duals[i]` is the rate of change of the optimal objective per
+    /// unit increase of row `i`'s right-hand side (valid within the
+    /// optimal basis' range). For a maximization knapsack this is the
+    /// marginal value of one more unit of capacity — the provisioning
+    /// signal for edge operators.
+    pub duals: Vec<f64>,
+    /// Total simplex pivots across both phases.
+    pub iterations: usize,
+}
+
+impl LinearProgram {
+    /// Creates a minimization program over `c.len()` variables, all
+    /// initially bounded to `[0, ∞)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotFinite`] if any coefficient is NaN or
+    /// infinite.
+    pub fn minimize(c: Vec<f64>) -> Result<Self, SolverError> {
+        if c.iter().any(|v| !v.is_finite()) {
+            return Err(SolverError::NotFinite { context: "objective" });
+        }
+        let n = c.len();
+        Ok(Self {
+            c,
+            maximizing: false,
+            rows: Vec::new(),
+            lower: vec![0.0; n],
+            upper: vec![f64::INFINITY; n],
+            iteration_limit: 0, // resolved at solve time
+        })
+    }
+
+    /// Creates a maximization program over `c.len()` variables, all
+    /// initially bounded to `[0, ∞)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::NotFinite`] if any coefficient is NaN or
+    /// infinite.
+    pub fn maximize(c: Vec<f64>) -> Result<Self, SolverError> {
+        let mut lp = Self::minimize(c.into_iter().map(|v| -v).collect())?;
+        lp.maximizing = true;
+        Ok(lp)
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.c.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds the constraint `coeffs · x  relation  rhs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::DimensionMismatch`] if `coeffs` has the wrong length.
+    /// * [`SolverError::NotFinite`] if any value is NaN or infinite.
+    pub fn add_row(
+        &mut self,
+        coeffs: Vec<f64>,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), SolverError> {
+        if coeffs.len() != self.c.len() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.c.len(),
+                got: coeffs.len(),
+            });
+        }
+        if coeffs.iter().any(|v| !v.is_finite()) || !rhs.is_finite() {
+            return Err(SolverError::NotFinite { context: "constraint row" });
+        }
+        self.rows.push(Row { coeffs, relation, rhs });
+        Ok(())
+    }
+
+    /// Sets the bounds of variable `var` to `[lower, upper]`.
+    ///
+    /// Infinite bounds are allowed (`f64::NEG_INFINITY` /
+    /// `f64::INFINITY`); NaN is not.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::DimensionMismatch`] if `var` is out of range.
+    /// * [`SolverError::InvalidBounds`] if `lower > upper`.
+    /// * [`SolverError::NotFinite`] if either bound is NaN.
+    pub fn set_bounds(&mut self, var: usize, lower: f64, upper: f64) -> Result<(), SolverError> {
+        if var >= self.c.len() {
+            return Err(SolverError::DimensionMismatch {
+                expected: self.c.len(),
+                got: var + 1,
+            });
+        }
+        if lower.is_nan() || upper.is_nan() {
+            return Err(SolverError::NotFinite { context: "variable bounds" });
+        }
+        if lower > upper {
+            return Err(SolverError::InvalidBounds { var });
+        }
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+        Ok(())
+    }
+
+    /// Overrides the pivot budget (default: `200·(m + n) + 2000`).
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.iteration_limit = limit;
+    }
+
+    /// Solves the program with the two-phase bounded-variable simplex.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::Infeasible`] if no point satisfies all rows and bounds.
+    /// * [`SolverError::Unbounded`] if the objective is unbounded.
+    /// * [`SolverError::BudgetExhausted`] if the pivot budget ran out.
+    pub fn solve(&self) -> Result<LpSolution, SolverError> {
+        let mut engine = Simplex::new(self);
+        let status = engine.run();
+        match status {
+            LpStatus::Optimal => {
+                let x = engine.structural_values();
+                let mut objective: f64 = self.c.iter().zip(&x).map(|(c, x)| c * x).sum();
+                let mut duals = engine.row_duals();
+                if self.maximizing {
+                    objective = -objective;
+                    for d in &mut duals {
+                        *d = -*d;
+                    }
+                }
+                Ok(LpSolution { x, objective, duals, iterations: engine.iterations })
+            }
+            LpStatus::Infeasible => Err(SolverError::Infeasible),
+            LpStatus::Unbounded => Err(SolverError::Unbounded),
+            LpStatus::IterationLimit => Err(SolverError::BudgetExhausted {
+                limit: engine.iteration_limit,
+            }),
+        }
+    }
+}
+
+/// Where a nonbasic variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NonbasicStatus {
+    AtLower,
+    AtUpper,
+    /// Free variable parked at zero (both bounds infinite).
+    Free,
+    /// Member of the current basis.
+    Basic,
+}
+
+/// The tableau engine. Exposed publicly so callers who need incremental
+/// control (e.g. the branch-and-bound layer's diagnostics) can inspect
+/// iteration counts; most users should call [`LinearProgram::solve`].
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    /// Columns: structural (0..n), slack (n..n+m), artificial (n+m..).
+    ntotal: usize,
+    nstruct: usize,
+    m: usize,
+    /// Dense tableau `B⁻¹·A`, row-major, `m × ntotal`.
+    tableau: Vec<f64>,
+    /// Current values of basic variables, one per row.
+    xb: Vec<f64>,
+    /// Basis: variable index occupying each row.
+    basis: Vec<usize>,
+    /// Status per variable.
+    status: Vec<NonbasicStatus>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// Phase-2 cost vector (zeros on slacks and artificials).
+    cost: Vec<f64>,
+    /// Reduced-cost row for the active phase.
+    dj: Vec<f64>,
+    /// Objective value accumulator for the active phase (not exposed).
+    iterations: usize,
+    iteration_limit: usize,
+    degenerate_streak: usize,
+    use_bland: bool,
+    /// Number of artificial columns in play.
+    nartificial: usize,
+}
+
+impl Simplex {
+    /// Builds the initial all-slack tableau for `lp`.
+    fn new(lp: &LinearProgram) -> Self {
+        let n = lp.num_vars();
+        let m = lp.num_rows();
+
+        // Bounds for structural + slack variables (artificials appended
+        // later if needed).
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        lower.extend_from_slice(&lp.lower);
+        upper.extend_from_slice(&lp.upper);
+        for row in &lp.rows {
+            match row.relation {
+                Relation::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Relation::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Relation::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+
+        let ntotal = n + m;
+        let mut tableau = vec![0.0; m * ntotal];
+        for (i, row) in lp.rows.iter().enumerate() {
+            tableau[i * ntotal..i * ntotal + n].copy_from_slice(&row.coeffs);
+            tableau[i * ntotal + n + i] = 1.0;
+        }
+
+        // Nonbasic structural variables rest at their finite bound
+        // nearest zero; free variables park at zero.
+        let mut status = vec![NonbasicStatus::AtLower; ntotal];
+        for (j, st) in status.iter_mut().enumerate().take(n) {
+            *st = initial_status(lower[j], upper[j]);
+        }
+
+        // Slack basis.
+        let mut basis = Vec::with_capacity(m);
+        let mut xb = Vec::with_capacity(m);
+        for (i, row) in lp.rows.iter().enumerate() {
+            let slack = n + i;
+            basis.push(slack);
+            status[slack] = NonbasicStatus::Basic;
+            let nb_sum: f64 = (0..n)
+                .map(|j| row.coeffs[j] * resting_value(status[j], lower[j], upper[j]))
+                .sum();
+            xb.push(row.rhs - nb_sum);
+        }
+
+        let mut cost = vec![0.0; ntotal];
+        cost[..n].copy_from_slice(&lp.c);
+
+        let iteration_limit = if lp.iteration_limit > 0 {
+            lp.iteration_limit
+        } else {
+            200 * (m + n) + 2000
+        };
+
+        Self {
+            ntotal,
+            nstruct: n,
+            m,
+            tableau,
+            xb,
+            basis,
+            status,
+            lower,
+            upper,
+            cost,
+            dj: Vec::new(),
+            iterations: 0,
+            iteration_limit,
+            degenerate_streak: 0,
+            use_bland: false,
+            nartificial: 0,
+        }
+    }
+
+    /// Runs phase 1 (if the slack basis is infeasible) then phase 2.
+    fn run(&mut self) -> LpStatus {
+        if self.needs_phase1() {
+            self.install_artificials();
+            let phase1_cost: Vec<f64> = (0..self.ntotal)
+                .map(|j| if j >= self.ntotal - self.nartificial { 1.0 } else { 0.0 })
+                .collect();
+            self.dj = self.reduced_costs(&phase1_cost);
+            match self.iterate(&phase1_cost) {
+                LpStatus::Optimal => {}
+                LpStatus::Unbounded => {
+                    // Phase-1 objective is bounded below by zero; an
+                    // "unbounded" report can only be numerical noise.
+                    return LpStatus::Infeasible;
+                }
+                other => return other,
+            }
+            let infeasibility: f64 = self
+                .basis
+                .iter()
+                .zip(&self.xb)
+                .filter(|(&j, _)| j >= self.ntotal - self.nartificial)
+                .map(|(_, &v)| v.abs())
+                .sum();
+            if infeasibility > 1e-6 {
+                return LpStatus::Infeasible;
+            }
+            // Pin artificials to zero for phase 2.
+            for j in self.ntotal - self.nartificial..self.ntotal {
+                self.lower[j] = 0.0;
+                self.upper[j] = 0.0;
+                if self.status[j] != NonbasicStatus::Basic {
+                    self.status[j] = NonbasicStatus::AtLower;
+                }
+            }
+        }
+
+        let cost = self.cost.clone();
+        self.dj = self.reduced_costs(&cost);
+        self.degenerate_streak = 0;
+        self.use_bland = false;
+        self.iterate(&cost)
+    }
+
+    fn needs_phase1(&self) -> bool {
+        self.basis.iter().zip(&self.xb).any(|(&j, &v)| {
+            v < self.lower[j] - EPS_BOUND || v > self.upper[j] + EPS_BOUND
+        })
+    }
+
+    /// Appends one artificial column per infeasible row and makes it the
+    /// basic variable for that row.
+    fn install_artificials(&mut self) {
+        let mut infeasible_rows = Vec::new();
+        for i in 0..self.m {
+            let j = self.basis[i];
+            let v = self.xb[i];
+            if v < self.lower[j] - EPS_BOUND || v > self.upper[j] + EPS_BOUND {
+                infeasible_rows.push(i);
+            }
+        }
+        let k = infeasible_rows.len();
+        let old_ntotal = self.ntotal;
+        let new_ntotal = old_ntotal + k;
+
+        // Widen the tableau.
+        let mut widened = vec![0.0; self.m * new_ntotal];
+        for i in 0..self.m {
+            widened[i * new_ntotal..i * new_ntotal + old_ntotal]
+                .copy_from_slice(&self.tableau[i * old_ntotal..(i + 1) * old_ntotal]);
+        }
+        self.tableau = widened;
+        self.ntotal = new_ntotal;
+        self.nartificial = k;
+        self.lower.resize(new_ntotal, 0.0);
+        self.upper.resize(new_ntotal, f64::INFINITY);
+        self.cost.resize(new_ntotal, 0.0);
+        self.status.resize(new_ntotal, NonbasicStatus::AtLower);
+
+        for (a, &i) in infeasible_rows.iter().enumerate() {
+            let art = old_ntotal + a;
+            let old_basic = self.basis[i];
+            // Park the evicted slack at its nearest violated bound.
+            let v = self.xb[i];
+            let (bound, st) = if v < self.lower[old_basic] {
+                (self.lower[old_basic], NonbasicStatus::AtLower)
+            } else {
+                (self.upper[old_basic], NonbasicStatus::AtUpper)
+            };
+            let residual = v - bound;
+            self.status[old_basic] = st;
+            // Negate the row when the residual is negative so the
+            // artificial's basis column is +1 and the tableau stays in
+            // `B⁻¹A` form with an identity basis.
+            if residual < 0.0 {
+                for v in &mut self.tableau[i * new_ntotal..(i + 1) * new_ntotal] {
+                    *v = -*v;
+                }
+            }
+            self.tableau[i * new_ntotal + art] = 1.0;
+            self.basis[i] = art;
+            self.status[art] = NonbasicStatus::Basic;
+            self.xb[i] = residual.abs();
+        }
+    }
+
+    /// Recomputes the reduced-cost row `d = c − c_B·(B⁻¹A)` from scratch.
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let mut dj = cost.to_vec();
+        for (i, &b) in self.basis.iter().enumerate() {
+            let cb = cost[b];
+            if cb != 0.0 {
+                let row = &self.tableau[i * self.ntotal..(i + 1) * self.ntotal];
+                for (d, &a) in dj.iter_mut().zip(row) {
+                    *d -= cb * a;
+                }
+            }
+        }
+        dj
+    }
+
+    /// Main pivot loop for one phase.
+    fn iterate(&mut self, cost: &[f64]) -> LpStatus {
+        loop {
+            if self.iterations >= self.iteration_limit {
+                return LpStatus::IterationLimit;
+            }
+            let Some((q, direction)) = self.choose_entering() else {
+                return LpStatus::Optimal;
+            };
+
+            // Generalized ratio test.
+            let col = |i: usize| self.tableau[i * self.ntotal + q];
+            let range = self.upper[q] - self.lower[q];
+            let mut best_delta = if range.is_finite() { range } else { f64::INFINITY };
+            let mut leaving: Option<(usize, NonbasicStatus)> = None;
+
+            for i in 0..self.m {
+                let alpha = col(i);
+                if alpha.abs() <= EPS_PIVOT {
+                    continue;
+                }
+                let b = self.basis[i];
+                let change = -direction * alpha; // d(x_B[i]) / d(delta)
+                let (limit, hit_status) = if change < 0.0 {
+                    // Basic variable decreases toward its lower bound.
+                    if self.lower[b].is_finite() {
+                        ((self.xb[i] - self.lower[b]) / -change, NonbasicStatus::AtLower)
+                    } else {
+                        continue;
+                    }
+                } else {
+                    // Basic variable increases toward its upper bound.
+                    if self.upper[b].is_finite() {
+                        ((self.upper[b] - self.xb[i]) / change, NonbasicStatus::AtUpper)
+                    } else {
+                        continue;
+                    }
+                };
+                let limit = limit.max(0.0);
+                // Strict improvement, with a deterministic tie-break on
+                // larger pivot magnitude for numerical stability.
+                let better = limit < best_delta - EPS_PIVOT
+                    || (limit < best_delta + EPS_PIVOT
+                        && leaving.is_some_and(|(r, _)| alpha.abs() > col(r).abs()));
+                if better {
+                    best_delta = limit;
+                    leaving = Some((i, hit_status));
+                }
+            }
+
+            if best_delta.is_infinite() {
+                return LpStatus::Unbounded;
+            }
+
+            self.iterations += 1;
+            if best_delta <= EPS_PIVOT {
+                self.degenerate_streak += 1;
+                if self.degenerate_streak >= DEGENERATE_SWITCH {
+                    self.use_bland = true;
+                }
+            } else {
+                self.degenerate_streak = 0;
+            }
+
+            match leaving {
+                None => {
+                    // Bound flip: the entering variable traverses its
+                    // whole range without any basic hitting a bound.
+                    let delta = best_delta;
+                    for i in 0..self.m {
+                        let alpha = col(i);
+                        if alpha != 0.0 {
+                            self.xb[i] -= direction * delta * alpha;
+                        }
+                    }
+                    self.status[q] = match self.status[q] {
+                        NonbasicStatus::AtLower => NonbasicStatus::AtUpper,
+                        NonbasicStatus::AtUpper => NonbasicStatus::AtLower,
+                        other => other,
+                    };
+                }
+                Some((r, hit_status)) => {
+                    let delta = best_delta;
+                    let entering_value = resting_value(self.status[q], self.lower[q], self.upper[q])
+                        + direction * delta;
+                    for i in 0..self.m {
+                        if i != r {
+                            let alpha = col(i);
+                            if alpha != 0.0 {
+                                self.xb[i] -= direction * delta * alpha;
+                            }
+                        }
+                    }
+                    let leaving_var = self.basis[r];
+                    // Snap the leaving variable exactly onto its bound.
+                    self.status[leaving_var] = hit_status;
+
+                    self.pivot(r, q);
+                    self.basis[r] = q;
+                    self.status[q] = NonbasicStatus::Basic;
+                    self.xb[r] = entering_value;
+
+                    // Refresh reduced costs periodically to cap drift.
+                    if self.iterations.is_multiple_of(512) {
+                        self.dj = self.reduced_costs(cost);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Picks the entering variable. Returns `(index, direction)` where
+    /// direction is `+1` to increase from the lower bound and `−1` to
+    /// decrease from the upper bound.
+    fn choose_entering(&self) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64, f64)> = None; // (j, direction, score)
+        for j in 0..self.ntotal {
+            let (dir, violation) = match self.status[j] {
+                NonbasicStatus::Basic => continue,
+                NonbasicStatus::AtLower => {
+                    if self.lower[j] >= self.upper[j] {
+                        continue; // fixed variable
+                    }
+                    (1.0, -self.dj[j])
+                }
+                NonbasicStatus::AtUpper => (-1.0, self.dj[j]),
+                NonbasicStatus::Free => {
+                    if self.dj[j] < -EPS_COST {
+                        (1.0, -self.dj[j])
+                    } else {
+                        (-1.0, self.dj[j])
+                    }
+                }
+            };
+            if violation <= EPS_COST {
+                continue;
+            }
+            if self.use_bland {
+                // Bland: first eligible index.
+                return Some((j, dir));
+            }
+            match best {
+                Some((_, _, score)) if violation <= score => {}
+                _ => best = Some((j, dir, violation)),
+            }
+        }
+        best.map(|(j, dir, _)| (j, dir))
+    }
+
+    /// Gauss-Jordan pivot on `(row r, column q)`, updating the tableau
+    /// and the reduced-cost row.
+    fn pivot(&mut self, r: usize, q: usize) {
+        let nt = self.ntotal;
+        let pivot_val = self.tableau[r * nt + q];
+        debug_assert!(pivot_val.abs() > EPS_PIVOT, "pivot on near-zero element");
+        let inv = 1.0 / pivot_val;
+        for v in &mut self.tableau[r * nt..(r + 1) * nt] {
+            *v *= inv;
+        }
+        // Borrow-splitting: copy the pivot row once, then sweep.
+        let pivot_row: Vec<f64> = self.tableau[r * nt..(r + 1) * nt].to_vec();
+        for i in 0..self.m {
+            if i == r {
+                continue;
+            }
+            let factor = self.tableau[i * nt + q];
+            if factor != 0.0 {
+                for (v, &p) in self.tableau[i * nt..(i + 1) * nt].iter_mut().zip(&pivot_row) {
+                    *v -= factor * p;
+                }
+                self.tableau[i * nt + q] = 0.0;
+            }
+        }
+        let dfactor = self.dj[q];
+        if dfactor != 0.0 {
+            for (d, &p) in self.dj.iter_mut().zip(&pivot_row) {
+                *d -= dfactor * p;
+            }
+            self.dj[q] = 0.0;
+        }
+    }
+
+    /// Shadow prices `y = c_B·B⁻¹` in minimization orientation, read
+    /// off the reduced-cost row: for slack column `j = n + i`,
+    /// `d_j = c_j − y_i = −y_i`.
+    fn row_duals(&self) -> Vec<f64> {
+        (0..self.m).map(|i| -self.dj[self.nstruct + i]).collect()
+    }
+
+    /// Reads the structural variable values out of the current basis.
+    fn structural_values(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.nstruct];
+        for (j, xv) in x.iter_mut().enumerate() {
+            *xv = match self.status[j] {
+                NonbasicStatus::Basic => {
+                    let row = self.basis.iter().position(|&b| b == j).expect("basic var in basis");
+                    self.xb[row]
+                }
+                st => resting_value(st, self.lower[j], self.upper[j]),
+            };
+        }
+        x
+    }
+}
+
+/// Resting value of a nonbasic variable with the given status.
+fn resting_value(status: NonbasicStatus, lower: f64, upper: f64) -> f64 {
+    match status {
+        NonbasicStatus::AtLower => lower,
+        NonbasicStatus::AtUpper => upper,
+        NonbasicStatus::Free => 0.0,
+        NonbasicStatus::Basic => panic!("basic variable has no resting value"),
+    }
+}
+
+/// Initial nonbasic status: the finite bound nearest zero, or free.
+fn initial_status(lower: f64, upper: f64) -> NonbasicStatus {
+    match (lower.is_finite(), upper.is_finite()) {
+        (true, _) => NonbasicStatus::AtLower,
+        (false, true) => NonbasicStatus::AtUpper,
+        (false, false) => NonbasicStatus::Free,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximize_two_vars_le() {
+        // max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), z = 36.
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]).unwrap();
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 4.0).unwrap();
+        lp.add_row(vec![0.0, 2.0], Relation::Le, 12.0).unwrap();
+        lp.add_row(vec![3.0, 2.0], Relation::Le, 18.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_rows_requires_phase1() {
+        // min 2x + 3y, x + y ≥ 4, x + 3y ≥ 6, x,y ≥ 0 → (3, 1), z = 9.
+        let mut lp = LinearProgram::minimize(vec![2.0, 3.0]).unwrap();
+        lp.add_row(vec![1.0, 1.0], Relation::Ge, 4.0).unwrap();
+        lp.add_row(vec![1.0, 3.0], Relation::Ge, 6.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 9.0);
+        assert_close(sol.x[0], 3.0);
+        assert_close(sol.x[1], 1.0);
+    }
+
+    #[test]
+    fn equality_row() {
+        // min x + 2y, x + y = 3, x ≤ 2 → (2, 1), z = 4.
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]).unwrap();
+        lp.add_row(vec![1.0, 1.0], Relation::Eq, 3.0).unwrap();
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LinearProgram::minimize(vec![1.0]).unwrap();
+        lp.add_row(vec![1.0], Relation::Le, 1.0).unwrap();
+        lp.add_row(vec![1.0], Relation::Ge, 2.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints and x ∈ [0, ∞).
+        let lp = LinearProgram::maximize(vec![1.0]).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), SolverError::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_without_rows() {
+        // max x + y with x ∈ [0, 2], y ∈ [0, 3]: pure bound-flip path.
+        let mut lp = LinearProgram::maximize(vec![1.0, 1.0]).unwrap();
+        lp.set_bounds(0, 0.0, 2.0).unwrap();
+        lp.set_bounds(1, 0.0, 3.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn bounded_relaxation_of_knapsack() {
+        // LP relaxation of a 0/1 knapsack: max 10a + 7b + 3c,
+        // 5a + 4b + 2c ≤ 8, vars in [0,1] → a=1, b=0.75, c=0 → 15.25.
+        let mut lp = LinearProgram::maximize(vec![10.0, 7.0, 3.0]).unwrap();
+        lp.add_row(vec![5.0, 4.0, 2.0], Relation::Le, 8.0).unwrap();
+        for v in 0..3 {
+            lp.set_bounds(v, 0.0, 1.0).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 15.25);
+        assert_close(sol.x[0], 1.0);
+        assert_close(sol.x[1], 0.75);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x + y with x ∈ [−5, 5], y ∈ [−2, 2], x + y ≥ −4 → −4.
+        let mut lp = LinearProgram::minimize(vec![1.0, 1.0]).unwrap();
+        lp.set_bounds(0, -5.0, 5.0).unwrap();
+        lp.set_bounds(1, -2.0, 2.0).unwrap();
+        lp.add_row(vec![1.0, 1.0], Relation::Ge, -4.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -4.0);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min y s.t. y ≥ x − 2, y ≥ −x, x free → y = −1 at x = 1.
+        let mut lp = LinearProgram::minimize(vec![0.0, 1.0]).unwrap();
+        lp.set_bounds(0, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        lp.set_bounds(1, f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        lp.add_row(vec![-1.0, 1.0], Relation::Ge, -2.0).unwrap();
+        lp.add_row(vec![1.0, 1.0], Relation::Ge, 0.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -1.0);
+        assert_close(sol.x[0], 1.0);
+    }
+
+    #[test]
+    fn fixed_variable_is_respected() {
+        let mut lp = LinearProgram::maximize(vec![5.0, 1.0]).unwrap();
+        lp.set_bounds(0, 0.0, 0.0).unwrap(); // branch fix: x₀ = 0
+        lp.set_bounds(1, 0.0, 1.0).unwrap();
+        lp.add_row(vec![1.0, 1.0], Relation::Le, 10.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.x[0], 0.0);
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic Beale-style degeneracy exerciser.
+        let mut lp = LinearProgram::minimize(vec![-0.75, 150.0, -0.02, 6.0]).unwrap();
+        lp.add_row(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0).unwrap();
+        lp.add_row(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0).unwrap();
+        lp.add_row(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn duals_price_the_binding_constraints() {
+        // max 3x + 5y, x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18: rows 2 and 3 bind;
+        // textbook duals are (0, 3/2, 1): one extra unit of the third
+        // row's capacity is worth 1.
+        let mut lp = LinearProgram::maximize(vec![3.0, 5.0]).unwrap();
+        lp.add_row(vec![1.0, 0.0], Relation::Le, 4.0).unwrap();
+        lp.add_row(vec![0.0, 2.0], Relation::Le, 12.0).unwrap();
+        lp.add_row(vec![3.0, 2.0], Relation::Le, 18.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.duals[0] - 0.0).abs() < 1e-7, "duals {:?}", sol.duals);
+        assert!((sol.duals[1] - 1.5).abs() < 1e-7, "duals {:?}", sol.duals);
+        assert!((sol.duals[2] - 1.0).abs() < 1e-7, "duals {:?}", sol.duals);
+    }
+
+    #[test]
+    fn duals_match_finite_differences_on_a_knapsack_relaxation() {
+        let solve_with_cap = |cap: f64| {
+            let mut lp = LinearProgram::maximize(vec![10.0, 7.0, 3.0]).unwrap();
+            lp.add_row(vec![5.0, 4.0, 2.0], Relation::Le, cap).unwrap();
+            for v in 0..3 {
+                lp.set_bounds(v, 0.0, 1.0).unwrap();
+            }
+            lp.solve().unwrap()
+        };
+        let base = solve_with_cap(8.0);
+        let bumped = solve_with_cap(8.5);
+        let fd = (bumped.objective - base.objective) / 0.5;
+        assert!(
+            (base.duals[0] - fd).abs() < 1e-7,
+            "dual {} vs finite difference {fd}",
+            base.duals[0]
+        );
+        // The fractional item's density (7/4) prices the capacity.
+        assert!((base.duals[0] - 1.75).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut lp = LinearProgram::minimize(vec![1.0, 2.0]).unwrap();
+        let err = lp.add_row(vec![1.0], Relation::Le, 1.0).unwrap_err();
+        assert_eq!(err, SolverError::DimensionMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn nan_rejected_everywhere() {
+        assert!(LinearProgram::minimize(vec![f64::NAN]).is_err());
+        let mut lp = LinearProgram::minimize(vec![1.0]).unwrap();
+        assert!(lp.add_row(vec![f64::NAN], Relation::Le, 1.0).is_err());
+        assert!(lp.set_bounds(0, f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn invalid_bounds_rejected() {
+        let mut lp = LinearProgram::minimize(vec![1.0]).unwrap();
+        assert_eq!(lp.set_bounds(0, 2.0, 1.0).unwrap_err(), SolverError::InvalidBounds { var: 0 });
+    }
+
+    #[test]
+    fn infeasible_bounds_vs_row() {
+        // x ∈ [0, 1] but row demands x ≥ 3.
+        let mut lp = LinearProgram::minimize(vec![1.0]).unwrap();
+        lp.set_bounds(0, 0.0, 1.0).unwrap();
+        lp.add_row(vec![1.0], Relation::Ge, 3.0).unwrap();
+        assert_eq!(lp.solve().unwrap_err(), SolverError::Infeasible);
+    }
+
+    #[test]
+    fn larger_random_like_instance_agrees_with_greedy_bound() {
+        // LP relaxation objective must always dominate any feasible
+        // integral point: spot-check on a deterministic instance.
+        let values = [9.0, 14.0, 5.0, 8.0, 11.0, 3.0, 7.0, 12.0];
+        let weights = [3.0, 5.0, 2.0, 3.0, 4.0, 1.0, 2.0, 5.0];
+        let mut lp = LinearProgram::maximize(Vec::from(values)).unwrap();
+        lp.add_row(weights.to_vec(), Relation::Le, 12.0).unwrap();
+        for v in 0..values.len() {
+            lp.set_bounds(v, 0.0, 1.0).unwrap();
+        }
+        let sol = lp.solve().unwrap();
+        // A feasible integral point: items 1, 4, 6 (weight 11, value 32).
+        assert!(sol.objective >= 32.0 - 1e-9);
+    }
+}

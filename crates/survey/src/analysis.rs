@@ -1,0 +1,212 @@
+//! Statistical analysis of survey cohorts.
+//!
+//! The paper reads its anxiety curve off a single cohort. This module
+//! adds the uncertainty quantification a careful reader wants:
+//! bootstrap confidence bands for the extracted curve, and correlation
+//! between the charging and abandonment thresholds (the two questions
+//! LPVS consumes).
+
+use crate::curve::{AnxietyCurve, LEVELS};
+use crate::extraction::extract_curve;
+use crate::participant::Participant;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pointwise confidence band around the extracted anxiety curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurveBand {
+    /// Lower band (per battery level).
+    pub lower: AnxietyCurve,
+    /// Curve extracted from the full cohort.
+    pub center: AnxietyCurve,
+    /// Upper band (per battery level).
+    pub upper: AnxietyCurve,
+    /// Bootstrap resamples used.
+    pub resamples: usize,
+}
+
+impl CurveBand {
+    /// Maximum band half-width across battery levels — a scalar
+    /// summary of extraction uncertainty.
+    pub fn max_half_width(&self) -> f64 {
+        (0..LEVELS)
+            .map(|i| {
+                let level = (i + 1) as u8;
+                (self.upper.level(level) - self.lower.level(level)) / 2.0
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Bootstrap confidence band for the anxiety curve: resamples the
+/// cohort with replacement, extracts a curve per resample, and takes
+/// pointwise `[α/2, 1 − α/2]` quantiles.
+///
+/// # Panics
+///
+/// Panics if the cohort is empty, `resamples == 0`, or `alpha` is not
+/// in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_survey::analysis::bootstrap_curve_band;
+/// use lpvs_survey::generator::SurveyGenerator;
+///
+/// let cohort = SurveyGenerator::paper_cohort(3).generate();
+/// let band = bootstrap_curve_band(&cohort, 50, 0.05, 7);
+/// // 2,032 respondents pin the curve within a few percent.
+/// assert!(band.max_half_width() < 0.05);
+/// ```
+pub fn bootstrap_curve_band(
+    cohort: &[Participant],
+    resamples: usize,
+    alpha: f64,
+    seed: u64,
+) -> CurveBand {
+    assert!(!cohort.is_empty(), "cannot bootstrap an empty cohort");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+
+    let center = extract_curve(cohort.iter().map(|p| p.charge_level));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // samples[level][resample]
+    let mut samples: Vec<Vec<f64>> =
+        (0..LEVELS).map(|_| Vec::with_capacity(resamples)).collect();
+    for _ in 0..resamples {
+        let draw =
+            (0..cohort.len()).map(|_| cohort[rng.gen_range(0..cohort.len())].charge_level);
+        let curve = extract_curve(draw);
+        for (level_samples, &v) in samples.iter_mut().zip(curve.values()) {
+            level_samples.push(v);
+        }
+    }
+
+    let mut lower = [0.0; LEVELS];
+    let mut upper = [0.0; LEVELS];
+    for (i, level_samples) in samples.iter_mut().enumerate() {
+        level_samples.sort_by(|a, b| a.partial_cmp(b).expect("finite anxiety"));
+        lower[i] = quantile(level_samples, alpha / 2.0);
+        upper[i] = quantile(level_samples, 1.0 - alpha / 2.0);
+    }
+    CurveBand {
+        lower: AnxietyCurve::from_levels(lower),
+        center,
+        upper: AnxietyCurve::from_levels(upper),
+        resamples,
+    }
+}
+
+/// Empirical quantile of a sorted slice (nearest-rank).
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pearson correlation between two per-participant extractors.
+///
+/// Returns `None` when either variable is constant (undefined
+/// correlation).
+pub fn pearson<FA, FB>(cohort: &[Participant], a: FA, b: FB) -> Option<f64>
+where
+    FA: Fn(&Participant) -> f64,
+    FB: Fn(&Participant) -> f64,
+{
+    if cohort.len() < 2 {
+        return None;
+    }
+    let n = cohort.len() as f64;
+    let xs: Vec<f64> = cohort.iter().map(&a).collect();
+    let ys: Vec<f64> = cohort.iter().map(&b).collect();
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Correlation between charging threshold and video-abandonment
+/// threshold — positive in any behaviourally consistent cohort (both
+/// measure battery sensitivity).
+pub fn charge_giveup_correlation(cohort: &[Participant]) -> Option<f64> {
+    pearson(cohort, |p| f64::from(p.charge_level), |p| f64::from(p.giveup_level))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SurveyGenerator;
+
+    fn cohort() -> Vec<Participant> {
+        SurveyGenerator::paper_cohort(9).generate()
+    }
+
+    #[test]
+    fn band_contains_center() {
+        let c = cohort();
+        let band = bootstrap_curve_band(&c, 40, 0.05, 3);
+        for level in (1..=100u8).step_by(7) {
+            assert!(band.lower.level(level) <= band.center.level(level) + 1e-9);
+            assert!(band.center.level(level) <= band.upper.level(level) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn band_tightens_with_cohort_size() {
+        let small = SurveyGenerator::new(100, 1).generate();
+        let large = SurveyGenerator::new(4000, 1).generate();
+        let band_small = bootstrap_curve_band(&small, 60, 0.05, 2);
+        let band_large = bootstrap_curve_band(&large, 60, 0.05, 2);
+        assert!(
+            band_large.max_half_width() < band_small.max_half_width(),
+            "{} vs {}",
+            band_large.max_half_width(),
+            band_small.max_half_width()
+        );
+    }
+
+    #[test]
+    fn paper_cohort_band_is_tight() {
+        let band = bootstrap_curve_band(&cohort(), 60, 0.05, 4);
+        // 2,032 respondents: the 95 % band is a few percent wide, which
+        // is why a single extraction suffices for scheduling.
+        assert!(band.max_half_width() < 0.05, "{}", band.max_half_width());
+    }
+
+    #[test]
+    fn charge_and_giveup_correlate_positively() {
+        let r = charge_giveup_correlation(&cohort()).unwrap();
+        assert!(r > 0.2, "correlation {r}");
+        assert!(r < 1.0);
+    }
+
+    #[test]
+    fn pearson_of_identical_variables_is_one() {
+        let c = cohort();
+        let r = pearson(&c, |p| f64::from(p.charge_level), |p| {
+            f64::from(p.charge_level)
+        })
+        .unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_for_constants() {
+        let c = cohort();
+        assert!(pearson(&c, |_| 1.0, |p| f64::from(p.charge_level)).is_none());
+        assert!(pearson(&c[..1], |p| f64::from(p.charge_level), |p| {
+            f64::from(p.giveup_level)
+        })
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cohort")]
+    fn empty_cohort_rejected() {
+        let _ = bootstrap_curve_band(&[], 10, 0.05, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Table II marginal distributions.
+//!
+//! The appendix of the paper reports the cohort's composition. The
+//! generator samples from these marginals so a synthetic cohort's
+//! Table II matches the published one up to sampling noise, and the
+//! summary module recounts them for the Table II regenerator.
+
+use crate::participant::{AgeBand, Brand, Gender, Occupation};
+use rand::Rng;
+
+/// Published gender frequencies: 1,095 male / 937 female of 2,032.
+pub const GENDER_WEIGHTS: [(Gender, f64); 2] =
+    [(Gender::Male, 1095.0), (Gender::Female, 937.0)];
+
+/// Published age-band frequencies.
+pub const AGE_WEIGHTS: [(AgeBand, f64); 5] = [
+    (AgeBand::Under18, 9.0),
+    (AgeBand::From18To25, 888.0),
+    (AgeBand::From25To35, 460.0),
+    (AgeBand::From35To45, 250.0),
+    (AgeBand::From45To65, 119.0),
+];
+
+/// Published occupation frequencies.
+pub const OCCUPATION_WEIGHTS: [(Occupation, f64); 5] = [
+    (Occupation::Student, 1024.0),
+    (Occupation::GovInst, 271.0),
+    (Occupation::Company, 434.0),
+    (Occupation::Freelance, 144.0),
+    (Occupation::Other, 159.0),
+];
+
+/// Published smartphone brand frequencies.
+pub const BRAND_WEIGHTS: [(Brand, f64); 4] = [
+    (Brand::IPhone, 737.0),
+    (Brand::Huawei, 682.0),
+    (Brand::Xiaomi, 228.0),
+    (Brand::Other, 385.0),
+];
+
+/// Samples one item from a weighted table.
+///
+/// # Panics
+///
+/// Panics if all weights are zero or negative.
+pub fn sample_weighted<T: Copy, R: Rng + ?Sized>(table: &[(T, f64)], rng: &mut R) -> T {
+    let total: f64 = table.iter().map(|(_, w)| w.max(0.0)).sum();
+    assert!(total > 0.0, "weighted table has no positive mass");
+    let mut ticket = rng.gen_range(0.0..total);
+    for &(item, w) in table {
+        let w = w.max(0.0);
+        if ticket < w {
+            return item;
+        }
+        ticket -= w;
+    }
+    table.last().expect("non-empty table").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn published_totals_sum_to_cohort() {
+        let g: f64 = GENDER_WEIGHTS.iter().map(|(_, w)| w).sum();
+        let a: f64 = AGE_WEIGHTS.iter().map(|(_, w)| w).sum();
+        let o: f64 = OCCUPATION_WEIGHTS.iter().map(|(_, w)| w).sum();
+        let b: f64 = BRAND_WEIGHTS.iter().map(|(_, w)| w).sum();
+        // Age bands in the published table sum to 1,726 (several
+        // respondents declined); the others cover the full 2,032.
+        assert_eq!(g, 2032.0);
+        assert_eq!(o, 2032.0);
+        assert_eq!(b, 2032.0);
+        assert!(a > 1700.0 && a <= 2032.0);
+    }
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 40_000;
+        let students = (0..n)
+            .filter(|_| {
+                sample_weighted(&OCCUPATION_WEIGHTS, &mut rng) == Occupation::Student
+            })
+            .count();
+        let expected = 1024.0 / 2032.0;
+        let got = students as f64 / n as f64;
+        assert!((got - expected).abs() < 0.01, "student share {got} vs {expected}");
+    }
+
+    #[test]
+    fn degenerate_weights_pick_the_only_positive_item() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = sample_weighted(&[(1u8, 0.0), (2u8, 5.0)], &mut rng);
+            assert_eq!(x, 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive mass")]
+    fn all_zero_weights_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = sample_weighted(&[(1u8, 0.0)], &mut rng);
+    }
+}

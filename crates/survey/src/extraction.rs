@@ -1,0 +1,109 @@
+//! The paper's four-step LBA-curve extraction (§III-B).
+//!
+//! 1. initialize 100 empty bins for battery levels 1–100;
+//! 2. for each answer `a`, add one to every bin in `[1, a]`;
+//! 3. repeat for all answers, yielding a declining discrete curve;
+//! 4. normalize the cumulative counts to `[0, 1]`.
+//!
+//! The result is the anxiety degree at each battery level: the fraction
+//! of users who would already be (re)charging — i.e. already anxious —
+//! at that level.
+
+use crate::curve::AnxietyCurve;
+
+/// Extracts the anxiety curve from charge-level answers (each in
+/// 1–100; out-of-range answers are clamped, mirroring data cleansing).
+///
+/// # Panics
+///
+/// Panics if `answers` is empty — an empty survey has no curve.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_survey::extraction::extract_curve;
+///
+/// // Three users who charge at 20 %, one battery-agnostic at 80 %.
+/// let curve = extract_curve([20u8, 20, 20, 80]);
+/// // At 10 % battery all four are anxious; at 50 % only one.
+/// assert!((curve.level(10) - 1.0).abs() < 1e-12);
+/// assert!((curve.level(50) - 0.25).abs() < 1e-12);
+/// ```
+pub fn extract_curve<I: IntoIterator<Item = u8>>(answers: I) -> AnxietyCurve {
+    let mut bins = [0.0f64; 100];
+    let mut count = 0usize;
+    for a in answers {
+        let a = a.clamp(1, 100) as usize;
+        // Step 2: increment bins 1..=a (index 0..a).
+        for bin in bins.iter_mut().take(a) {
+            *bin += 1.0;
+        }
+        count += 1;
+    }
+    assert!(count > 0, "cannot extract a curve from an empty survey");
+    // Step 4: normalize to [0, 1].
+    for bin in &mut bins {
+        *bin /= count as f64;
+    }
+    AnxietyCurve::from_levels(bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SurveyGenerator;
+
+    #[test]
+    fn single_answer_is_a_step() {
+        let curve = extract_curve([30u8]);
+        assert_eq!(curve.level(30), 1.0);
+        assert_eq!(curve.level(31), 0.0);
+        assert_eq!(curve.level(1), 1.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing_in_battery_level() {
+        let cohort = SurveyGenerator::paper_cohort(3).generate();
+        let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
+        for b in 1..100 {
+            assert!(
+                curve.level(b) >= curve.level(b + 1) - 1e-12,
+                "not monotone at {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn anxiety_is_one_at_empty_battery() {
+        // Every answer ≥ 1 increments bin 1.
+        let curve = extract_curve([5u8, 50, 95]);
+        assert_eq!(curve.level(1), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_answers_are_clamped() {
+        let curve = extract_curve([0u8, 200]);
+        // 0 clamps to 1, 200 clamps to 100.
+        assert_eq!(curve.level(1), 1.0);
+        assert_eq!(curve.level(100), 0.5);
+    }
+
+    #[test]
+    fn paper_cohort_shows_sharp_rise_at_twenty() {
+        let cohort = SurveyGenerator::paper_cohort(11).generate();
+        let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
+        // The jump across the icon threshold dwarfs neighbouring jumps.
+        let jump_at_20 = curve.level(18) - curve.level(22);
+        let jump_above = curve.level(26) - curve.level(30);
+        assert!(
+            jump_at_20 > 2.0 * jump_above,
+            "no sharp rise: {jump_at_20} vs {jump_above}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty survey")]
+    fn empty_survey_rejected() {
+        let _ = extract_curve(std::iter::empty::<u8>());
+    }
+}

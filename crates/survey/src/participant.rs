@@ -1,0 +1,153 @@
+//! One survey response.
+//!
+//! The questionnaire (the paper's ref. \[27\]) collects demographics and,
+//! crucially for LPVS, two battery-level questions:
+//!
+//! 1. *At what battery level will you charge your phone, when
+//!    possible?* — drives the anxiety-curve extraction (§III-B);
+//! 2. *At what battery level will you give up watching a video you are
+//!    interested in?* — drives the time-per-viewer analysis (§VII-C).
+
+use serde::{Deserialize, Serialize};
+
+/// Participant gender as collected by the survey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Male respondent.
+    Male,
+    /// Female respondent.
+    Female,
+}
+
+/// Participant age band (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AgeBand {
+    /// Under 18.
+    Under18,
+    /// 18–25.
+    From18To25,
+    /// 25–35.
+    From25To35,
+    /// 35–45.
+    From35To45,
+    /// 45–65.
+    From45To65,
+}
+
+/// Participant occupation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Occupation {
+    /// Student.
+    Student,
+    /// Government or institution employee.
+    GovInst,
+    /// Company employee.
+    Company,
+    /// Freelancer.
+    Freelance,
+    /// Other occupations.
+    Other,
+}
+
+/// Smartphone brand (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Brand {
+    /// Apple iPhone.
+    IPhone,
+    /// Huawei.
+    Huawei,
+    /// Xiaomi.
+    Xiaomi,
+    /// All other brands.
+    Other,
+}
+
+/// One cleaned survey response.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_survey::participant::*;
+///
+/// let p = Participant {
+///     gender: Gender::Female,
+///     age: AgeBand::From18To25,
+///     occupation: Occupation::Student,
+///     brand: Brand::IPhone,
+///     suffers_lba: true,
+///     charge_level: 25,
+///     giveup_level: 12,
+/// };
+/// assert!(p.is_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Participant {
+    /// Gender.
+    pub gender: Gender,
+    /// Age band.
+    pub age: AgeBand,
+    /// Occupation.
+    pub occupation: Occupation,
+    /// Smartphone brand.
+    pub brand: Brand,
+    /// Whether the respondent reports any degree of low-battery anxiety.
+    pub suffers_lba: bool,
+    /// Battery percentage (1–100) at which they charge when possible.
+    pub charge_level: u8,
+    /// Battery percentage (1–100) at which they give up watching a
+    /// video they are interested in.
+    pub giveup_level: u8,
+}
+
+impl Participant {
+    /// Validity check applied during data cleansing: both battery
+    /// levels must be in 1–100, and giving up should not happen above
+    /// the charging threshold plus sanity margin (respondents who give
+    /// up earlier than they would charge are inconsistent and were
+    /// dropped by the paper's cleansing pass).
+    pub fn is_valid(&self) -> bool {
+        (1..=100).contains(&self.charge_level)
+            && (1..=100).contains(&self.giveup_level)
+            && self.giveup_level <= self.charge_level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Participant {
+        Participant {
+            gender: Gender::Male,
+            age: AgeBand::From25To35,
+            occupation: Occupation::Company,
+            brand: Brand::Huawei,
+            suffers_lba: true,
+            charge_level: 30,
+            giveup_level: 10,
+        }
+    }
+
+    #[test]
+    fn valid_participant_passes() {
+        assert!(base().is_valid());
+    }
+
+    #[test]
+    fn zero_levels_fail_cleansing() {
+        assert!(!Participant { charge_level: 0, ..base() }.is_valid());
+        assert!(!Participant { giveup_level: 0, ..base() }.is_valid());
+    }
+
+    #[test]
+    fn inconsistent_ordering_fails_cleansing() {
+        // Gives up at 50 % but would only charge at 30 %: inconsistent.
+        assert!(!Participant { charge_level: 30, giveup_level: 50, ..base() }.is_valid());
+    }
+
+    #[test]
+    fn boundary_levels_pass() {
+        assert!(Participant { charge_level: 100, giveup_level: 1, ..base() }.is_valid());
+        assert!(Participant { charge_level: 1, giveup_level: 1, ..base() }.is_valid());
+    }
+}

@@ -1,0 +1,228 @@
+//! Line-oriented trace serialization.
+//!
+//! The format is deliberately simple so a real Twitch trace can be
+//! converted into it with a few lines of scripting:
+//!
+//! ```text
+//! channel,<id>,<bitrate_kbps>
+//! session,<channel_id>,<start_slot>,<v0>;<v1>;…
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Sessions must
+//! follow their channel line.
+
+use crate::channel::{Channel, ChannelId, Trace};
+use crate::session::Session;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// A line had an unknown record tag.
+    UnknownRecord {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A numeric field failed to parse.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field description.
+        field: &'static str,
+    },
+    /// A session line referenced a channel that has not appeared.
+    OrphanSession {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A record had the wrong number of fields.
+    WrongArity {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::UnknownRecord { line } => {
+                write!(f, "unknown record tag on line {line}")
+            }
+            TraceParseError::BadField { line, field } => {
+                write!(f, "malformed {field} on line {line}")
+            }
+            TraceParseError::OrphanSession { line } => {
+                write!(f, "session on line {line} references an undeclared channel")
+            }
+            TraceParseError::WrongArity { line } => {
+                write!(f, "wrong field count on line {line}")
+            }
+        }
+    }
+}
+
+impl Error for TraceParseError {}
+
+/// Serializes a trace to the line format.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_trace::generator::TraceGenerator;
+/// use lpvs_trace::csv::{parse_trace, write_trace};
+///
+/// # fn main() -> Result<(), lpvs_trace::csv::TraceParseError> {
+/// let trace = TraceGenerator::new(10, 4).generate();
+/// let text = write_trace(&trace);
+/// let back = parse_trace(&text)?;
+/// assert_eq!(trace, back);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("# lpvs-trace v1\n");
+    for c in trace.channels() {
+        out.push_str(&format!("channel,{},{}\n", c.id().0, c.bitrate_kbps()));
+        for s in c.sessions() {
+            let viewers: Vec<String> = s.viewers().iter().map(u32::to_string).collect();
+            out.push_str(&format!(
+                "session,{},{},{}\n",
+                c.id().0,
+                s.start_slot(),
+                viewers.join(";")
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the line format back into a trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceParseError`] naming the offending line on any
+/// malformed record.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceParseError> {
+    // Accumulate per channel; preserve declaration order.
+    let mut order: Vec<ChannelId> = Vec::new();
+    let mut bitrates: Vec<f64> = Vec::new();
+    let mut sessions: Vec<Vec<Session>> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        match fields[0] {
+            "channel" => {
+                if fields.len() != 3 {
+                    return Err(TraceParseError::WrongArity { line });
+                }
+                let id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| TraceParseError::BadField { line, field: "channel id" })?;
+                let bitrate: f64 = fields[2]
+                    .parse()
+                    .map_err(|_| TraceParseError::BadField { line, field: "bitrate" })?;
+                order.push(ChannelId(id));
+                bitrates.push(bitrate);
+                sessions.push(Vec::new());
+            }
+            "session" => {
+                if fields.len() != 4 {
+                    return Err(TraceParseError::WrongArity { line });
+                }
+                let id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| TraceParseError::BadField { line, field: "channel id" })?;
+                let start: u64 = fields[2]
+                    .parse()
+                    .map_err(|_| TraceParseError::BadField { line, field: "start slot" })?;
+                let viewers: Result<Vec<u32>, _> =
+                    fields[3].split(';').map(str::parse::<u32>).collect();
+                let viewers = viewers
+                    .map_err(|_| TraceParseError::BadField { line, field: "viewer series" })?;
+                if viewers.is_empty() {
+                    return Err(TraceParseError::BadField { line, field: "viewer series" });
+                }
+                let pos = order
+                    .iter()
+                    .position(|c| *c == ChannelId(id))
+                    .ok_or(TraceParseError::OrphanSession { line })?;
+                sessions[pos].push(Session::new(start, viewers));
+            }
+            _ => return Err(TraceParseError::UnknownRecord { line }),
+        }
+    }
+
+    let channels = order
+        .into_iter()
+        .zip(bitrates)
+        .zip(sessions)
+        .map(|((id, bitrate), s)| Channel::new(id, bitrate, s))
+        .collect();
+    Ok(Trace::new(channels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = TraceGenerator::new(25, 13).generate();
+        let back = parse_trace(&write_trace(&t)).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hi\n\nchannel,1,3000\n  \nsession,1,0,5;6;7\n";
+        let t = parse_trace(text).unwrap();
+        assert_eq!(t.channels().len(), 1);
+        assert_eq!(t.session_count(), 1);
+    }
+
+    #[test]
+    fn unknown_record_reported_with_line() {
+        let err = parse_trace("bogus,1\n").unwrap_err();
+        assert_eq!(err, TraceParseError::UnknownRecord { line: 1 });
+    }
+
+    #[test]
+    fn orphan_session_detected() {
+        let err = parse_trace("session,9,0,1;2\n").unwrap_err();
+        assert_eq!(err, TraceParseError::OrphanSession { line: 1 });
+    }
+
+    #[test]
+    fn bad_numbers_detected() {
+        let err = parse_trace("channel,x,3000\n").unwrap_err();
+        assert!(matches!(err, TraceParseError::BadField { line: 1, .. }));
+        let err = parse_trace("channel,1,3000\nsession,1,0,a;b\n").unwrap_err();
+        assert!(matches!(err, TraceParseError::BadField { line: 2, .. }));
+    }
+
+    #[test]
+    fn wrong_arity_detected() {
+        let err = parse_trace("channel,1\n").unwrap_err();
+        assert_eq!(err, TraceParseError::WrongArity { line: 1 });
+    }
+
+    #[test]
+    fn empty_viewer_series_rejected() {
+        let err = parse_trace("channel,1,3000\nsession,1,0,\n").unwrap_err();
+        assert!(matches!(err, TraceParseError::BadField { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = TraceParseError::OrphanSession { line: 3 };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Diurnal viewership modulation.
+//!
+//! Live-streaming audiences breathe with the day: evening prime time
+//! carries several times the 5 a.m. trough. The base generator is
+//! time-homogeneous; this module layers a smooth diurnal envelope on a
+//! trace so capacity studies see realistic peak/trough dynamics.
+
+use crate::channel::{Channel, Trace};
+use crate::session::Session;
+
+/// Slots per day at the 5-minute sampling interval.
+pub const SLOTS_PER_DAY: u64 = 288;
+
+/// Hour of peak viewership (21:00 local).
+const PEAK_HOUR: f64 = 21.0;
+
+/// Diurnal multiplier for a global slot index: a raised cosine with
+/// its maximum at 21:00 and minimum at 09:00, spanning
+/// `[trough, peak]`.
+///
+/// # Panics
+///
+/// Panics unless `0 < trough ≤ peak`.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_trace::diurnal::{diurnal_factor, SLOTS_PER_DAY};
+///
+/// let prime_time = (21.0 / 24.0 * SLOTS_PER_DAY as f64) as u64;
+/// let dawn = (9.0 / 24.0 * SLOTS_PER_DAY as f64) as u64;
+/// assert!(diurnal_factor(prime_time, 0.3, 1.7) > diurnal_factor(dawn, 0.3, 1.7));
+/// ```
+pub fn diurnal_factor(slot: u64, trough: f64, peak: f64) -> f64 {
+    assert!(trough > 0.0 && trough <= peak, "need 0 < trough ≤ peak");
+    let day_fraction = (slot % SLOTS_PER_DAY) as f64 / SLOTS_PER_DAY as f64;
+    let phase = (day_fraction - PEAK_HOUR / 24.0) * std::f64::consts::TAU;
+    let mid = (peak + trough) / 2.0;
+    let amplitude = (peak - trough) / 2.0;
+    mid + amplitude * phase.cos()
+}
+
+/// Applies the diurnal envelope to every viewer sample of a trace
+/// (counts scale with the factor at each sample's global slot, floored
+/// at one viewer).
+pub fn apply_diurnal(trace: &Trace, trough: f64, peak: f64) -> Trace {
+    let channels = trace
+        .channels()
+        .iter()
+        .map(|c| {
+            let sessions = c
+                .sessions()
+                .iter()
+                .map(|s| {
+                    let viewers: Vec<u32> = s
+                        .viewers()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| {
+                            let slot = s.start_slot() + i as u64;
+                            let scaled =
+                                f64::from(v) * diurnal_factor(slot, trough, peak);
+                            scaled.round().max(1.0) as u32
+                        })
+                        .collect();
+                    Session::new(s.start_slot(), viewers)
+                })
+                .collect();
+            Channel::new(c.id(), c.bitrate_kbps(), sessions)
+        })
+        .collect();
+    Trace::new(channels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::summary::TraceSummary;
+
+    #[test]
+    fn factor_peaks_in_the_evening() {
+        let prime = (21.0 / 24.0 * SLOTS_PER_DAY as f64) as u64;
+        let dawn = (9.0 / 24.0 * SLOTS_PER_DAY as f64) as u64;
+        let peak = diurnal_factor(prime, 0.3, 1.7);
+        let trough = diurnal_factor(dawn, 0.3, 1.7);
+        assert!((peak - 1.7).abs() < 0.02, "peak {peak}");
+        assert!((trough - 0.3).abs() < 0.02, "trough {trough}");
+    }
+
+    #[test]
+    fn factor_is_periodic() {
+        for slot in [0u64, 77, 200] {
+            let a = diurnal_factor(slot, 0.5, 1.5);
+            let b = diurnal_factor(slot + SLOTS_PER_DAY, 0.5, 1.5);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn modulation_preserves_structure() {
+        let trace = TraceGenerator::new(80, 21).generate();
+        let modulated = apply_diurnal(&trace, 0.4, 1.6);
+        assert_eq!(trace.channels().len(), modulated.channels().len());
+        assert_eq!(trace.session_count(), modulated.session_count());
+        // Durations and start slots untouched.
+        for (a, b) in trace.sessions().zip(modulated.sessions()) {
+            assert_eq!(a.1.start_slot(), b.1.start_slot());
+            assert_eq!(a.1.duration_slots(), b.1.duration_slots());
+        }
+    }
+
+    #[test]
+    fn modulation_moves_total_watch_time() {
+        let trace = TraceGenerator::new(120, 9).generate();
+        let boosted = apply_diurnal(&trace, 1.5, 2.5); // strictly amplifying
+        let before = TraceSummary::from_trace(&trace).viewer_minutes;
+        let after = TraceSummary::from_trace(&boosted).viewer_minutes;
+        assert!(after > before * 1.4, "{before} → {after}");
+    }
+
+    #[test]
+    fn viewers_never_drop_to_zero() {
+        let trace = TraceGenerator::new(40, 2).generate();
+        let modulated = apply_diurnal(&trace, 0.01, 1.0);
+        assert!(modulated.sessions().all(|(_, s)| s.viewers().iter().all(|&v| v >= 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "trough")]
+    fn invalid_band_rejected() {
+        let _ = diurnal_factor(0, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Synthetic Twitch-like trace generator.
+//!
+//! Calibrated to the reported statistics of the paper's filtered
+//! dataset (§VI-A): 1,566 channels, 4,761 sessions (≈ 3 per channel),
+//! all sessions ≤ 10 hours with the Fig. 5 histogram shape (heavy mass
+//! between 30 minutes and 4 hours, thinning toward the 10-hour cap),
+//! 5-minute sampling, power-law channel popularity, and ramp/plateau/
+//! decay viewer dynamics within each session.
+
+use crate::channel::{Channel, ChannelId, Trace};
+use crate::session::Session;
+use crate::{MAX_SESSION_SLOTS, PAPER_CHANNELS, SLOT_MINUTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Deterministic, seeded trace generator.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_trace::generator::TraceGenerator;
+///
+/// let small = TraceGenerator::new(50, 3).generate();
+/// assert_eq!(small.channels().len(), 50);
+/// assert!(small.sessions().all(|(_, s)| s.within_duration_filter()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceGenerator {
+    channels: usize,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// A generator for `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize, seed: u64) -> Self {
+        assert!(channels > 0, "need at least one channel");
+        Self { channels, seed }
+    }
+
+    /// The paper's dataset scale: 1,566 channels.
+    pub fn paper_scale(seed: u64) -> Self {
+        Self::new(PAPER_CHANNELS, seed)
+    }
+
+    /// Generates the trace (already satisfying the ≤ 10 h filter).
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x7ace_7ace);
+        let channels = (0..self.channels)
+            .map(|i| generate_channel(ChannelId(i as u32), &mut rng))
+            .collect();
+        Trace::new(channels)
+    }
+}
+
+fn generate_channel<R: Rng + ?Sized>(id: ChannelId, rng: &mut R) -> Channel {
+    // Power-law popularity: most channels are small, a few are huge.
+    let u: f64 = rng.gen_range(0.001..1.0);
+    let base_viewers = (8.0 / u.powf(0.9)).min(30_000.0);
+
+    // Bigger channels stream at higher source bitrates.
+    let bitrate_kbps = if base_viewers > 1000.0 {
+        6000.0
+    } else if base_viewers > 100.0 {
+        if rng.gen_bool(0.6) {
+            6000.0
+        } else {
+            3000.0
+        }
+    } else if rng.gen_bool(0.5) {
+        3000.0
+    } else {
+        1200.0
+    };
+
+    // ≈ 3 sessions per channel: 1 + Poisson(2.04).
+    let count = 1 + poisson(2.04, rng);
+    let mut sessions = Vec::with_capacity(count);
+    let mut cursor: u64 = rng.gen_range(0..288); // start within the first day
+    for _ in 0..count {
+        let duration = sample_duration_slots(rng);
+        let viewers = viewer_series(base_viewers, duration, rng);
+        sessions.push(Session::new(cursor, viewers));
+        // Off-air gap before the next broadcast: 2–48 hours.
+        cursor = sessions.last().expect("just pushed").end_slot()
+            + rng.gen_range(24..576);
+    }
+    Channel::new(id, bitrate_kbps, sessions)
+}
+
+/// Session duration in slots: log-normal in minutes (median ≈ 100 min,
+/// σ ≈ 0.75) truncated to `[1, 120]` slots — the Fig. 5 shape.
+fn sample_duration_slots<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+    loop {
+        let z = standard_normal(rng);
+        let minutes = (100.0f64.ln() + 0.75 * z).exp();
+        let slots = (minutes / SLOT_MINUTES).round() as i64;
+        if (1..=MAX_SESSION_SLOTS as i64).contains(&slots) {
+            return slots as u32;
+        }
+        // Over-cap draws are re-sampled: the real pipeline *filters*
+        // them out, which conditions the distribution the same way.
+    }
+}
+
+/// Ramp → plateau → decay viewer dynamics with multiplicative noise.
+fn viewer_series<R: Rng + ?Sized>(base: f64, slots: u32, rng: &mut R) -> Vec<u32> {
+    let n = slots as usize;
+    let ramp = (n / 5).max(1);
+    let decay_start = n - (n / 6).max(1);
+    (0..n)
+        .map(|i| {
+            let envelope = if i < ramp {
+                0.3 + 0.7 * (i as f64 + 1.0) / ramp as f64
+            } else if i >= decay_start {
+                let k = (n - i) as f64 / (n - decay_start) as f64;
+                0.4 + 0.6 * k
+            } else {
+                1.0
+            };
+            let noise: f64 = rng.gen_range(0.85..1.15);
+            (base * envelope * noise).round().max(1.0) as u32
+        })
+        .collect()
+}
+
+/// Poisson sample (Knuth's method; fine for small λ).
+fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 100 {
+            return k; // numerically unreachable for λ ≈ 2
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_SESSIONS;
+
+    #[test]
+    fn paper_scale_counts_match() {
+        let t = TraceGenerator::paper_scale(42).generate();
+        assert_eq!(t.channels().len(), PAPER_CHANNELS);
+        let sessions = t.session_count();
+        let target = PAPER_SESSIONS as f64;
+        assert!(
+            (sessions as f64 - target).abs() / target < 0.08,
+            "sessions {sessions} vs {target}"
+        );
+    }
+
+    #[test]
+    fn all_sessions_pass_duration_filter() {
+        let t = TraceGenerator::new(300, 9).generate();
+        assert!(t.sessions().all(|(_, s)| s.within_duration_filter()));
+    }
+
+    #[test]
+    fn duration_histogram_has_fig5_shape() {
+        // Mass concentrates between 30 min and 4 h, with a thin tail
+        // toward the 10 h cap.
+        let t = TraceGenerator::paper_scale(5).generate();
+        let durations: Vec<f64> =
+            t.sessions().map(|(_, s)| s.duration_minutes()).collect();
+        let n = durations.len() as f64;
+        let share = |lo: f64, hi: f64| {
+            durations.iter().filter(|&&d| d >= lo && d < hi).count() as f64 / n
+        };
+        assert!(share(30.0, 240.0) > 0.55, "core mass {}", share(30.0, 240.0));
+        assert!(share(480.0, 601.0) < 0.10, "tail mass {}", share(480.0, 601.0));
+        // Unimodal-ish: the 60–120 bin beats the 480–540 bin hard.
+        assert!(share(60.0, 120.0) > 5.0 * share(480.0, 540.0));
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let t = TraceGenerator::paper_scale(8).generate();
+        let mut peaks: Vec<u32> =
+            t.channels().iter().map(|c| c.sessions()[0].peak_viewers()).collect();
+        peaks.sort_unstable();
+        let median = peaks[peaks.len() / 2] as f64;
+        let p99 = peaks[peaks.len() * 99 / 100] as f64;
+        assert!(p99 > 20.0 * median, "not heavy-tailed: median {median}, p99 {p99}");
+    }
+
+    #[test]
+    fn sessions_do_not_overlap_within_channel() {
+        let t = TraceGenerator::new(200, 3).generate();
+        for c in t.channels() {
+            for w in c.sessions().windows(2) {
+                assert!(w[0].end_slot() <= w[1].start_slot());
+            }
+        }
+    }
+
+    #[test]
+    fn viewer_series_ramps_and_decays() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = viewer_series(1000.0, 60, &mut rng);
+        let early = v[0] as f64;
+        let mid = v[30] as f64;
+        let last = v[59] as f64;
+        assert!(mid > early, "no ramp: {early} → {mid}");
+        assert!(mid > last, "no decay: {mid} → {last}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = TraceGenerator::new(50, 1).generate();
+        let b = TraceGenerator::new(50, 1).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bitrates_come_from_the_ladder() {
+        let t = TraceGenerator::new(400, 6).generate();
+        for c in t.channels() {
+            assert!([1200.0, 3000.0, 6000.0].contains(&c.bitrate_kbps()));
+        }
+    }
+}

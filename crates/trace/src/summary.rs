@@ -1,0 +1,111 @@
+//! Dataset-level statistics.
+
+use crate::channel::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics of one trace.
+///
+/// # Example
+///
+/// ```
+/// use lpvs_trace::generator::TraceGenerator;
+/// use lpvs_trace::summary::TraceSummary;
+///
+/// let trace = TraceGenerator::new(100, 8).generate();
+/// let s = TraceSummary::from_trace(&trace);
+/// assert_eq!(s.channels, 100);
+/// assert!(s.mean_session_minutes > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Number of channels.
+    pub channels: usize,
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Total broadcast minutes across all sessions.
+    pub total_broadcast_minutes: f64,
+    /// Mean session duration in minutes.
+    pub mean_session_minutes: f64,
+    /// Median session duration in minutes.
+    pub median_session_minutes: f64,
+    /// Total viewer-minutes watched (viewer-slots × slot length).
+    pub viewer_minutes: f64,
+    /// Largest single-slot viewer count observed.
+    pub peak_viewers: u32,
+}
+
+impl TraceSummary {
+    /// Computes the summary of `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut durations: Vec<f64> =
+            trace.sessions().map(|(_, s)| s.duration_minutes()).collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        let sessions = durations.len();
+        let total: f64 = durations.iter().sum();
+        let median = if sessions == 0 {
+            0.0
+        } else if sessions % 2 == 1 {
+            durations[sessions / 2]
+        } else {
+            0.5 * (durations[sessions / 2 - 1] + durations[sessions / 2])
+        };
+        let viewer_slots: u64 = trace.sessions().map(|(_, s)| s.viewer_slots()).sum();
+        let peak = trace
+            .sessions()
+            .map(|(_, s)| s.peak_viewers())
+            .max()
+            .unwrap_or(0);
+        Self {
+            channels: trace.channels().len(),
+            sessions,
+            total_broadcast_minutes: total,
+            mean_session_minutes: if sessions == 0 { 0.0 } else { total / sessions as f64 },
+            median_session_minutes: median,
+            viewer_minutes: viewer_slots as f64 * crate::SLOT_MINUTES,
+            peak_viewers: peak,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, ChannelId};
+    use crate::generator::TraceGenerator;
+    use crate::session::Session;
+
+    #[test]
+    fn summary_of_toy_trace() {
+        let t = Trace::new(vec![Channel::new(
+            ChannelId(0),
+            3000.0,
+            vec![Session::new(0, vec![10, 20]), Session::new(10, vec![5, 5, 5, 5])],
+        )]);
+        let s = TraceSummary::from_trace(&t);
+        assert_eq!(s.channels, 1);
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.total_broadcast_minutes, 30.0);
+        assert_eq!(s.mean_session_minutes, 15.0);
+        assert_eq!(s.median_session_minutes, 15.0);
+        assert_eq!(s.viewer_minutes, (30 + 20) as f64 * 5.0);
+        assert_eq!(s.peak_viewers, 20);
+    }
+
+    #[test]
+    fn empty_trace_summary_is_zero() {
+        let s = TraceSummary::from_trace(&Trace::default());
+        assert_eq!(s.sessions, 0);
+        assert_eq!(s.mean_session_minutes, 0.0);
+        assert_eq!(s.median_session_minutes, 0.0);
+        assert_eq!(s.peak_viewers, 0);
+    }
+
+    #[test]
+    fn generated_summary_is_plausible() {
+        let s = TraceSummary::from_trace(&TraceGenerator::paper_scale(3).generate());
+        // Median log-normal(ln 100, 0.75) ≈ 100 minutes.
+        assert!((60.0..160.0).contains(&s.median_session_minutes));
+        assert!(s.mean_session_minutes >= s.median_session_minutes * 0.8);
+        assert!(s.peak_viewers > 1000);
+    }
+}

@@ -1,0 +1,47 @@
+//! Edge scheduling under pressure: a full emulation of one virtual
+//! cluster whose size exceeds the edge server's transform capacity,
+//! swept over the provider's λ knob (the paper's Fig. 8 scenario).
+//!
+//! Run with: `cargo run --release --example edge_scheduling`
+
+use lpvs::core::baseline::Policy;
+use lpvs::emulator::engine::EmulatorConfig;
+use lpvs::emulator::experiment::run_pair;
+
+fn main() {
+    let sizes = [120usize, 200];
+    let lambdas = [0.5, 2.0];
+    println!("edge server: 100 concurrent 720p transforms (Nokia AirFrame class)\n");
+    println!(
+        "{:>8} | {:>6} | {:>14} | {:>18} | {:>9}",
+        "VC size", "λ", "energy saving", "anxiety reduction", "abandoned"
+    );
+    println!("{}", "-".repeat(68));
+    for size in sizes {
+        for lambda in lambdas {
+            let config = EmulatorConfig {
+                devices: size,
+                slots: 12, // one emulated hour
+                seed: 7 ^ size as u64,
+                lambda,
+                server_streams: 100,
+                ..EmulatorConfig::default()
+            };
+            let (with, without) = run_pair(config, Policy::Lpvs);
+            println!(
+                "{:>8} | {:>6.1} | {:>13.2}% | {:>17.2}% | {:>4} vs {:>3}",
+                size,
+                lambda,
+                100.0 * with.display_saving_ratio(),
+                100.0 * with.anxiety_reduction_vs(&without),
+                with.abandonments(),
+                without.abandonments(),
+            );
+        }
+    }
+    println!(
+        "\nReading: the saving ratio falls as the cluster outgrows the fixed \
+         transform capacity,\nand a larger λ shifts the server toward anxious \
+         (low-battery) viewers."
+    );
+}

@@ -1,0 +1,85 @@
+//! Operator's view of one scheduling slot: who got the transform and
+//! why, what the edge capacity went to, and what each stream's power
+//! profile looks like.
+//!
+//! Run with: `cargo run --example operator_dashboard`
+
+use lpvs::core::explain::{explain, Reason};
+use lpvs::core::problem::{DeviceRequest, SlotProblem};
+use lpvs::core::scheduler::LpvsScheduler;
+use lpvs::display::profile::PowerProfile;
+use lpvs::display::spec::{DisplayKind, DisplaySpec, Resolution};
+use lpvs::media::content::{ContentModel, Genre};
+use lpvs::survey::curve::AnxietyCurve;
+
+fn main() {
+    let cap = 55_440.0;
+    let curve = AnxietyCurve::paper_shape();
+
+    // Eight viewers with varied panels, genres and batteries; edge
+    // capacity for roughly half of the requested pixel throughput.
+    let fleet: [(&str, DisplayKind, Resolution, Genre, f64); 8] = [
+        ("night gamer", DisplayKind::Oled, Resolution::FHD, Genre::Gaming, 0.09),
+        ("sports bar", DisplayKind::Lcd, Resolution::FHD, Genre::Sports, 0.77),
+        ("commuter", DisplayKind::Oled, Resolution::HD, Genre::Talk, 0.22),
+        ("film night", DisplayKind::Oled, Resolution::QHD, Genre::Movie, 0.55),
+        ("concert feed", DisplayKind::Oled, Resolution::HD, Genre::Music, 0.15),
+        ("office lunch", DisplayKind::Lcd, Resolution::HD, Genre::Talk, 0.88),
+        ("budget phone", DisplayKind::Lcd, Resolution::SD, Genre::Gaming, 0.31),
+        ("almost dead", DisplayKind::Oled, Resolution::HD, Genre::Movie, 0.004),
+    ];
+
+    let mut problem = SlotProblem::new(6.0, 2.0, 1.0, curve.clone());
+    let mut profiles = Vec::new();
+    for (i, &(_, kind, resolution, genre, battery)) in fleet.iter().enumerate() {
+        let spec = match kind {
+            DisplayKind::Oled => DisplaySpec::oled_phone(resolution),
+            DisplayKind::Lcd => DisplaySpec::lcd_phone(resolution),
+        };
+        let stats = ContentModel::new(genre, i as u64).chunk_stats(30);
+        let rates: Vec<f64> = stats.iter().map(|s| spec.power_watts(s) + 0.558).collect();
+        profiles.push(PowerProfile::of(&stats, 10.0, &spec));
+        problem.push(DeviceRequest::new(
+            rates,
+            vec![10.0; 30],
+            battery * cap,
+            cap,
+            0.31,
+            lpvs::media::cost::transform_compute_units(resolution, 30.0),
+            0.11,
+        ));
+    }
+
+    let schedule = LpvsScheduler::paper_default().schedule(&problem).unwrap();
+    let explanation = explain(&problem, &schedule.selected);
+
+    println!(
+        "{:>13} | {:>5} | {:>6} | {:>8} | {:>7} | {:>18} | power profile",
+        "viewer", "panel", "rung", "battery", "anxiety", "decision"
+    );
+    println!("{}", "-".repeat(110));
+    for (i, &(name, kind, resolution, _, battery)) in fleet.iter().enumerate() {
+        let decision = match explanation.reasons[i] {
+            Reason::Selected { saving_j, .. } => format!("transform (−{saving_j:.0} J)"),
+            Reason::EnergyInfeasible => "skip: battery".to_owned(),
+            Reason::LostOnCapacity { .. } => "skip: capacity".to_owned(),
+            Reason::NoBenefit => "skip: no benefit".to_owned(),
+        };
+        println!(
+            "{:>13} | {:>5} | {:>6} | {:>7.0}% | {:>7.2} | {:>18} | {}",
+            name,
+            kind.to_string(),
+            resolution.short_name(),
+            battery * 100.0,
+            curve.phi(battery),
+            decision,
+            profiles[i].sparkline(),
+        );
+    }
+    println!("{}", "-".repeat(110));
+    println!("{}", explanation.summary());
+    println!(
+        "slot: {:.0} J saved, objective {:.0}, scheduled in {:?}",
+        schedule.stats.energy_saved_j, schedule.stats.objective, schedule.stats.runtime
+    );
+}

@@ -1,0 +1,57 @@
+//! Survey analysis: regenerate the paper's §III findings from a
+//! synthetic cohort — LBA prevalence, the anxiety curve's shape, and
+//! the video-abandonment anchors.
+//!
+//! Run with: `cargo run --example survey_analysis`
+
+use lpvs::survey::curve::AnxietyCurve;
+use lpvs::survey::extraction::extract_curve;
+use lpvs::survey::generator::SurveyGenerator;
+use lpvs::survey::summary::SurveySummary;
+
+fn main() {
+    let cohort = SurveyGenerator::paper_cohort(1).generate();
+    let summary = SurveySummary::from_cohort(&cohort);
+
+    println!("respondents: {}", summary.respondents);
+    println!(
+        "suffering low-battery anxiety: {:.2}%  (paper: 91.88%)",
+        100.0 * summary.lba_prevalence
+    );
+    println!(
+        "audience lost once battery hits 20%: {:.1}%  (paper: >20%)",
+        100.0 * summary.giveup_at_or_above(20)
+    );
+    println!(
+        "audience lost once battery hits 10%: {:.1}%  (paper: ~50%)\n",
+        100.0 * summary.giveup_at_or_above(10)
+    );
+
+    // The Fig. 2 curve, as ASCII art.
+    let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
+    let linear = AnxietyCurve::linear();
+    println!("anxiety degree vs battery level ('#' survey curve, '.' linear reference)");
+    for row in 0..10 {
+        let threshold = 1.0 - (row as f64 + 0.5) / 10.0;
+        let mut line = String::with_capacity(52);
+        for level in (2..=100).step_by(2) {
+            let survey_here = curve.level(level) >= threshold;
+            let linear_here = linear.level(level) >= threshold;
+            line.push(match (survey_here, linear_here) {
+                (true, _) => '#',
+                (false, true) => '.',
+                (false, false) => ' ',
+            });
+        }
+        println!("{:>4.1} |{line}", threshold + 0.05);
+    }
+    println!("     +{}", "-".repeat(50));
+    println!("      2%{}100%", " ".repeat(42));
+    println!(
+        "\nsharpest rise at {}% battery (the icon-color threshold); \
+         convexity above 20%: {:+.5}, below: {:+.5}",
+        curve.sharpest_rise(),
+        curve.mean_curvature(25, 95),
+        curve.mean_curvature(2, 19),
+    );
+}

@@ -1,0 +1,103 @@
+//! Integration of the extension features: warm-started scheduling,
+//! schedule explanations, power profiles, survey analysis, and the
+//! ABR/network pipeline — all through the public façade.
+
+use lpvs::core::explain::{explain, Reason};
+use lpvs::core::scheduler::LpvsScheduler;
+use lpvs::display::profile::PowerProfile;
+use lpvs::display::spec::{DisplaySpec, Resolution};
+use lpvs::emulator::experiment::synthetic_problem;
+use lpvs::media::abr::AbrController;
+use lpvs::media::content::{ContentModel, Genre};
+use lpvs::media::ladder::BitrateLadder;
+use lpvs::media::network::BandwidthModel;
+use lpvs::survey::analysis::{bootstrap_curve_band, charge_giveup_correlation};
+use lpvs::survey::generator::SurveyGenerator;
+
+#[test]
+fn warm_started_slots_have_low_churn() {
+    // Two consecutive slots over an almost-identical population: warm
+    // starting from the previous selection keeps the transform set
+    // stable.
+    let scheduler = LpvsScheduler::paper_default();
+    let slot1 = synthetic_problem(120, 30.0, 1.0, 41);
+    let first = scheduler.schedule(&slot1).unwrap();
+    // The "next slot": same devices, slightly drained batteries.
+    let mut slot2 = slot1.clone();
+    for r in &mut slot2.requests {
+        r.energy_j = (r.energy_j - 250.0).max(0.0);
+    }
+    let second = scheduler.schedule_warm(&slot2, Some(&first.selected)).unwrap();
+    let churn = second.churn_vs(&first.selected).unwrap();
+    assert!(churn < 0.15, "selection churned {churn} between near-identical slots");
+    assert!(slot2.capacity_feasible(&second.selected));
+}
+
+#[test]
+fn explanations_cover_every_device() {
+    let problem = synthetic_problem(60, 15.0, 1.0, 13);
+    let schedule = LpvsScheduler::paper_default().schedule(&problem).unwrap();
+    let explanation = explain(&problem, &schedule.selected);
+    assert_eq!(explanation.reasons.len(), 60);
+    // Selected devices are explained as such, with positive savings.
+    for (r, &chosen) in explanation.reasons.iter().zip(&schedule.selected) {
+        match (r, chosen) {
+            (Reason::Selected { saving_j, .. }, true) => assert!(*saving_j > 0.0),
+            (Reason::Selected { .. }, false) => panic!("mislabelled selection"),
+            (_, true) => panic!("selected device explained as unselected"),
+            (_, false) => {}
+        }
+    }
+    // Under tight capacity someone must have lost out.
+    assert!(explanation.count("lost-on-capacity") > 0);
+}
+
+#[test]
+fn power_profiles_show_genre_character() {
+    let spec = DisplaySpec::oled_phone(Resolution::FHD);
+    let sports = PowerProfile::of(
+        &ContentModel::new(Genre::Sports, 5).chunk_stats(120),
+        10.0,
+        &spec,
+    );
+    let music = PowerProfile::of(
+        &ContentModel::new(Genre::Music, 5).chunk_stats(120),
+        10.0,
+        &spec,
+    );
+    // Sports is brighter on average; music stages are burstier.
+    assert!(sports.mean_watts() > music.mean_watts());
+    assert!(music.burstiness() > sports.burstiness());
+    assert_eq!(sports.sparkline().chars().count(), 120);
+}
+
+#[test]
+fn survey_analysis_quantifies_extraction_confidence() {
+    let cohort = SurveyGenerator::paper_cohort(23).generate();
+    let band = bootstrap_curve_band(&cohort, 40, 0.05, 6);
+    assert!(band.max_half_width() < 0.05);
+    // The two battery-behaviour questions correlate positively.
+    let r = charge_giveup_correlation(&cohort).unwrap();
+    assert!(r > 0.1 && r < 1.0, "correlation {r}");
+}
+
+#[test]
+fn network_abr_power_pipeline_holds_together() {
+    // Throughput → rung → per-chunk power: the resolution the viewer
+    // ends up with must track the link state, and the power profile of
+    // the delivered stream must be finite and positive throughout.
+    let mut link = BandwidthModel::cellular(17);
+    let mut abr = AbrController::new(BitrateLadder::default());
+    let content = ContentModel::new(Genre::Gaming, 17);
+    let stats = content.chunk_stats(100);
+    let mut watts = Vec::new();
+    for frame in &stats {
+        let rung = abr.next_resolution(link.sample_kbps(), 10.0);
+        let spec = DisplaySpec::oled_phone(rung);
+        watts.push(spec.power_watts(frame));
+    }
+    assert!(watts.iter().all(|w| w.is_finite() && *w > 0.0));
+    let profile = PowerProfile::from_samples(watts.iter().map(|&w| (10.0, w)).collect());
+    assert!(profile.energy_joules() > 0.0);
+    assert!(profile.burstiness() >= 1.0);
+}

@@ -1,0 +1,115 @@
+//! Shape-level checks of the paper's headline claims, at test-sized
+//! scales. The full-scale regenerators live in `lpvs-bench`; these
+//! tests pin the *direction and rough magnitude* of every claim so a
+//! regression cannot silently invert a result.
+
+use lpvs::core::baseline::Policy;
+use lpvs::display::component::{ComponentBudget, PhoneComponent};
+use lpvs::display::spec::DisplayKind;
+use lpvs::display::strategy::{average_band, TABLE_I};
+use lpvs::emulator::engine::EmulatorConfig;
+use lpvs::emulator::experiment::{overhead, retention, run_pair, sufficient_capacity};
+use lpvs::survey::extraction::extract_curve;
+use lpvs::survey::generator::SurveyGenerator;
+use lpvs::survey::summary::SurveySummary;
+
+/// Fig. 1: the display dominates playback power on both panel kinds.
+#[test]
+fn fig1_display_dominates() {
+    for kind in [DisplayKind::Lcd, DisplayKind::Oled] {
+        let budget = ComponentBudget::video_playback(kind);
+        assert_eq!(budget.dominant(), PhoneComponent::Display);
+        assert!(budget.fraction(PhoneComponent::Display) > 0.33);
+    }
+}
+
+/// Table I: the strategy registry averages to the paper's 13–49 % band.
+#[test]
+fn table1_average_band() {
+    let (lo, hi) = average_band();
+    assert!((lo - 0.13).abs() < 0.01);
+    assert!((hi - 0.49).abs() < 0.01);
+    assert_eq!(TABLE_I.len(), 11);
+}
+
+/// Fig. 2 / §III-A: prevalence, abandonment anchors, curve shape.
+#[test]
+fn fig2_survey_findings() {
+    let cohort = SurveyGenerator::paper_cohort(12).generate();
+    let summary = SurveySummary::from_cohort(&cohort);
+    assert!((summary.lba_prevalence - 0.9188).abs() < 0.02);
+    assert!(summary.giveup_at_or_above(10) > 0.40);
+    assert!(summary.giveup_at_or_above(20) < 0.30);
+
+    let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
+    assert!(curve.is_monotone());
+    let rise = curve.sharpest_rise();
+    assert!(
+        (18..=22).contains(&rise),
+        "sharp rise at {rise}%, expected the icon threshold near 20%"
+    );
+    assert!(curve.mean_curvature(25, 95) > 0.0, "not convex above 20%");
+    assert!(curve.mean_curvature(2, 19) < 0.0, "not concave below 20%");
+}
+
+/// Fig. 7 shape: display-energy saving lands in the ~35 % zone and the
+/// anxiety reduction is positive but an order smaller.
+#[test]
+fn fig7_sufficient_capacity_shape() {
+    let rows = sufficient_capacity(&[16, 24], 6, 21);
+    for r in &rows {
+        assert!(
+            (0.15..=0.55).contains(&r.energy_saving),
+            "energy saving {:.3} out of the Fig. 7 zone",
+            r.energy_saving
+        );
+        assert!(r.anxiety_reduction > 0.0);
+        assert!(
+            r.anxiety_reduction < r.energy_saving,
+            "anxiety reduction should be the smaller effect"
+        );
+    }
+}
+
+/// Fig. 8 shape: with capacity fixed, a bigger cluster saves a smaller
+/// fraction.
+#[test]
+fn fig8_limited_capacity_shape() {
+    let small = EmulatorConfig {
+        devices: 12,
+        slots: 4,
+        seed: 9,
+        server_streams: 8,
+        ..Default::default()
+    };
+    let large = EmulatorConfig { devices: 36, ..small };
+    let (with_small, _) = run_pair(small, Policy::Lpvs);
+    let (with_large, _) = run_pair(large, Policy::Lpvs);
+    assert!(
+        with_large.display_saving_ratio() < with_small.display_saving_ratio(),
+        "{} vs {}",
+        with_large.display_saving_ratio(),
+        with_small.display_saving_ratio()
+    );
+}
+
+/// Fig. 9 shape: low-battery LPVS users watch meaningfully longer.
+#[test]
+fn fig9_retention_shape() {
+    let tpv = retention(20, 24, 55);
+    assert!(tpv.users > 0);
+    assert!(
+        tpv.gain_ratio() > 0.10,
+        "TPV gain only {:.1}% (paper: ~39%)",
+        100.0 * tpv.gain_ratio()
+    );
+}
+
+/// Fig. 10 shape: runtime grows and fits a line decently.
+#[test]
+fn fig10_overhead_shape() {
+    let (rows, fit) = overhead(&[100, 250, 500], 2);
+    assert!(rows.last().unwrap().runtime_secs >= rows[0].runtime_secs);
+    assert!(fit.slope >= 0.0);
+    assert!(fit.r_squared > 0.5, "runtime not even roughly linear: R² {}", fit.r_squared);
+}
