@@ -17,6 +17,42 @@ use serde::{Deserialize, Serialize};
 /// ratio depending on content.
 pub const DEFAULT_OBSERVATION_STD: f64 = 0.03;
 
+/// Variance-collapse floor. The conjugate update shrinks the belief
+/// variance with every observation; after thousands of slots the
+/// posterior would become so confident that a genuine shift in a
+/// device's ratio (new content genre, display mode change) could no
+/// longer move it. The floor keeps each new observation worth at least
+/// ~0.1 % of the observation noise.
+pub const VARIANCE_FLOOR: f64 = 1e-6;
+
+/// Per-slot variance inflation applied by [`GammaEstimator::forget`]:
+/// each slot without a usable observation doubles the belief variance
+/// (capped at the prior's), so a device returning from a long
+/// disconnect is re-learned rather than trusted on stale evidence.
+pub const FORGET_INFLATION: f64 = 2.0;
+
+/// Why an observation was rejected by [`GammaEstimator::try_observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ObservationError {
+    /// The reported ratio was NaN or infinite.
+    NotFinite,
+    /// The reported ratio was outside `[0, 1]`.
+    OutOfRange(f64),
+}
+
+impl std::fmt::Display for ObservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObservationError::NotFinite => write!(f, "observed ratio is not finite"),
+            ObservationError::OutOfRange(v) => {
+                write!(f, "observed ratio {v} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObservationError {}
+
 /// Online Bayesian estimator for one device's power-reduction ratio.
 ///
 /// # Example
@@ -37,6 +73,9 @@ pub struct GammaEstimator {
     lo: f64,
     hi: f64,
     observations: usize,
+    /// Variance of the original prior — the ceiling staleness-driven
+    /// forgetting inflates toward.
+    prior_variance: f64,
 }
 
 impl GammaEstimator {
@@ -56,6 +95,7 @@ impl GammaEstimator {
             lo,
             hi,
             observations: 0,
+            prior_variance: prior.variance(),
         }
     }
 
@@ -100,11 +140,36 @@ impl GammaEstimator {
     /// Folds in one observed per-slot power-reduction ratio (eq. 17).
     ///
     /// Observations are clamped to `[0, 1]` — a measured ratio outside
-    /// that range is a measurement artifact, not a usable signal.
+    /// that range is a measurement artifact, not a usable signal. NaN
+    /// clamps to 0 on this legacy path; prefer
+    /// [`GammaEstimator::try_observe`], which rejects bad telemetry
+    /// outright instead of letting it bias the belief.
     pub fn observe(&mut self, delta: f64) {
         let delta = delta.clamp(0.0, 1.0);
-        self.belief = self.rule.update(self.belief, delta);
+        let delta = if delta.is_nan() { 0.0 } else { delta };
+        self.belief = floor_variance(self.rule.update(self.belief, delta));
         self.observations += 1;
+    }
+
+    /// Validating variant of [`GammaEstimator::observe`]: the belief is
+    /// updated only if the reported ratio is finite and inside `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`ObservationError::NotFinite`] for NaN/±∞ reports (corrupt
+    /// telemetry), [`ObservationError::OutOfRange`] for finite reports
+    /// outside `[0, 1]`. The belief and observation count are untouched
+    /// on rejection.
+    pub fn try_observe(&mut self, delta: f64) -> Result<(), ObservationError> {
+        if !delta.is_finite() {
+            return Err(ObservationError::NotFinite);
+        }
+        if !(0.0..=1.0).contains(&delta) {
+            return Err(ObservationError::OutOfRange(delta));
+        }
+        self.belief = floor_variance(self.rule.update(self.belief, delta));
+        self.observations += 1;
+        Ok(())
     }
 
     /// Folds in several observations at once.
@@ -112,6 +177,31 @@ impl GammaEstimator {
         for &d in deltas {
             self.observe(d);
         }
+    }
+
+    /// Staleness-aware forgetting: widens the belief by
+    /// [`FORGET_INFLATION`] per slot spent without a usable
+    /// observation (disconnects, rejected telemetry), capped at the
+    /// prior variance. The mean is untouched, but the truncated point
+    /// estimate naturally drifts toward the band center as confidence
+    /// decays — exactly the prior's behavior.
+    pub fn forget(&mut self, stale_slots: u32) {
+        if stale_slots == 0 {
+            return;
+        }
+        let ceiling = self.prior_variance.max(self.belief.variance());
+        let inflated =
+            (self.belief.variance() * FORGET_INFLATION.powi(stale_slots as i32)).min(ceiling);
+        self.belief = Gaussian::new(self.belief.mean(), inflated);
+    }
+}
+
+/// Applies the variance-collapse guard.
+fn floor_variance(g: Gaussian) -> Gaussian {
+    if g.variance() < VARIANCE_FLOOR {
+        Gaussian::new(g.mean(), VARIANCE_FLOOR)
+    } else {
+        g
     }
 }
 
@@ -202,5 +292,68 @@ mod tests {
     #[test]
     fn default_is_paper_default() {
         assert_eq!(GammaEstimator::default(), GammaEstimator::paper_default());
+    }
+
+    #[test]
+    fn try_observe_rejects_corrupt_telemetry() {
+        let mut est = GammaEstimator::paper_default();
+        let before = est.clone();
+        assert_eq!(est.try_observe(f64::NAN), Err(ObservationError::NotFinite));
+        assert_eq!(est.try_observe(f64::INFINITY), Err(ObservationError::NotFinite));
+        assert_eq!(est.try_observe(-0.2), Err(ObservationError::OutOfRange(-0.2)));
+        assert_eq!(est.try_observe(1.4), Err(ObservationError::OutOfRange(1.4)));
+        // Rejected reports leave the belief and counter untouched.
+        assert_eq!(est, before);
+        assert_eq!(est.observations(), 0);
+        assert_eq!(est.try_observe(0.37), Ok(()));
+        assert_eq!(est.observations(), 1);
+        assert!(est.uncertainty() < before.uncertainty());
+    }
+
+    #[test]
+    fn legacy_observe_treats_nan_as_zero_not_poison() {
+        let mut nan = GammaEstimator::paper_default();
+        let mut zero = GammaEstimator::paper_default();
+        nan.observe(f64::NAN);
+        zero.observe(0.0);
+        assert_eq!(nan.belief(), zero.belief());
+        assert!(nan.expected().is_finite());
+    }
+
+    #[test]
+    fn variance_never_collapses_below_the_floor() {
+        let mut est = GammaEstimator::paper_default();
+        for _ in 0..20_000 {
+            est.observe(0.31);
+        }
+        assert!(est.belief().variance() >= VARIANCE_FLOOR);
+        // A shifted truth can still move the floored belief.
+        let before = est.expected();
+        for _ in 0..2_000 {
+            est.observe(0.45);
+        }
+        assert!(est.expected() > before + 0.01, "belief frozen by collapse");
+    }
+
+    #[test]
+    fn forgetting_inflates_uncertainty_toward_the_prior() {
+        let mut est = GammaEstimator::paper_default();
+        for _ in 0..30 {
+            est.observe(0.42);
+        }
+        let confident = est.uncertainty();
+        est.forget(0);
+        assert_eq!(est.uncertainty(), confident, "zero stale slots is a no-op");
+        est.forget(3);
+        let wider = est.uncertainty();
+        assert!(wider > confident);
+        // The mean is untouched; only confidence decays.
+        assert!((est.belief().mean() - 0.42).abs() < 0.01);
+        // Unbounded staleness saturates at the prior variance.
+        est.forget(10_000);
+        assert!(est.belief().variance() <= GAMMA_PRIOR_VARIANCE + 1e-9);
+        // And the point estimate has drifted back toward the band
+        // center, like a fresh prior.
+        assert!((est.expected() - GAMMA_PRIOR_MEAN).abs() < 0.02);
     }
 }

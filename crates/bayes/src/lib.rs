@@ -44,7 +44,7 @@ pub mod integrate;
 pub mod truncated;
 
 pub use conjugate::ConjugateUpdate;
-pub use estimator::GammaEstimator;
+pub use estimator::{GammaEstimator, ObservationError};
 pub use gaussian::Gaussian;
 pub use integrate::simpson;
 pub use truncated::TruncatedGaussian;

@@ -79,21 +79,19 @@ impl SelectionPolicy for Policy {
             }
             Policy::LowestBattery => {
                 let mut order = feasible_indices(problem);
+                // total_cmp keeps the sort panic-free even if corrupt
+                // telemetry smuggles a NaN past feasibility fixing.
                 order.sort_by(|&a, &b| {
                     problem.requests[a]
                         .battery_fraction()
-                        .partial_cmp(&problem.requests[b].battery_fraction())
-                        .expect("finite battery")
+                        .total_cmp(&problem.requests[b].battery_fraction())
                 });
                 admit_in_order(problem, &order)
             }
             Policy::HighestSaving => {
                 let mut order = feasible_indices(problem);
                 order.sort_by(|&a, &b| {
-                    problem.requests[b]
-                        .saving_j()
-                        .partial_cmp(&problem.requests[a].saving_j())
-                        .expect("finite saving")
+                    problem.requests[b].saving_j().total_cmp(&problem.requests[a].saving_j())
                 });
                 admit_in_order(problem, &order)
             }

@@ -108,6 +108,63 @@ impl DeviceRequest {
         )
     }
 
+    /// Builds a request directly from raw telemetry **without
+    /// validation** — the edge-side ingestion path, where reports may
+    /// be stale or corrupt (NaN γ, negative energies, …). Such a
+    /// request is only safe to hand to
+    /// [`LpvsScheduler::schedule_resilient`](crate::scheduler::LpvsScheduler::schedule_resilient),
+    /// which sanitizes it; the validating [`DeviceRequest::new`] path
+    /// remains the contract for everything else.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_telemetry(
+        power_rates_w: Vec<f64>,
+        chunk_secs: Vec<f64>,
+        energy_j: f64,
+        capacity_j: f64,
+        gamma: f64,
+        compute_cost: f64,
+        storage_cost_gb: f64,
+    ) -> Self {
+        Self {
+            power_rates_w,
+            chunk_secs,
+            energy_j,
+            capacity_j,
+            gamma,
+            compute_cost,
+            storage_cost_gb,
+        }
+    }
+
+    /// True when every field satisfies the invariants
+    /// [`DeviceRequest::new`] asserts: matched non-empty vectors,
+    /// finite nonnegative rates/energies/costs, positive durations and
+    /// capacity, γ ∈ [0, 1). Raw telemetry
+    /// ([`DeviceRequest::from_telemetry`]) failing this check is
+    /// rejected by the resilient scheduler's sanitization pass.
+    pub fn is_valid(&self) -> bool {
+        !self.power_rates_w.is_empty()
+            && self.power_rates_w.len() == self.chunk_secs.len()
+            && self.power_rates_w.iter().all(|p| p.is_finite() && *p >= 0.0)
+            && self.chunk_secs.iter().all(|d| d.is_finite() && *d > 0.0)
+            && self.energy_j.is_finite()
+            && self.energy_j >= 0.0
+            && self.capacity_j.is_finite()
+            && self.capacity_j > 0.0
+            && (0.0..1.0).contains(&self.gamma)
+            && self.compute_cost.is_finite()
+            && self.compute_cost >= 0.0
+            && self.storage_cost_gb.is_finite()
+            && self.storage_cost_gb >= 0.0
+    }
+
+    /// An inert placeholder request: zero power, zero savings, zero
+    /// resource cost, full battery. Used by sanitization to keep device
+    /// indices stable while neutralizing rejected telemetry.
+    pub(crate) fn inert() -> Self {
+        Self::new(vec![0.0], vec![1.0], 1.0, 1.0, 0.0, 0.0, 0.0)
+    }
+
     /// Number of available chunks `K` for this device.
     pub fn num_chunks(&self) -> usize {
         self.power_rates_w.len()
@@ -187,6 +244,35 @@ impl SlotProblem {
         self.requests.is_empty()
     }
 
+    /// Splits the problem into a solver-safe copy and a per-device
+    /// validity mask.
+    ///
+    /// Devices whose telemetry fails [`DeviceRequest::is_valid`] are
+    /// replaced by inert placeholders (zero saving, zero cost) so that
+    /// indices stay aligned with the cluster; callers must force such
+    /// devices unselected, which the resilient scheduler does.
+    /// Non-finite or negative capacities collapse to zero (nothing can
+    /// be admitted against a capacity we cannot trust) and a non-finite
+    /// or negative λ falls back to zero (pure energy objective).
+    pub fn sanitize(&self) -> (SlotProblem, Vec<bool>) {
+        let valid: Vec<bool> = self.requests.iter().map(DeviceRequest::is_valid).collect();
+        let requests = self
+            .requests
+            .iter()
+            .zip(&valid)
+            .map(|(r, &ok)| if ok { r.clone() } else { DeviceRequest::inert() })
+            .collect();
+        let safe_capacity = |c: f64| if c.is_finite() && c >= 0.0 { c } else { 0.0 };
+        let clean = SlotProblem {
+            requests,
+            compute_capacity: safe_capacity(self.compute_capacity),
+            storage_capacity_gb: safe_capacity(self.storage_capacity_gb),
+            lambda: safe_capacity(self.lambda),
+            curve: self.curve.clone(),
+        };
+        (clean, valid)
+    }
+
     /// True if a selection respects both capacity rows.
     ///
     /// # Panics
@@ -245,6 +331,66 @@ mod tests {
         let mut p = SlotProblem::new(1.0, 1.0, 1.0, AnxietyCurve::paper_shape());
         p.push(request());
         let _ = p.capacity_feasible(&[]);
+    }
+
+    #[test]
+    fn validity_mirrors_constructor_invariants() {
+        assert!(request().is_valid());
+        let corrupt = |f: fn(&mut DeviceRequest)| {
+            let mut r = request();
+            f(&mut r);
+            r.is_valid()
+        };
+        assert!(!corrupt(|r| r.gamma = f64::NAN));
+        assert!(!corrupt(|r| r.gamma = -0.2));
+        assert!(!corrupt(|r| r.gamma = 1.0));
+        assert!(!corrupt(|r| r.energy_j = f64::INFINITY));
+        assert!(!corrupt(|r| r.energy_j = -1.0));
+        assert!(!corrupt(|r| r.capacity_j = 0.0));
+        assert!(!corrupt(|r| r.compute_cost = f64::NAN));
+        assert!(!corrupt(|r| r.storage_cost_gb = -0.1));
+        assert!(!corrupt(|r| r.power_rates_w = vec![]));
+        assert!(!corrupt(|r| r.chunk_secs[0] = 0.0));
+        assert!(!corrupt(|r| r.power_rates_w.push(1.0)));
+    }
+
+    #[test]
+    fn from_telemetry_carries_garbage_unvalidated() {
+        let r = DeviceRequest::from_telemetry(
+            vec![1.0],
+            vec![10.0],
+            f64::NAN,
+            55_440.0,
+            f64::NAN,
+            1.0,
+            0.1,
+        );
+        assert!(!r.is_valid());
+    }
+
+    #[test]
+    fn sanitize_neutralizes_corrupt_devices_and_capacities() {
+        let mut p = SlotProblem::new(1.5, 0.15, 1.0, AnxietyCurve::paper_shape());
+        p.push(request());
+        let mut bad = request();
+        bad.gamma = f64::NAN;
+        p.push(bad);
+        p.compute_capacity = f64::NAN;
+        p.lambda = f64::NEG_INFINITY;
+        let (clean, valid) = p.sanitize();
+        assert_eq!(valid, vec![true, false]);
+        assert_eq!(clean.len(), 2);
+        assert!(clean.requests[1].is_valid(), "placeholder must be solver-safe");
+        assert_eq!(clean.requests[1].saving_j(), 0.0);
+        assert_eq!(clean.requests[1].compute_cost, 0.0);
+        assert_eq!(clean.compute_capacity, 0.0);
+        assert_eq!(clean.storage_capacity_gb, 0.15);
+        assert_eq!(clean.lambda, 0.0);
+        // A clean problem round-trips unchanged.
+        let fresh = SlotProblem::new(1.5, 0.15, 1.0, AnxietyCurve::paper_shape());
+        let (same, mask) = fresh.sanitize();
+        assert_eq!(same, fresh);
+        assert!(mask.is_empty());
     }
 
     #[test]

@@ -4,9 +4,88 @@ use crate::objective::objective_value;
 use crate::phase1::{solve_phase1_warm, Phase1Config, Phase1Solver};
 use crate::phase2::{run_phase2, Phase2Stats};
 use crate::problem::SlotProblem;
+use lpvs_edge::slot::SlotBudget;
 use lpvs_solver::SolverError;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// Which rung of the graceful-degradation ladder produced a slot's
+/// schedule.
+///
+/// [`LpvsScheduler::schedule_resilient`] walks the rungs in order —
+/// exact branch-and-bound, Lagrangian relaxation, greedy knapsack,
+/// reuse of the previous slot's selection, and finally the
+/// no-transform passthrough — until one yields a capacity-feasible
+/// selection within the slot budget. The ordering is by solution
+/// quality, so `Ord` compares severity: `Exact < Lagrangian < … <
+/// Passthrough`.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    Serialize,
+    Deserialize,
+)]
+pub enum Degradation {
+    /// The exact branch-and-bound Phase-1 finished within budget.
+    #[default]
+    Exact,
+    /// Fell back to the Lagrangian relaxation.
+    Lagrangian,
+    /// Fell back to the greedy multi-knapsack.
+    Greedy,
+    /// No solver finished; the previous slot's (still-feasible)
+    /// selection was reused.
+    ReusedPrevious,
+    /// Nothing usable: every stream passes through untransformed.
+    Passthrough,
+}
+
+impl Degradation {
+    /// All rungs, best first.
+    pub const ALL: [Degradation; 5] = [
+        Degradation::Exact,
+        Degradation::Lagrangian,
+        Degradation::Greedy,
+        Degradation::ReusedPrevious,
+        Degradation::Passthrough,
+    ];
+
+    /// Position on the ladder (0 = no degradation).
+    pub fn severity(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the scheduler had to leave its configured solver path.
+    pub fn is_degraded(self) -> bool {
+        self != Degradation::Exact
+    }
+
+    /// Short human-readable rung name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Degradation::Exact => "exact",
+            Degradation::Lagrangian => "lagrangian",
+            Degradation::Greedy => "greedy",
+            Degradation::ReusedPrevious => "reused-previous",
+            Degradation::Passthrough => "passthrough",
+        }
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Scheduler configuration: every knob DESIGN.md's ablations turn.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,6 +147,15 @@ pub struct ScheduleStats {
     pub phase1_nodes: usize,
     /// Phase-2 swap statistics.
     pub phase2: Phase2Stats,
+    /// Ladder rung (equivalently: algorithm) that produced the
+    /// selection. On the plain [`LpvsScheduler::schedule`] path this
+    /// simply names the configured solver;
+    /// [`LpvsScheduler::schedule_resilient`] records how far down the
+    /// ladder it had to fall.
+    pub degradation: Degradation,
+    /// Devices whose telemetry failed validation and were excluded
+    /// from scheduling (resilient path only).
+    pub rejected_devices: usize,
     /// Wall-clock time of the whole scheduling run.
     #[serde(skip, default)]
     pub runtime: Duration,
@@ -163,9 +251,180 @@ impl LpvsScheduler {
             infeasible_devices: phase1.infeasible_devices,
             phase1_nodes: phase1.nodes,
             phase2,
+            degradation: solver_rung(self.config.phase1.solver),
+            rejected_devices: 0,
             runtime: start.elapsed(),
         };
         Ok(Schedule { selected, stats })
+    }
+
+    /// Infallible scheduling with graceful degradation (the robustness
+    /// path of DESIGN.md's failure model).
+    ///
+    /// Unlike [`LpvsScheduler::schedule_warm`], this never panics and
+    /// never returns an error, whatever the input: the problem is
+    /// first sanitized (devices with corrupt telemetry — NaN γ,
+    /// negative energies, mismatched vectors — are rejected and forced
+    /// unselected; garbage capacities and λ collapse to safe values),
+    /// then the fallback ladder runs until a rung produces a
+    /// capacity-feasible selection within `budget`:
+    ///
+    /// 1. the configured solver (exact branch-and-bound by default),
+    /// 2. Lagrangian relaxation,
+    /// 3. greedy multi-knapsack,
+    /// 4. the previous slot's selection, if still feasible,
+    /// 5. no-transform passthrough (always feasible).
+    ///
+    /// The winning rung lands in [`ScheduleStats::degradation`] and
+    /// the number of rejected devices in
+    /// [`ScheduleStats::rejected_devices`]. The budget's node cap only
+    /// ever tightens the configured node limit; the deadline is
+    /// checked between rungs (a solver that started before the
+    /// deadline expired is allowed to finish its bounded search).
+    pub fn schedule_resilient(
+        &self,
+        problem: &SlotProblem,
+        previous: Option<&[bool]>,
+        budget: &SlotBudget,
+    ) -> Schedule {
+        let start = Instant::now();
+        let (clean, valid) = problem.sanitize();
+        let rejected = valid.iter().filter(|&&ok| !ok).count();
+        let n = clean.len();
+        let node_limit = budget
+            .solver_nodes
+            .map_or(self.config.phase1.node_limit, |cap| {
+                cap.clamp(1, self.config.phase1.node_limit.max(1))
+            });
+        let out_of_time = || match budget.deadline_secs {
+            Some(d) => start.elapsed().as_secs_f64() >= d,
+            None => false,
+        };
+
+        // Solver rungs, starting from the configured solver so the
+        // ladder never silently *upgrades* an ablation configuration.
+        let ladder = [Phase1Solver::Exact, Phase1Solver::Lagrangian, Phase1Solver::Greedy];
+        let first = ladder
+            .iter()
+            .position(|&s| s == self.config.phase1.solver)
+            .unwrap_or(0);
+        for &solver in &ladder[first..] {
+            if out_of_time() {
+                break;
+            }
+            let config = SchedulerConfig {
+                phase1: Phase1Config { solver, node_limit, ..self.config.phase1 },
+                enable_phase2: self.config.enable_phase2,
+            };
+            // Defense in depth: sanitization should make the inner
+            // pipeline panic-free, but a rung that panics anyway is a
+            // rung that failed, not a dead slot.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                LpvsScheduler::new(config).schedule_warm(&clean, previous)
+            }));
+            if let Ok(Ok(schedule)) = attempt {
+                let mut selected = schedule.selected;
+                for (x, &ok) in selected.iter_mut().zip(&valid) {
+                    *x = *x && ok;
+                }
+                if clean.capacity_feasible(&selected) {
+                    return finish_resilient(
+                        &clean,
+                        selected,
+                        solver_rung(solver),
+                        rejected,
+                        schedule.stats,
+                        start,
+                    );
+                }
+            }
+        }
+
+        // Rung 4: reuse the previous slot's selection if it is still
+        // feasible for today's (possibly browned-out) capacities.
+        if let Some(previous) = previous {
+            if previous.len() == n {
+                let reused: Vec<bool> =
+                    previous.iter().zip(&valid).map(|(&x, &ok)| x && ok).collect();
+                if clean.capacity_feasible(&reused) && reused.iter().any(|&x| x) {
+                    let stats = ScheduleStats {
+                        objective: 0.0,
+                        energy_saved_j: 0.0,
+                        infeasible_devices: 0,
+                        phase1_nodes: 0,
+                        phase2: Phase2Stats::default(),
+                        degradation: Degradation::ReusedPrevious,
+                        rejected_devices: rejected,
+                        runtime: Duration::ZERO,
+                    };
+                    return finish_resilient(
+                        &clean,
+                        reused,
+                        Degradation::ReusedPrevious,
+                        rejected,
+                        stats,
+                        start,
+                    );
+                }
+            }
+        }
+
+        // Rung 5: passthrough. The empty selection satisfies every
+        // capacity row, so this rung cannot fail.
+        let stats = ScheduleStats {
+            objective: 0.0,
+            energy_saved_j: 0.0,
+            infeasible_devices: 0,
+            phase1_nodes: 0,
+            phase2: Phase2Stats::default(),
+            degradation: Degradation::Passthrough,
+            rejected_devices: rejected,
+            runtime: Duration::ZERO,
+        };
+        finish_resilient(
+            &clean,
+            vec![false; n],
+            Degradation::Passthrough,
+            rejected,
+            stats,
+            start,
+        )
+    }
+}
+
+/// Recomputes the final-selection metrics on the sanitized problem
+/// and stamps the ladder outcome into the stats.
+fn finish_resilient(
+    clean: &SlotProblem,
+    selected: Vec<bool>,
+    rung: Degradation,
+    rejected: usize,
+    inner: ScheduleStats,
+    start: Instant,
+) -> Schedule {
+    let energy_saved_j = clean
+        .requests
+        .iter()
+        .zip(&selected)
+        .map(|(r, &x)| if x { r.saving_j() } else { 0.0 })
+        .sum();
+    let stats = ScheduleStats {
+        objective: objective_value(clean, &selected),
+        energy_saved_j,
+        degradation: rung,
+        rejected_devices: rejected,
+        runtime: start.elapsed(),
+        ..inner
+    };
+    Schedule { selected, stats }
+}
+
+/// The ladder rung corresponding to a Phase-1 solver.
+fn solver_rung(solver: Phase1Solver) -> Degradation {
+    match solver {
+        Phase1Solver::Exact => Degradation::Exact,
+        Phase1Solver::Lagrangian => Degradation::Lagrangian,
+        Phase1Solver::Greedy => Degradation::Greedy,
     }
 }
 
@@ -294,5 +553,123 @@ mod tests {
         let a = LpvsScheduler::paper_default().schedule(&p).unwrap();
         let b = LpvsScheduler::paper_default().schedule(&p).unwrap();
         assert_eq!(a.selected, b.selected);
+    }
+
+    #[test]
+    fn degradation_severity_orders_the_ladder() {
+        for pair in Degradation::ALL.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+        assert!(!Degradation::Exact.is_degraded());
+        assert!(Degradation::Passthrough.is_degraded());
+        assert_eq!(Degradation::ReusedPrevious.to_string(), "reused-previous");
+    }
+
+    #[test]
+    fn resilient_matches_plain_on_clean_input() {
+        let p = random_problem(40, 12.0, 1.0, 11);
+        let plain = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        let resilient = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(resilient.selected, plain.selected);
+        assert_eq!(resilient.stats.degradation, Degradation::Exact);
+        assert_eq!(resilient.stats.rejected_devices, 0);
+    }
+
+    #[test]
+    fn resilient_rejects_corrupt_telemetry_without_panicking() {
+        let mut p = random_problem(30, 12.0, 1.0, 13);
+        p.requests[3].gamma = f64::NAN;
+        p.requests[7].energy_j = -50.0;
+        p.requests[11].power_rates_w[0] = f64::INFINITY;
+        let s = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert!(!s.selected[3] && !s.selected[7] && !s.selected[11]);
+        assert_eq!(s.stats.rejected_devices, 3);
+        assert_eq!(s.stats.degradation, Degradation::Exact);
+        assert!(p.capacity_feasible(&s.selected));
+        assert!(s.num_selected() > 0, "healthy devices still get scheduled");
+    }
+
+    #[test]
+    fn resilient_zero_deadline_walks_to_the_bottom_rungs() {
+        let p = random_problem(20, 8.0, 1.0, 17);
+        let budget = SlotBudget::unbounded().with_deadline_secs(0.0);
+        // No previous selection: nothing to reuse, passthrough.
+        let cold = LpvsScheduler::paper_default().schedule_resilient(&p, None, &budget);
+        assert_eq!(cold.stats.degradation, Degradation::Passthrough);
+        assert_eq!(cold.num_selected(), 0);
+        // A standing feasible selection is reused verbatim.
+        let standing = LpvsScheduler::paper_default().schedule(&p).unwrap().selected;
+        let warm = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            Some(&standing),
+            &budget,
+        );
+        assert_eq!(warm.stats.degradation, Degradation::ReusedPrevious);
+        assert_eq!(warm.selected, standing);
+        assert!(warm.stats.energy_saved_j > 0.0);
+    }
+
+    #[test]
+    fn resilient_reuse_masks_devices_that_went_corrupt() {
+        let mut p = random_problem(20, 8.0, 1.0, 19);
+        let standing = LpvsScheduler::paper_default().schedule(&p).unwrap().selected;
+        let victim = standing.iter().position(|&x| x).unwrap();
+        p.requests[victim].gamma = f64::NAN;
+        let budget = SlotBudget::unbounded().with_deadline_secs(0.0);
+        let s = LpvsScheduler::paper_default().schedule_resilient(&p, Some(&standing), &budget);
+        assert_eq!(s.stats.degradation, Degradation::ReusedPrevious);
+        assert!(!s.selected[victim]);
+        assert_eq!(s.stats.rejected_devices, 1);
+    }
+
+    #[test]
+    fn resilient_node_cut_keeps_feasibility() {
+        let p = random_problem(60, 20.0, 1.0, 23);
+        let budget = SlotBudget::unbounded().with_solver_nodes(1);
+        let s = LpvsScheduler::paper_default().schedule_resilient(&p, None, &budget);
+        assert!(p.capacity_feasible(&s.selected));
+        assert!(s.num_selected() > 0);
+    }
+
+    #[test]
+    fn resilient_survives_fully_corrupt_slots() {
+        // Every device corrupt, garbage capacities and λ: the slot
+        // must still come back (empty) rather than panic.
+        let mut p = random_problem(10, 5.0, 1.0, 29);
+        for r in &mut p.requests {
+            r.gamma = f64::NAN;
+            r.energy_j = f64::NEG_INFINITY;
+        }
+        p.compute_capacity = f64::NAN;
+        p.storage_capacity_gb = -3.0;
+        p.lambda = f64::INFINITY;
+        let s = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(s.num_selected(), 0);
+        assert_eq!(s.stats.rejected_devices, 10);
+        assert!(s.stats.objective.is_finite());
+    }
+
+    #[test]
+    fn resilient_handles_empty_problems() {
+        let p = SlotProblem::new(1.0, 1.0, 1.0, AnxietyCurve::paper_shape());
+        let s = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert!(s.selected.is_empty());
+        assert_eq!(s.stats.degradation, Degradation::Exact);
     }
 }

@@ -233,6 +233,9 @@ impl Default for FrameStats {
     }
 }
 
+// Referenced via `#[serde(with = "hist_serde")]`; the vendored derive
+// does not emit that reference, so the lint cannot see the use.
+#[allow(dead_code)]
 mod hist_serde {
     //! Serde shims for the fixed-size histogram (serde's built-in array
     //! impls stop at 32 elements).

@@ -58,6 +58,10 @@ pub struct Device {
     watched_secs: f64,
     /// Set once the user abandons (battery at/below the threshold).
     given_up: bool,
+    /// Whether the device is currently reachable. Disconnected devices
+    /// neither report telemetry nor play; reconnecting restores them
+    /// (their battery state is unchanged while away).
+    connected: bool,
 }
 
 impl Device {
@@ -75,6 +79,7 @@ impl Device {
             non_display_w: non_display_mw / 1000.0,
             watched_secs: 0.0,
             given_up: false,
+            connected: true,
         }
     }
 
@@ -113,10 +118,26 @@ impl Device {
         self.given_up
     }
 
-    /// Whether the device can keep watching: battery above the give-up
-    /// threshold and not already abandoned.
+    /// Whether the device is currently reachable.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Drops the device off the network (mid-session disconnect fault).
+    /// Idempotent; playback and telemetry stop until reconnected.
+    pub fn disconnect(&mut self) {
+        self.connected = false;
+    }
+
+    /// Restores connectivity after a disconnect. Idempotent.
+    pub fn reconnect(&mut self) {
+        self.connected = true;
+    }
+
+    /// Whether the device can keep watching: connected, battery above
+    /// the give-up threshold, and not already abandoned.
     pub fn is_watching(&self) -> bool {
-        !self.given_up && !self.battery.is_empty()
+        self.connected && !self.given_up && !self.battery.is_empty()
     }
 
     /// Whole-device power rate (W) when showing `frame` with the
@@ -246,6 +267,22 @@ mod tests {
         let watched = d.play(&frame, 1e9, 1.0);
         assert!(watched > 0.0);
         assert!(d.battery().is_empty());
+    }
+
+    #[test]
+    fn disconnect_pauses_playback_and_reconnect_resumes() {
+        let frame = FrameStats::uniform_gray(0.6);
+        let mut d = device(0.8, 5);
+        assert!(d.is_connected());
+        d.disconnect();
+        assert!(!d.is_connected());
+        assert!(!d.is_watching());
+        // Offline play drains nothing and advances no watch time.
+        assert_eq!(d.play(&frame, 300.0, 1.0), 0.0);
+        assert!((d.battery().fraction() - 0.8).abs() < 1e-12);
+        d.reconnect();
+        assert!(d.is_watching());
+        assert!(d.play(&frame, 300.0, 1.0) > 0.0);
     }
 
     #[test]

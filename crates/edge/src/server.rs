@@ -116,6 +116,16 @@ impl EdgeServer {
         self.storage_used_gb = 0.0;
     }
 
+    /// A browned-out view of this server: both capacities scaled by
+    /// `factor` ∈ [0, 1]. Reservations are not carried over — the
+    /// derated server starts its slot empty. Out-of-range factors are
+    /// clamped; a non-finite factor (corrupt fault telemetry) is
+    /// treated as a full brownout, the fail-safe direction.
+    pub fn browned_out(&self, factor: f64) -> EdgeServer {
+        let factor = if factor.is_finite() { factor.clamp(0.0, 1.0) } else { 0.0 };
+        EdgeServer::new(self.compute_capacity * factor, self.storage_capacity_gb * factor)
+    }
+
     /// Compute utilization in `[0, 1]` (0 when capacity is zero).
     pub fn compute_utilization(&self) -> f64 {
         if self.compute_capacity <= 0.0 {
@@ -180,5 +190,23 @@ mod tests {
     #[should_panic(expected = "compute capacity")]
     fn negative_capacity_rejected() {
         let _ = EdgeServer::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn brownout_derates_both_capacities() {
+        let s = EdgeServer::new(10.0, 2.0);
+        let b = s.browned_out(0.3);
+        assert!((b.compute_capacity() - 3.0).abs() < 1e-12);
+        assert!((b.storage_capacity_gb() - 0.6).abs() < 1e-12);
+        assert_eq!(b.compute_used(), 0.0);
+    }
+
+    #[test]
+    fn brownout_clamps_and_fails_safe_on_garbage() {
+        let s = EdgeServer::new(10.0, 2.0);
+        assert_eq!(s.browned_out(1.7).compute_capacity(), 10.0);
+        assert_eq!(s.browned_out(-0.5).compute_capacity(), 0.0);
+        assert_eq!(s.browned_out(f64::NAN).compute_capacity(), 0.0);
+        assert_eq!(s.browned_out(f64::INFINITY).compute_capacity(), 0.0);
     }
 }

@@ -22,14 +22,18 @@
 //! Fig. 9 cohort), while comfortable users keep the conservative
 //! default.
 
+use crate::faults::{FaultConfig, FaultPlan, GammaCorruption};
 use crate::gather::gather_problem;
 use crate::metrics::{EmulationReport, SlotRecord};
-use lpvs_bayes::GammaEstimator;
+use lpvs_bayes::{GammaEstimator, GAMMA_PRIOR_MEAN};
 use lpvs_core::baseline::{Policy, SelectionPolicy};
+use lpvs_core::problem::SlotProblem;
+use lpvs_core::scheduler::{Degradation, LpvsScheduler};
 use lpvs_display::quality::QualityBudget;
 use lpvs_display::stats::FrameStats;
 use lpvs_edge::cache::PrefetchPolicy;
 use lpvs_edge::cluster::{ClusterGenerator, VirtualCluster};
+use lpvs_edge::slot::SlotBudget;
 use lpvs_media::content::{ContentModel, Genre};
 use lpvs_media::encoder::TransformEncoder;
 use lpvs_media::ladder::BitrateLadder;
@@ -90,6 +94,10 @@ pub struct EmulatorConfig {
     /// CDN→edge prefetch policy bounding each device's available chunk
     /// window `K_m` (paper eq. 1, Fig. 4).
     pub prefetch: PrefetchPolicy,
+    /// Fault-injection profile (defaults to no faults). The fault RNG
+    /// is salted independently of `seed`, so turning faults on does
+    /// not reshuffle the population or the content trace.
+    pub faults: FaultConfig,
 }
 
 impl Default for EmulatorConfig {
@@ -108,9 +116,15 @@ impl Default for EmulatorConfig {
             display_only_drain: false,
             one_slot_ahead: false,
             prefetch: PrefetchPolicy::Full,
+            faults: FaultConfig::none(),
         }
     }
 }
+
+/// A budget-cut fault retaining less than this fraction of the solve
+/// budget models a stall: the decision deadline passes before the
+/// solver can run at all, pushing the ladder to its bottom rungs.
+const STALL_FRACTION: f64 = 0.10;
 
 /// Battery fraction below which a viewer consents to the aggressive
 /// quality budget.
@@ -213,14 +227,33 @@ impl Emulator {
         let mut pending: Vec<bool> = vec![false; n];
         // Device-indexed decisions of the previous slot, for churn.
         let mut previous_by_device: Option<Vec<bool>> = None;
+        let plan = FaultPlan::generate(&self.config.faults, self.config.slots, n);
 
         for slot in 0..self.config.slots {
+            // --- Fault injection -------------------------------------
+            let faults = plan.slot(slot);
+            for &d in &faults.reconnects {
+                self.cluster.devices_mut()[d].reconnect();
+            }
+            for &d in &faults.disconnects {
+                self.cluster.devices_mut()[d].disconnect();
+            }
+            // A slot off the link is a slot the estimator learned
+            // nothing: inflate its uncertainty so the next observation
+            // counts for more.
+            for (i, device) in self.cluster.devices().iter().enumerate() {
+                if !device.is_connected() {
+                    self.estimators[i].forget(1);
+                }
+            }
+
             // --- Information gathering -------------------------------
             let watching: Vec<usize> = (0..n)
                 .filter(|&i| self.cluster.devices()[i].is_watching())
                 .collect();
             let mut selected_count = 0usize;
             let mut current_by_device = vec![false; n];
+            let mut slot_degradation: Option<Degradation> = None;
 
             if !watching.is_empty() {
                 let windows: Vec<Vec<FrameStats>> = watching
@@ -248,7 +281,7 @@ impl Emulator {
                     .iter()
                     .map(|&i| self.cluster.devices()[i].clone())
                     .collect();
-                let gammas: Vec<f64> = match self.config.gamma_mode {
+                let mut gammas: Vec<f64> = match self.config.gamma_mode {
                     GammaMode::Learned => {
                         watching.iter().map(|&i| self.estimators[i].expected()).collect()
                     }
@@ -259,22 +292,52 @@ impl Emulator {
                         .map(|(&i, window)| self.oracle_gamma(i, window))
                         .collect(),
                 };
+                // Corrupt γ reports *after* estimation: the fault models
+                // the telemetry link, not the estimator.
+                for &(dev, kind) in &faults.gamma_corruptions {
+                    if let Some(w) = watching.iter().position(|&i| i == dev) {
+                        gammas[w] = match kind {
+                            GammaCorruption::Nan => f64::NAN,
+                            GammaCorruption::Negative => -0.4,
+                            GammaCorruption::Huge => 4.2,
+                            GammaCorruption::Stale => GAMMA_PRIOR_MEAN,
+                        };
+                    }
+                }
+                // A brownout derates the capacities the scheduler sees;
+                // the physical server is unchanged.
+                let (compute, storage) = match faults.brownout_factor {
+                    Some(f) => {
+                        let derated = self.cluster.server().browned_out(f);
+                        (derated.compute_capacity(), derated.storage_capacity_gb())
+                    }
+                    None => (
+                        self.cluster.server().compute_capacity(),
+                        self.cluster.server().storage_capacity_gb(),
+                    ),
+                };
                 let problem = gather_problem(
                     &devices,
                     &decision_windows,
                     &gammas,
                     self.config.chunk_secs,
                     self.bitrate_kbps,
-                    self.cluster.server().compute_capacity(),
-                    self.cluster.server().storage_capacity_gb(),
+                    compute,
+                    storage,
                     self.config.lambda,
                     &self.curve,
                 );
 
                 // --- Request scheduling ------------------------------
+                let budget = slot_budget(&faults.budget_cut);
+                let warm: Option<Vec<bool>> = previous_by_device
+                    .as_ref()
+                    .map(|prev| watching.iter().map(|&i| prev[i]).collect());
                 let started = Instant::now();
-                let computed = self.policy.select(&problem);
+                let (computed, tier) =
+                    self.schedule(&problem, warm.as_deref(), &budget);
                 scheduler_runtime += started.elapsed();
+                slot_degradation = tier;
                 let selection: Vec<bool> = if self.config.one_slot_ahead {
                     // Execute last slot's decision now; stage the fresh
                     // one for the next scheduling point.
@@ -333,6 +396,7 @@ impl Emulator {
                 watching: self.cluster.watching_count(),
                 selected: selected_count,
                 churn,
+                degradation: slot_degradation,
             });
         }
 
@@ -349,6 +413,26 @@ impl Emulator {
             scheduler_runtime,
             slots,
         }
+    }
+
+    /// Runs the slot's selection. LPVS policies go through the
+    /// resilient scheduler — sanitized telemetry, the degradation
+    /// ladder, and the slot budget — and report which rung served the
+    /// slot; baselines keep their plain `select` path and report no
+    /// tier.
+    fn schedule(
+        &self,
+        problem: &SlotProblem,
+        warm: Option<&[bool]>,
+        budget: &SlotBudget,
+    ) -> (Vec<bool>, Option<Degradation>) {
+        let scheduler = match self.policy {
+            Policy::Lpvs => LpvsScheduler::paper_default(),
+            Policy::LpvsPhase1Only => LpvsScheduler::phase1_only(),
+            _ => return (self.policy.select(problem), None),
+        };
+        let schedule = scheduler.schedule_resilient(problem, warm, budget);
+        (schedule.selected, Some(schedule.stats.degradation))
     }
 
     /// Synthesizes the chunk window device `i` plays in `slot`. The
@@ -451,10 +535,35 @@ impl Emulator {
 
         if transform && orig_device_j > 0.0 {
             // Observed whole-device reduction ratio Δ_n for this slot.
+            // Playback yields ratios in [0, 1] by construction, but the
+            // validated path keeps a corrupt measurement from poisoning
+            // the belief: a rejected sample counts as a stale slot.
             let observed = 1.0 - device_j / orig_device_j;
-            self.estimators[dev_idx].observe(observed);
+            if self.estimators[dev_idx].try_observe(observed).is_err() {
+                self.estimators[dev_idx].forget(1);
+            }
         }
         (display_j, counter_j, device_j)
+    }
+}
+
+/// Maps a budget-cut fault onto a [`SlotBudget`]: the node budget is
+/// scaled by the retained fraction (floored at one node), and a cut
+/// below [`STALL_FRACTION`] also zeroes the deadline — the solver
+/// missed its window entirely, so the ladder falls through to reusing
+/// the previous schedule (or passthrough in slot 0).
+fn slot_budget(budget_cut: &Option<f64>) -> SlotBudget {
+    match *budget_cut {
+        None => SlotBudget::unbounded(),
+        Some(fraction) => {
+            let baseline = LpvsScheduler::paper_default().config().phase1.node_limit;
+            let budget = SlotBudget::unbounded().cut(fraction, baseline);
+            if fraction < STALL_FRACTION {
+                budget.with_deadline_secs(0.0)
+            } else {
+                budget
+            }
+        }
     }
 }
 
@@ -521,7 +630,9 @@ mod tests {
         let loose = small(Policy::Lpvs, 100, 1.0);
         let max_tight = tight.slots.iter().map(|s| s.selected).max().unwrap();
         let max_loose = loose.slots.iter().map(|s| s.selected).max().unwrap();
-        assert!(max_tight <= 4);
+        // The cheapest stream (480p30) costs ≈ 0.445 compute units, so
+        // a 4-unit server can feasibly host at most ⌊4/0.445⌋ = 8.
+        assert!(max_tight <= 8, "tight server hosted {max_tight} streams");
         assert!(max_loose > max_tight);
         assert!(tight.display_saving_ratio() < loose.display_saving_ratio());
     }
@@ -603,6 +714,92 @@ mod tests {
         let b = small(Policy::Lpvs, 100, 1.0);
         assert_eq!(a.display_energy_j, b.display_energy_j);
         assert_eq!(a.watch_minutes, b.watch_minutes);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_reports_tiers() {
+        let config = EmulatorConfig {
+            devices: 16,
+            slots: 10,
+            seed: 7,
+            faults: FaultConfig::uniform(0.15, 11),
+            ..EmulatorConfig::default()
+        };
+        let a = Emulator::new(config, Policy::Lpvs).run();
+        let b = Emulator::new(config, Policy::Lpvs).run();
+        // Bit-identical replay (scheduler_runtime is wall clock and
+        // legitimately differs between runs).
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.display_energy_j, b.display_energy_j);
+        assert_eq!(a.watch_minutes, b.watch_minutes);
+        // Every slot that scheduled anyone reports its ladder rung.
+        for s in &a.slots {
+            if s.watching > 0 {
+                assert!(s.degradation.is_some(), "slot {} lost its tier", s.slot);
+            }
+        }
+        assert!(a.degradation_counts().iter().map(|(_, c)| c).sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn baseline_policies_report_no_tier_but_survive_faults() {
+        let config = EmulatorConfig {
+            devices: 12,
+            slots: 8,
+            seed: 5,
+            faults: FaultConfig::uniform(0.2, 3),
+            ..EmulatorConfig::default()
+        };
+        for policy in [Policy::NoTransform, Policy::LowestBattery, Policy::HighestSaving] {
+            let r = Emulator::new(config, policy).run();
+            assert!(r.slots.iter().all(|s| s.degradation.is_none()));
+        }
+    }
+
+    #[test]
+    fn disconnects_pause_watching() {
+        let base = EmulatorConfig { devices: 16, slots: 12, seed: 9, ..Default::default() };
+        let healthy = Emulator::new(base, Policy::NoTransform).run();
+        let flaky = Emulator::new(
+            EmulatorConfig {
+                faults: FaultConfig {
+                    disconnect_rate: 0.3,
+                    reconnect_rate: 0.3,
+                    ..FaultConfig::none()
+                },
+                ..base
+            },
+            Policy::NoTransform,
+        )
+        .run();
+        let healthy_minutes: f64 = healthy.watch_minutes.iter().sum();
+        let flaky_minutes: f64 = flaky.watch_minutes.iter().sum();
+        assert!(
+            flaky_minutes < healthy_minutes,
+            "disconnects did not reduce watch time: {flaky_minutes} vs {healthy_minutes}"
+        );
+    }
+
+    #[test]
+    fn stall_faults_reach_the_bottom_rungs() {
+        // Budget cuts below the stall fraction zero the deadline, so a
+        // run with guaranteed cuts must show non-exact tiers.
+        let config = EmulatorConfig {
+            devices: 12,
+            slots: 16,
+            seed: 4,
+            faults: FaultConfig {
+                budget_cut_rate: 1.0,
+                ..FaultConfig::none()
+            },
+            ..EmulatorConfig::default()
+        };
+        let r = Emulator::new(config, Policy::Lpvs).run();
+        assert!(
+            r.degraded_slots() > 0,
+            "guaranteed budget cuts never degraded a slot"
+        );
+        assert!(r.mean_recovery_slots().is_some());
     }
 
     #[test]

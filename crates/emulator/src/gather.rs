@@ -47,12 +47,22 @@ pub fn gather_problem(
             .collect();
         let secs = vec![chunk_secs; window.len()];
         let slot_secs = chunk_secs * window.len() as f64;
-        problem.push(DeviceRequest::new(
+        // A healthy report gets the usual γ < 1 nudge; a corrupt one
+        // (NaN, negative, above one) is carried through raw so the
+        // resilient scheduler's sanitizer — not an assertion deep in
+        // the constructor — decides what to do with it. `clamp` would
+        // let NaN through anyway and panic in `DeviceRequest::new`.
+        let gamma = if gamma.is_finite() && (0.0..=1.0).contains(&gamma) {
+            gamma.min(1.0 - f64::EPSILON)
+        } else {
+            gamma
+        };
+        problem.push(DeviceRequest::from_telemetry(
             rates,
             secs,
             device.energy_status_joules(),
             device.battery().capacity_joules(),
-            gamma.clamp(0.0, 1.0 - f64::EPSILON),
+            gamma,
             transform_compute_units(device.spec().resolution, 30.0),
             storage_gb(bitrate_kbps, slot_secs),
         ));
@@ -135,6 +145,26 @@ mod tests {
             &AnxietyCurve::paper_shape(),
         );
         assert!(p.requests[0].gamma < 1.0);
+    }
+
+    #[test]
+    fn corrupt_gamma_passes_through_for_the_sanitizer() {
+        let p = gather_problem(
+            &[device(0.5, Resolution::HD), device(0.5, Resolution::HD)],
+            &[window(5, 0.5), window(5, 0.5)],
+            &[f64::NAN, -0.4],
+            10.0,
+            3000.0,
+            10.0,
+            10.0,
+            1.0,
+            &AnxietyCurve::paper_shape(),
+        );
+        assert!(p.requests[0].gamma.is_nan());
+        assert_eq!(p.requests[1].gamma, -0.4);
+        let (clean, valid) = p.sanitize();
+        assert_eq!(valid, vec![false, false]);
+        assert!(clean.requests.iter().all(|r| r.is_valid()));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`metrics`] — per-slot and end-to-end accounting: display energy
 //!   (actual vs. untransformed counterfactual), anxiety, watch time,
 //!   abandonment;
+//! * [`faults`] — deterministic, seeded fault injection: per-slot
+//!   device disconnects, corrupt γ telemetry, edge brownouts, and
+//!   solver-budget cuts, declared in a replayable [`faults::FaultPlan`];
 //! * [`experiment`] — the drivers regenerating the paper's evaluation:
 //!   Fig. 7 (sufficient capacity), Fig. 8 (limited capacity × λ),
 //!   Fig. 9 (time-per-viewer of low-battery users), Fig. 10
@@ -38,6 +41,7 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod fit;
 pub mod gather;
 pub mod metrics;
@@ -45,6 +49,7 @@ pub mod qoe;
 pub mod report;
 
 pub use engine::{Emulator, EmulatorConfig};
+pub use faults::{FaultConfig, FaultPlan, GammaCorruption, SlotFaults};
 pub use fit::LineFit;
 pub use metrics::{EmulationReport, SlotRecord};
 pub use qoe::{mean_qoe, qoe_scores, QoeWeights};

@@ -10,6 +10,7 @@
 //!   run built from the identical seed, so device populations, content,
 //!   and give-up thresholds match exactly.
 
+use lpvs_core::scheduler::Degradation;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -33,6 +34,10 @@ pub struct SlotRecord {
     /// Fraction of devices whose transform decision flipped versus the
     /// previous slot (`None` in slot 0).
     pub churn: Option<f64>,
+    /// Which rung of the degradation ladder served this slot (`None`
+    /// for baseline policies that bypass the resilient scheduler, or
+    /// when nobody was watching).
+    pub degradation: Option<Degradation>,
 }
 
 /// End-to-end report of one emulation run.
@@ -128,6 +133,50 @@ impl EmulationReport {
             Some(churns.iter().sum::<f64>() / churns.len() as f64)
         }
     }
+
+    /// How many slots each rung of the degradation ladder served, in
+    /// ladder order. Slots that report no tier (baseline policies,
+    /// nobody watching) are not counted.
+    pub fn degradation_counts(&self) -> [(Degradation, usize); Degradation::ALL.len()] {
+        Degradation::ALL.map(|tier| {
+            let count =
+                self.slots.iter().filter(|s| s.degradation == Some(tier)).count();
+            (tier, count)
+        })
+    }
+
+    /// Slots served by anything other than the configured solver.
+    pub fn degraded_slots(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.degradation.is_some_and(|d| d.is_degraded()))
+            .count()
+    }
+
+    /// Mean recovery time in slots: the average length of maximal runs
+    /// of consecutive degraded slots — how long the scheduler stays off
+    /// its configured solver once it falls. `None` when no slot
+    /// degraded.
+    pub fn mean_recovery_slots(&self) -> Option<f64> {
+        let mut runs = Vec::new();
+        let mut current = 0usize;
+        for s in &self.slots {
+            if s.degradation.is_some_and(|d| d.is_degraded()) {
+                current += 1;
+            } else if current > 0 {
+                runs.push(current);
+                current = 0;
+            }
+        }
+        if current > 0 {
+            runs.push(current);
+        }
+        if runs.is_empty() {
+            None
+        } else {
+            Some(runs.iter().sum::<usize>() as f64 / runs.len() as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +197,7 @@ mod tests {
                     watching: 1,
                     selected: 1,
                     churn: if i == 0 { None } else { Some(0.0) },
+                    degradation: Some(Degradation::Exact),
                 })
                 .collect(),
             display_energy_j: display,
@@ -208,5 +258,30 @@ mod tests {
         let mut r = report(1.0, 1.0, &[0.5]);
         r.slots.clear();
         assert_eq!(r.mean_anxiety(), 0.0);
+    }
+
+    #[test]
+    fn degradation_accounting() {
+        let mut r = report(1.0, 1.0, &[0.5; 6]);
+        // exact, greedy, greedy, exact, reused, (none)
+        r.slots[1].degradation = Some(Degradation::Greedy);
+        r.slots[2].degradation = Some(Degradation::Greedy);
+        r.slots[4].degradation = Some(Degradation::ReusedPrevious);
+        r.slots[5].degradation = None;
+        assert_eq!(r.degraded_slots(), 3);
+        let counts = r.degradation_counts();
+        assert_eq!(counts[0], (Degradation::Exact, 2));
+        assert_eq!(counts[2], (Degradation::Greedy, 2));
+        assert_eq!(counts[3], (Degradation::ReusedPrevious, 1));
+        // Runs of degraded slots: [1,2] and [4] → mean 1.5.
+        assert_eq!(r.mean_recovery_slots(), Some(1.5));
+    }
+
+    #[test]
+    fn clean_run_reports_no_degradation() {
+        let r = report(1.0, 1.0, &[0.5; 3]);
+        assert_eq!(r.degraded_slots(), 0);
+        assert_eq!(r.mean_recovery_slots(), None);
+        assert_eq!(r.degradation_counts()[0], (Degradation::Exact, 3));
     }
 }

@@ -1,7 +1,9 @@
 //! Plain-text table rendering shared by bench binaries and examples.
 
-use crate::experiment::{LimitedRow, OverheadRow, SufficientRow, TpvResult};
+use crate::experiment::{FaultRow, LimitedRow, OverheadRow, SufficientRow, TpvResult};
 use crate::fit::LineFit;
+use crate::metrics::EmulationReport;
+use lpvs_core::scheduler::Degradation;
 use std::fmt::Write as _;
 
 /// Renders the Fig. 7 rows (sufficient capacity).
@@ -78,6 +80,61 @@ pub fn render_limited(rows: &[LimitedRow]) -> String {
             let _ = writeln!(out, "{line}");
         }
         let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the fault-rate ablation rows.
+pub fn render_faults(rows: &[FaultRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>14} | {:>18} | {:>15} | {:>14}",
+        "fault rate", "energy saving", "anxiety reduction", "degraded slots", "recovery (slots)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    for r in rows {
+        let recovery = match r.recovery_slots {
+            Some(v) => format!("{v:.2}"),
+            None => "—".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:>9.0}% | {:>13.2}% | {:>17.2}% | {:>9} / {:>3} | {:>16}",
+            100.0 * r.fault_rate,
+            100.0 * r.energy_saving,
+            100.0 * r.anxiety_reduction,
+            r.degraded_slots,
+            r.total_slots,
+            recovery
+        );
+    }
+    out
+}
+
+/// Renders a run's per-tier degradation ledger — how many slots each
+/// rung of the ladder served, plus the degraded-slot and recovery-time
+/// summary metrics.
+pub fn render_degradation(report: &EmulationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "degradation ladder usage:");
+    for (tier, count) in report.degradation_counts() {
+        let marker = if tier == Degradation::Exact { " " } else { "↓" };
+        let _ = writeln!(out, "  {marker} {:<16} {count:>4} slots", tier.label());
+    }
+    let _ = writeln!(
+        out,
+        "degraded slots: {} / {}",
+        report.degraded_slots(),
+        report.slots.len()
+    );
+    match report.mean_recovery_slots() {
+        Some(v) => {
+            let _ = writeln!(out, "mean recovery time: {v:.2} slots");
+        }
+        None => {
+            let _ = writeln!(out, "mean recovery time: — (never degraded)");
+        }
     }
     out
 }
@@ -166,6 +223,47 @@ mod tests {
         let s = render_overhead(&rows, &fit);
         assert!(s.contains("runtime"));
         assert!(s.contains("R²"));
+    }
+
+    #[test]
+    fn fault_table_renders_tiers_and_recovery() {
+        let rows = vec![
+            FaultRow {
+                fault_rate: 0.0,
+                energy_saving: 0.35,
+                anxiety_reduction: 0.07,
+                degraded_slots: 0,
+                total_slots: 24,
+                recovery_slots: None,
+            },
+            FaultRow {
+                fault_rate: 0.1,
+                energy_saving: 0.30,
+                anxiety_reduction: 0.05,
+                degraded_slots: 3,
+                total_slots: 24,
+                recovery_slots: Some(1.5),
+            },
+        ];
+        let s = render_faults(&rows);
+        assert!(s.contains("fault rate"));
+        assert!(s.contains("10%"));
+        assert!(s.contains("1.50"));
+        assert!(s.contains("—"), "healthy row must render a dash for recovery");
+    }
+
+    #[test]
+    fn degradation_ledger_lists_every_rung() {
+        use crate::engine::{Emulator, EmulatorConfig};
+        use lpvs_core::baseline::Policy;
+        let config = EmulatorConfig { devices: 8, slots: 4, seed: 1, ..Default::default() };
+        let report = Emulator::new(config, Policy::Lpvs).run();
+        let s = render_degradation(&report);
+        for tier in Degradation::ALL {
+            assert!(s.contains(tier.label()), "missing rung {tier}");
+        }
+        assert!(s.contains("degraded slots: 0 / 4"));
+        assert!(s.contains("never degraded"));
     }
 
     #[test]

@@ -179,9 +179,14 @@ mod tests {
         let orig = encoded.original_energy_joules(&spec);
         let tran = encoded.transformed_energy_joules(&spec);
         let gamma = encoded.mean_reduction_ratio();
-        // Duration-weighted γ must match the energy ratio when all
-        // chunks share a duration.
-        assert!(((1.0 - tran / orig) - gamma).abs() < 0.02, "γ {gamma} vs energy ratio");
+        // The duration-weighted γ and the realized energy ratio differ
+        // by the covariance between a chunk's brightness (its energy
+        // weight) and its reduction ratio — bright chunks both cost
+        // more and save more, so the energy ratio runs a few points
+        // above γ. Pin the two to the same neighborhood and ordering.
+        let ratio = 1.0 - tran / orig;
+        assert!((ratio - gamma).abs() < 0.10, "γ {gamma} vs energy ratio {ratio}");
+        assert!(ratio >= gamma - 1e-9, "bright-chunk covariance should not be negative");
     }
 
     #[test]

@@ -108,7 +108,9 @@ fn fig9_retention_shape() {
 /// Fig. 10 shape: runtime grows and fits a line decently.
 #[test]
 fn fig10_overhead_shape() {
-    let (rows, fit) = overhead(&[100, 250, 500], 2);
+    // Sizes sit in the regime where deterministic per-device work
+    // dominates branch-and-bound search variance (see `overhead`).
+    let (rows, fit) = overhead(&[250, 500, 1000], 2);
     assert!(rows.last().unwrap().runtime_secs >= rows[0].runtime_secs);
     assert!(fit.slope >= 0.0);
     assert!(fit.r_squared > 0.5, "runtime not even roughly linear: R² {}", fit.r_squared);

@@ -147,3 +147,120 @@ proptest! {
         prop_assert!(v <= lo + 1e-12 && v >= hi - 1e-12, "phi {v} outside [{hi}, {lo}]");
     }
 }
+
+// --- Robustness properties: the resilient scheduler on junk input ----
+
+prop_compose! {
+    /// A telemetry value that may be corrupt: NaN, infinite, negative,
+    /// or an ordinary finite reading.
+    fn junk_f64()(v in prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-3.0f64),
+        0.0f64..3.0,
+    ]) -> f64 {
+        v
+    }
+}
+
+prop_compose! {
+    /// A device report assembled without any validation — what the edge
+    /// would see from a malfunctioning client.
+    fn junk_request()(
+        watts in junk_f64(),
+        secs in junk_f64(),
+        chunks in 1usize..20,
+        energy in junk_f64(),
+        capacity in junk_f64(),
+        gamma in junk_f64(),
+        compute in junk_f64(),
+        storage in junk_f64(),
+    ) -> DeviceRequest {
+        DeviceRequest::from_telemetry(
+            vec![watts; chunks],
+            vec![secs; chunks],
+            energy * 10_000.0,
+            capacity * 10_000.0,
+            gamma,
+            compute,
+            storage,
+        )
+    }
+}
+
+prop_compose! {
+    fn junk_problem()(
+        requests in prop::collection::vec(junk_request(), 0..16),
+        capacity in junk_f64(),
+        storage in junk_f64(),
+        lambda in junk_f64(),
+    ) -> SlotProblem {
+        let mut p = SlotProblem::new(0.0, 0.0, 0.0, AnxietyCurve::paper_shape());
+        for r in requests {
+            p.push(r);
+        }
+        p.compute_capacity = capacity * 10.0;
+        p.storage_capacity_gb = storage * 10.0;
+        p.lambda = lambda;
+        p
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The resilient scheduler neither panics nor returns an infeasible
+    /// selection, no matter how corrupt the telemetry is.
+    #[test]
+    fn resilient_scheduler_never_panics_and_stays_feasible(
+        problem in junk_problem()
+    ) {
+        use lpvs::edge::slot::SlotBudget;
+        let schedule = LpvsScheduler::paper_default()
+            .schedule_resilient(&problem, None, &SlotBudget::unbounded());
+        prop_assert_eq!(schedule.selected.len(), problem.len());
+        let (clean, valid) = problem.sanitize();
+        prop_assert!(clean.capacity_feasible(&schedule.selected));
+        // Corrupt devices are never selected.
+        for (i, (&x, &ok)) in schedule.selected.iter().zip(&valid).enumerate() {
+            prop_assert!(!x || ok, "corrupt device {i} selected");
+        }
+    }
+
+    /// Every rung of the ladder yields a capacity-feasible selection,
+    /// including under a budget that forces the bottom rungs.
+    #[test]
+    fn ladder_is_feasible_at_every_budget(
+        problem in junk_problem(),
+        nodes in 1usize..16,
+        stalled in proptest::arbitrary::any::<bool>()
+    ) {
+        use lpvs::edge::slot::SlotBudget;
+        let mut budget = SlotBudget::unbounded().with_solver_nodes(nodes);
+        if stalled {
+            budget = budget.with_deadline_secs(0.0);
+        }
+        let previous = vec![true; problem.len()];
+        let schedule = LpvsScheduler::paper_default()
+            .schedule_resilient(&problem, Some(&previous), &budget);
+        let (clean, _) = problem.sanitize();
+        prop_assert!(clean.capacity_feasible(&schedule.selected));
+    }
+
+    /// Fault plans are bit-reproducible: the same config always maps to
+    /// the same plan.
+    #[test]
+    fn fault_plans_replay_bit_for_bit(
+        rate in 0.0f64..1.0,
+        seed in proptest::arbitrary::any::<u64>(),
+        slots in 0usize..40,
+        devices in 0usize..40
+    ) {
+        use lpvs::emulator::faults::{FaultConfig, FaultPlan};
+        let config = FaultConfig::uniform(rate, seed);
+        let a = FaultPlan::generate(&config, slots, devices);
+        let b = FaultPlan::generate(&config, slots, devices);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -133,3 +133,47 @@ fn schedules_are_serializable() {
     let copy = schedule.clone();
     assert_eq!(copy, schedule);
 }
+
+// --- Fault injection acceptance: the degradation ladder end to end --
+
+#[test]
+fn faulted_fig7_run_retains_the_headline_saving() {
+    use lpvs::core::scheduler::Degradation;
+    use lpvs::emulator::experiment::run_pair;
+    use lpvs::emulator::faults::FaultConfig;
+
+    // A Fig. 7-style run (sufficient capacity) with a 10 % per-slot
+    // fault rate across every fault class. Completing at all proves
+    // the pipeline absorbs disconnects, corrupt γ, brownouts, and
+    // budget stalls without panicking.
+    let config = EmulatorConfig {
+        devices: 32,
+        slots: 12,
+        seed: 2020,
+        server_streams: 6 * 32,
+        faults: FaultConfig::uniform(0.10, 77),
+        ..EmulatorConfig::default()
+    };
+    let (with, without) = run_pair(config, Policy::Lpvs);
+
+    // Every scheduled slot reports its ladder tier, and the per-tier
+    // ledger accounts for all of them.
+    for s in &with.slots {
+        if s.watching > 0 {
+            assert!(s.degradation.is_some(), "slot {} has no tier", s.slot);
+        }
+        assert!(s.selected <= s.watching, "slot {} over-selected", s.slot);
+    }
+    let ledger = with.degradation_counts();
+    let accounted: usize = ledger.iter().map(|(_, c)| c).sum();
+    let reporting = with.slots.iter().filter(|s| s.degradation.is_some()).count();
+    assert_eq!(accounted, reporting);
+    assert_eq!(ledger[0].0, Degradation::Exact);
+
+    // The acceptance bar: at a 10 % fault rate the run still retains a
+    // ≥ 25 % display-energy saving and a positive anxiety reduction
+    // against its equally-faulted baseline.
+    let saving = with.display_saving_ratio();
+    assert!(saving >= 0.25, "only {:.1}% saving retained", 100.0 * saving);
+    assert!(with.anxiety_reduction_vs(&without) > 0.0);
+}

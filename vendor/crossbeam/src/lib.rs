@@ -1,0 +1,122 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! The workspace uses exactly one crossbeam facility — scoped threads
+//! for parallel experiment sweeps — which std has provided natively
+//! since Rust 1.63. This stub maps `crossbeam::thread::scope` onto
+//! [`std::thread::scope`], preserving crossbeam's `Result` return (a
+//! panicking child thread yields `Err(payload)` instead of unwinding
+//! through the caller) and its closure shape (`scope.spawn(|scope| ..)`,
+//! where the inner closure receives the scope again for nesting).
+//!
+//! One deliberate difference: the scope handle is passed **by value**
+//! (it is `Copy`) rather than by reference. Call sites that ignore the
+//! argument (`move |_| ...`) or nest spawns are source-compatible.
+
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A handle for spawning threads that may borrow from the enclosing
+    /// stack frame. `Copy`, so it can be moved into spawned closures for
+    /// nested spawning.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a copy of the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(self)) }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned.
+    /// All spawned threads are joined before this returns. Returns
+    /// `Err` with the panic payload if the closure or any unjoined
+    /// spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::Mutex;
+
+        #[test]
+        fn threads_run_and_borrow_the_stack() {
+            let out = Mutex::new(Vec::new());
+            super::scope(|scope| {
+                for i in 0..8 {
+                    let out = &out;
+                    scope.spawn(move |_| out.lock().unwrap().push(i * i));
+                }
+            })
+            .expect("no thread panicked");
+            let mut v = out.into_inner().unwrap();
+            v.sort_unstable();
+            assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        }
+
+        #[test]
+        fn nested_spawn_compiles_and_runs() {
+            let hit = Mutex::new(false);
+            super::scope(|scope| {
+                let hit = &hit;
+                scope.spawn(move |inner| {
+                    inner.spawn(move |_| *hit.lock().unwrap() = true);
+                });
+            })
+            .unwrap();
+            assert!(*hit.lock().unwrap());
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|scope| {
+                scope.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn join_returns_thread_result() {
+            let r = super::scope(|scope| {
+                let h = scope.spawn(|_| 41 + 1);
+                h.join().expect("child ok")
+            })
+            .unwrap();
+            assert_eq!(r, 42);
+        }
+    }
+}

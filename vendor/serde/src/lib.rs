@@ -1,0 +1,114 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` (the C-SERDE API guideline) but never performs actual
+//! serialization — no format crate (serde_json, bincode, …) is a
+//! dependency. This stub provides exactly enough surface to compile
+//! those annotations offline:
+//!
+//! * [`Serialize`] is a marker trait with a blanket implementation;
+//! * [`Deserialize`] is blanket-implemented to return an error (it is
+//!   never invoked at runtime);
+//! * [`Serializer`], [`Deserializer`], and [`de::Error`] exist so
+//!   hand-written `#[serde(with = "...")]` shim modules typecheck;
+//! * the derive macros (from the sibling `serde_derive` stub) expand to
+//!   nothing and accept `#[serde(...)]` helper attributes.
+//!
+//! Swapping the real serde back in requires only restoring the
+//! crates.io entries in the workspace manifest.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (blanket-implemented for everything).
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// A data-format serializer (never instantiated by the stub).
+pub trait Serializer: Sized {
+    /// Output on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serializes the items of `iter` as a sequence.
+    fn collect_seq<I>(self, iter: I) -> Result<Self::Ok, Self::Error>
+    where
+        I: IntoIterator,
+        I::Item: Serialize;
+}
+
+/// A data-format deserializer (never instantiated by the stub).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+}
+
+/// Deserializable types. Blanket-implemented to fail: the stub has no
+/// data formats, so this can never be reached at runtime.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` (always an error under the stub).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+impl<'de, T> Deserialize<'de> for T {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom(
+            "the offline serde stand-in has no deserialization backend",
+        ))
+    }
+}
+
+pub mod ser {
+    //! Serialization-side error trait.
+
+    /// Errors produced while serializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error trait.
+
+    /// Errors produced while deserializing.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from a message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+    struct Annotated {
+        #[serde(skip, default)]
+        skipped: u32,
+        #[serde(with = "shim")]
+        shimmed: f64,
+    }
+
+    mod shim {
+        use crate::{de::Error, Deserialize, Deserializer, Serializer};
+
+        pub fn serialize<S: Serializer>(v: &f64, s: S) -> Result<S::Ok, S::Error> {
+            s.collect_seq(std::iter::once(*v))
+        }
+
+        pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<f64, D::Error> {
+            let v = Vec::<f64>::deserialize(d)?;
+            v.first().copied().ok_or_else(|| D::Error::custom("empty"))
+        }
+    }
+
+    #[test]
+    fn derives_compile_and_value_semantics_survive() {
+        let a = Annotated { skipped: 1, shimmed: 2.0 };
+        assert_eq!(a.clone(), a);
+    }
+}

@@ -1,0 +1,20 @@
+//! No-op derive macros for the offline serde stand-in.
+//!
+//! The stub `serde` crate gives [`Serialize`] a blanket implementation,
+//! so the derives only need to (a) exist and (b) declare the `serde`
+//! helper attribute so field annotations like `#[serde(skip, default)]`
+//! parse. They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
