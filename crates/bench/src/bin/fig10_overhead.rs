@@ -1,13 +1,29 @@
 //! Regenerates Fig. 10: LPVS scheduler running time vs. virtual-cluster
-//! size, with the linear fit the paper reports.
+//! size, with the linear fit the paper reports — plus the telemetry
+//! overhead check (recording disabled vs. enabled on the same slots).
+//!
+//! Writes `BENCH_fig10.json` at the repository root. `--smoke` runs a
+//! reduced sweep for CI.
 
-use lpvs_emulator::experiment::overhead;
+use lpvs_core::scheduler::LpvsScheduler;
+use lpvs_edge::slot::SlotBudget;
+use lpvs_emulator::experiment::{overhead, synthetic_problem};
 use lpvs_emulator::report::render_overhead;
+use lpvs_obs::json::Json;
+use std::time::Instant;
 
 fn main() {
-    println!("Fig. 10 — scheduler running time vs VC size\n");
-    let sizes = [250, 500, 1000, 2000, 3000, 4000, 5000];
-    let (rows, fit) = overhead(&sizes, 2023);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke {
+        &[100, 250]
+    } else {
+        &[250, 500, 1000, 2000, 3000, 4000, 5000]
+    };
+    println!(
+        "Fig. 10 — scheduler running time vs VC size{}\n",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let (rows, fit) = overhead(sizes, 2023);
     print!("{}", render_overhead(&rows, &fit));
     let slot_budget = 300.0;
     let capacity = if fit.slope > 0.0 {
@@ -19,4 +35,101 @@ fn main() {
         "\nextrapolated devices schedulable within one 5-minute slot: {capacity} \
          (paper: >5,000)"
     );
+
+    // Telemetry overhead: the same slot problem scheduled with the
+    // recorder off (NoopRecorder fast path: one atomic load per
+    // instrumented site) and on (spans + histograms collected).
+    let probe_n = if smoke { 200 } else { 1000 };
+    let probe = ObsProbe::measure(probe_n);
+    println!(
+        "\ntelemetry overhead at N={probe_n}: disabled {:.6} s/slot, \
+         enabled {:.6} s/slot ({:+.2} %), {} span events/slot",
+        probe.noop_secs,
+        probe.enabled_secs,
+        probe.overhead_pct(),
+        probe.events_per_run,
+    );
+
+    let artifact = Json::obj([
+        ("figure", Json::Str("fig10".into())),
+        ("smoke", Json::Bool(smoke)),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("devices", Json::Num(r.devices as f64)),
+                            ("runtime_secs", Json::Num(r.runtime_secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "fit",
+            Json::obj([
+                ("slope", Json::Num(fit.slope)),
+                ("intercept", Json::Num(fit.intercept)),
+                ("r_squared", Json::Num(fit.r_squared)),
+            ]),
+        ),
+        ("extrapolated_capacity", Json::Num(capacity as f64)),
+        (
+            "obs_overhead",
+            Json::obj([
+                ("devices", Json::Num(probe_n as f64)),
+                ("noop_secs", Json::Num(probe.noop_secs)),
+                ("enabled_secs", Json::Num(probe.enabled_secs)),
+                ("overhead_pct", Json::Num(probe.overhead_pct())),
+                ("events_per_run", Json::Num(probe.events_per_run as f64)),
+            ]),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fig10.json");
+    std::fs::write(path, format!("{artifact}\n")).expect("write BENCH_fig10.json");
+    println!("wrote {path}");
+}
+
+/// Paired timing of the resilient scheduler with recording off and on.
+struct ObsProbe {
+    noop_secs: f64,
+    enabled_secs: f64,
+    events_per_run: usize,
+}
+
+impl ObsProbe {
+    fn measure(n: usize) -> Self {
+        let scheduler = LpvsScheduler::paper_default();
+        let problem = synthetic_problem(n, 0.4 * n as f64, 1.0, 77);
+        let budget = SlotBudget::unbounded();
+        let reps = 5;
+        // Warm-up (page in the problem, stabilize caches).
+        let _ = scheduler.schedule_resilient(&problem, None, &budget);
+
+        lpvs_obs::set_enabled(false);
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = scheduler.schedule_resilient(&problem, None, &budget);
+        }
+        let noop_secs = t.elapsed().as_secs_f64() / reps as f64;
+
+        let recorder = lpvs_obs::init();
+        recorder.reset();
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = scheduler.schedule_resilient(&problem, None, &budget);
+        }
+        let enabled_secs = t.elapsed().as_secs_f64() / reps as f64;
+        let events_per_run = recorder.event_count() / reps;
+        lpvs_obs::set_enabled(false);
+        Self { noop_secs, enabled_secs, events_per_run }
+    }
+
+    fn overhead_pct(&self) -> f64 {
+        if self.noop_secs <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.enabled_secs - self.noop_secs) / self.noop_secs
+    }
 }

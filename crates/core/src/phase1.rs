@@ -66,6 +66,10 @@ pub struct Phase1Result {
     pub infeasible_devices: usize,
     /// Branch-and-bound nodes expanded (0 for the greedy path).
     pub nodes: usize,
+    /// Inner-iteration work: simplex pivots across all LP relaxations
+    /// (exact path) or subgradient iterations (Lagrangian path); 0 for
+    /// the greedy path.
+    pub pivots: usize,
 }
 
 /// Solves Phase-1 for the slot problem.
@@ -102,10 +106,12 @@ pub fn solve_phase1_warm(
             energy_saved_j: 0.0,
             infeasible_devices: 0,
             nodes: 0,
+            pivots: 0,
         });
     }
 
     // Information compacting: per-device savings and feasibility.
+    let compact_span = lpvs_obs::span!("sched.compact", "devices" => n);
     let savings: Vec<f64> = problem.requests.iter().map(|r| r.saving_j()).collect();
     let feasible: Vec<bool> = problem
         .requests
@@ -116,8 +122,9 @@ pub fn solve_phase1_warm(
 
     let g: Vec<f64> = problem.requests.iter().map(|r| r.compute_cost).collect();
     let h: Vec<f64> = problem.requests.iter().map(|r| r.storage_cost_gb).collect();
+    drop(compact_span);
 
-    let selected = match config.solver {
+    let (selected, pivots) = match config.solver {
         Phase1Solver::Exact => {
             let mut ilp = BinaryProgram::new(Sense::Maximize, savings.clone())?;
             ilp.add_constraint(g, Relation::Le, problem.compute_capacity)?;
@@ -143,6 +150,7 @@ pub fn solve_phase1_warm(
             return Ok(Phase1Result {
                 energy_saved_j: solution.objective,
                 nodes: solution.stats.nodes,
+                pivots: solution.stats.simplex_iterations,
                 selected: solution.x,
                 infeasible_devices,
             });
@@ -156,7 +164,7 @@ pub fn solve_phase1_warm(
                 (g.as_slice(), problem.compute_capacity),
                 (h.as_slice(), problem.storage_capacity_gb),
             ];
-            lpvs_solver::greedy_multi_knapsack(&savings, &rows, &fixings).x
+            (lpvs_solver::greedy_multi_knapsack(&savings, &rows, &fixings).x, 0)
         }
         Phase1Solver::Lagrangian => {
             let mut ilp = BinaryProgram::new(Sense::Maximize, savings.clone())?;
@@ -167,7 +175,8 @@ pub fn solve_phase1_warm(
                     ilp.fix(i, false)?;
                 }
             }
-            lpvs_solver::lagrangian_knapsack(&ilp, 200)?.x
+            let solution = lpvs_solver::lagrangian_knapsack(&ilp, 200)?;
+            (solution.x, solution.iterations)
         }
     };
 
@@ -176,7 +185,7 @@ pub fn solve_phase1_warm(
         .zip(&selected)
         .map(|(s, &x)| if x { *s } else { 0.0 })
         .sum();
-    Ok(Phase1Result { selected, energy_saved_j, infeasible_devices, nodes: 0 })
+    Ok(Phase1Result { selected, energy_saved_j, infeasible_devices, nodes: 0, pivots })
 }
 
 #[cfg(test)]
@@ -288,6 +297,26 @@ mod tests {
         // A malformed hint (wrong length) is ignored, not fatal.
         let odd = solve_phase1_warm(&p, &Phase1Config::default(), Some(&[true])).unwrap();
         assert_eq!(odd.selected.len(), 3);
+    }
+
+    #[test]
+    fn solver_work_counters_are_reported() {
+        let p = problem(2.0);
+        let exact = solve_phase1(&p, &Phase1Config::default()).unwrap();
+        assert!(exact.nodes > 0);
+        assert!(exact.pivots > 0, "exact path must report simplex pivots");
+        let lag = solve_phase1(
+            &p,
+            &Phase1Config { solver: Phase1Solver::Lagrangian, ..Phase1Config::default() },
+        )
+        .unwrap();
+        assert!(lag.pivots > 0, "Lagrangian path must report subgradient iterations");
+        let greedy = solve_phase1(
+            &p,
+            &Phase1Config { solver: Phase1Solver::Greedy, ..Phase1Config::default() },
+        )
+        .unwrap();
+        assert_eq!(greedy.pivots, 0);
     }
 
     #[test]

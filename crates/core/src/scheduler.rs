@@ -145,6 +145,10 @@ pub struct ScheduleStats {
     pub infeasible_devices: usize,
     /// Branch-and-bound nodes in Phase-1.
     pub phase1_nodes: usize,
+    /// Inner solver work in Phase-1: simplex pivots summed over all LP
+    /// relaxations (exact path) or subgradient iterations (Lagrangian
+    /// path).
+    pub phase1_pivots: usize,
     /// Phase-2 swap statistics.
     pub phase2: Phase2Stats,
     /// Ladder rung (equivalently: algorithm) that produced the
@@ -232,10 +236,20 @@ impl LpvsScheduler {
         previous: Option<&[bool]>,
     ) -> Result<Schedule, SolverError> {
         let start = Instant::now();
-        let phase1 = solve_phase1_warm(problem, &self.config.phase1, previous)?;
+        let phase1 = {
+            let mut span = lpvs_obs::span!("sched.phase1", "devices" => problem.len());
+            let phase1 = solve_phase1_warm(problem, &self.config.phase1, previous)?;
+            span.record("nodes", phase1.nodes as f64);
+            span.record("pivots", phase1.pivots as f64);
+            phase1
+        };
         let mut selected = phase1.selected;
         let phase2 = if self.config.enable_phase2 {
-            run_phase2(problem, &mut selected)
+            let mut span = lpvs_obs::span!("sched.phase2");
+            let phase2 = run_phase2(problem, &mut selected);
+            span.record("swaps_tried", phase2.swaps_tried as f64);
+            span.record("swaps_accepted", phase2.swaps_accepted as f64);
+            phase2
         } else {
             Phase2Stats::default()
         };
@@ -250,6 +264,7 @@ impl LpvsScheduler {
             energy_saved_j,
             infeasible_devices: phase1.infeasible_devices,
             phase1_nodes: phase1.nodes,
+            phase1_pivots: phase1.pivots,
             phase2,
             degradation: solver_rung(self.config.phase1.solver),
             rejected_devices: 0,
@@ -288,8 +303,13 @@ impl LpvsScheduler {
         budget: &SlotBudget,
     ) -> Schedule {
         let start = Instant::now();
-        let (clean, valid) = problem.sanitize();
+        let mut slot_span = lpvs_obs::span!("sched.slot", "devices" => problem.len());
+        let (clean, valid) = {
+            let _span = lpvs_obs::span!("sched.sanitize");
+            problem.sanitize()
+        };
         let rejected = valid.iter().filter(|&&ok| !ok).count();
+        slot_span.record("rejected", rejected as f64);
         let n = clean.len();
         let node_limit = budget
             .solver_nodes
@@ -335,6 +355,7 @@ impl LpvsScheduler {
                         rejected,
                         schedule.stats,
                         start,
+                        slot_span,
                     );
                 }
             }
@@ -352,6 +373,7 @@ impl LpvsScheduler {
                         energy_saved_j: 0.0,
                         infeasible_devices: 0,
                         phase1_nodes: 0,
+                        phase1_pivots: 0,
                         phase2: Phase2Stats::default(),
                         degradation: Degradation::ReusedPrevious,
                         rejected_devices: rejected,
@@ -364,6 +386,7 @@ impl LpvsScheduler {
                         rejected,
                         stats,
                         start,
+                        slot_span,
                     );
                 }
             }
@@ -376,6 +399,7 @@ impl LpvsScheduler {
             energy_saved_j: 0.0,
             infeasible_devices: 0,
             phase1_nodes: 0,
+            phase1_pivots: 0,
             phase2: Phase2Stats::default(),
             degradation: Degradation::Passthrough,
             rejected_devices: rejected,
@@ -388,12 +412,15 @@ impl LpvsScheduler {
             rejected,
             stats,
             start,
+            slot_span,
         )
     }
 }
 
-/// Recomputes the final-selection metrics on the sanitized problem
-/// and stamps the ladder outcome into the stats.
+/// Recomputes the final-selection metrics on the sanitized problem,
+/// stamps the ladder outcome into the stats, and publishes the run's
+/// telemetry (tier counters, solver-work counters, per-tier latency)
+/// before closing the slot span.
 fn finish_resilient(
     clean: &SlotProblem,
     selected: Vec<bool>,
@@ -401,6 +428,7 @@ fn finish_resilient(
     rejected: usize,
     inner: ScheduleStats,
     start: Instant,
+    mut slot_span: lpvs_obs::SpanGuard,
 ) -> Schedule {
     let energy_saved_j = clean
         .requests
@@ -416,6 +444,20 @@ fn finish_resilient(
         runtime: start.elapsed(),
         ..inner
     };
+    slot_span.record("tier", rung.severity() as f64);
+    if lpvs_obs::enabled() {
+        // Metric names cannot carry the dash in "reused-previous".
+        let tier = rung.label().replace('-', "_");
+        lpvs_obs::inc("sched_runs_total");
+        lpvs_obs::inc(&format!("sched_tier_{tier}_total"));
+        lpvs_obs::add("sched_rejected_devices_total", rejected as u64);
+        lpvs_obs::add("sched_phase1_nodes_total", stats.phase1_nodes as u64);
+        lpvs_obs::add("sched_simplex_pivots_total", stats.phase1_pivots as u64);
+        lpvs_obs::observe(
+            &format!("sched_tier_{tier}_seconds"),
+            stats.runtime.as_secs_f64(),
+        );
+    }
     Schedule { selected, stats }
 }
 

@@ -123,6 +123,7 @@ impl EdgeServer {
     /// treated as a full brownout, the fail-safe direction.
     pub fn browned_out(&self, factor: f64) -> EdgeServer {
         let factor = if factor.is_finite() { factor.clamp(0.0, 1.0) } else { 0.0 };
+        lpvs_obs::gauge_set("edge_brownout_factor", factor);
         EdgeServer::new(self.compute_capacity * factor, self.storage_capacity_gb * factor)
     }
 
@@ -132,6 +133,18 @@ impl EdgeServer {
             0.0
         } else {
             self.compute_used / self.compute_capacity
+        }
+    }
+
+    /// Publishes this server's current capacity and utilization as
+    /// telemetry gauges (no-op when recording is disabled). Callers
+    /// decide the cadence — the emulator publishes once per slot,
+    /// after admission settles.
+    pub fn publish_gauges(&self) {
+        if lpvs_obs::enabled() {
+            lpvs_obs::gauge_set("edge_compute_capacity", self.compute_capacity);
+            lpvs_obs::gauge_set("edge_storage_capacity_gb", self.storage_capacity_gb);
+            lpvs_obs::gauge_set("edge_compute_utilization", self.compute_utilization());
         }
     }
 }

@@ -230,6 +230,7 @@ impl Emulator {
         let plan = FaultPlan::generate(&self.config.faults, self.config.slots, n);
 
         for slot in 0..self.config.slots {
+            let mut slot_span = lpvs_obs::span!("emu.slot", "slot" => slot);
             // --- Fault injection -------------------------------------
             let faults = plan.slot(slot);
             for &d in &faults.reconnects {
@@ -255,7 +256,10 @@ impl Emulator {
             let mut current_by_device = vec![false; n];
             let mut slot_degradation: Option<Degradation> = None;
 
+            slot_span.record("watching", watching.len() as f64);
+
             if !watching.is_empty() {
+                let gather_span = lpvs_obs::span!("emu.gather", "devices" => watching.len());
                 let windows: Vec<Vec<FrameStats>> = watching
                     .iter()
                     .map(|&i| self.content_window(i, slot))
@@ -309,12 +313,17 @@ impl Emulator {
                 let (compute, storage) = match faults.brownout_factor {
                     Some(f) => {
                         let derated = self.cluster.server().browned_out(f);
+                        derated.publish_gauges();
                         (derated.compute_capacity(), derated.storage_capacity_gb())
                     }
-                    None => (
-                        self.cluster.server().compute_capacity(),
-                        self.cluster.server().storage_capacity_gb(),
-                    ),
+                    None => {
+                        lpvs_obs::gauge_set("edge_brownout_factor", 1.0);
+                        self.cluster.server().publish_gauges();
+                        (
+                            self.cluster.server().compute_capacity(),
+                            self.cluster.server().storage_capacity_gb(),
+                        )
+                    }
                 };
                 let problem = gather_problem(
                     &devices,
@@ -327,6 +336,8 @@ impl Emulator {
                     self.config.lambda,
                     &self.curve,
                 );
+
+                drop(gather_span);
 
                 // --- Request scheduling ------------------------------
                 let budget = slot_budget(&faults.budget_cut);
@@ -353,6 +364,7 @@ impl Emulator {
                 };
 
                 // --- Video transforming + playback -------------------
+                let _play_span = lpvs_obs::span!("emu.play", "devices" => watching.len());
                 for (w_idx, &dev_idx) in watching.iter().enumerate() {
                     let transform = selection[w_idx];
                     if transform {
@@ -385,6 +397,7 @@ impl Emulator {
                 .map(|d| self.curve.phi(d.battery().fraction()))
                 .sum::<f64>()
                 / n as f64;
+            slot_span.record("selected", selected_count as f64);
             slots.push(SlotRecord {
                 slot,
                 display_energy_j: slots_delta(&slots, total_display, |s| s.display_energy_j),
@@ -411,6 +424,9 @@ impl Emulator {
             gave_up: devices.iter().map(|d| d.has_given_up()).collect(),
             ever_selected,
             scheduler_runtime,
+            obs: lpvs_obs::enabled()
+                .then(|| lpvs_obs::installed().map(|r| r.snapshot()))
+                .flatten(),
             slots,
         }
     }

@@ -11,6 +11,7 @@
 //!   and give-up thresholds match exactly.
 
 use lpvs_core::scheduler::Degradation;
+use lpvs_obs::ObsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -64,6 +65,12 @@ pub struct EmulationReport {
     /// Accumulated scheduler wall-clock time.
     #[serde(skip, default)]
     pub scheduler_runtime: Duration,
+    /// Telemetry snapshot taken when the run finished — `None` when no
+    /// recorder was enabled. The counters and histograms are cumulative
+    /// across the process (the recorder is global), so single-run
+    /// analyses should reset the recorder before `run`.
+    #[serde(skip, default)]
+    pub obs: Option<ObsSnapshot>,
 }
 
 impl EmulationReport {
@@ -209,6 +216,7 @@ mod tests {
             gave_up: vec![true, false, false],
             ever_selected: vec![true, true, false],
             scheduler_runtime: Duration::ZERO,
+            obs: None,
         }
     }
 

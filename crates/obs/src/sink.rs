@@ -1,0 +1,240 @@
+//! Telemetry sinks: JSONL span export and Prometheus text exposition.
+//!
+//! Both formats are plain text so a run's telemetry can be inspected
+//! with standard tools (`jq`, `promtool`, a text editor) without any
+//! LPVS-specific tooling.
+
+use crate::json::{Json, JsonError};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::span::SpanEvent;
+use std::fmt::Write as _;
+
+/// Serializes one span event to a single-line JSON object.
+pub fn event_to_json(event: &SpanEvent) -> Json {
+    Json::obj([
+        ("name", Json::Str(event.name.clone())),
+        ("id", Json::Num(event.id as f64)),
+        (
+            "parent",
+            match event.parent {
+                Some(p) => Json::Num(p as f64),
+                None => Json::Null,
+            },
+        ),
+        ("thread", Json::Num(event.thread as f64)),
+        ("start_us", Json::Num(event.start_us as f64)),
+        ("duration_us", Json::Num(event.duration_us as f64)),
+        (
+            "fields",
+            Json::Arr(
+                event
+                    .fields
+                    .iter()
+                    .map(|(k, v)| Json::Arr(vec![Json::Str(k.clone()), Json::Num(*v)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Reconstructs a span event from its JSON object form.
+pub fn event_from_json(value: &Json) -> Result<SpanEvent, JsonError> {
+    let missing = |what: &str| JsonError {
+        message: format!("span event missing or malformed field '{what}'"),
+        offset: 0,
+    };
+    let fields = value
+        .get("fields")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| missing("fields"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2);
+            match pair {
+                Some([k, v]) => match (k.as_str(), v.as_f64()) {
+                    (Some(k), Some(v)) => Ok((k.to_owned(), v)),
+                    _ => Err(missing("fields")),
+                },
+                _ => Err(missing("fields")),
+            }
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SpanEvent {
+        name: value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("name"))?
+            .to_owned(),
+        id: value.get("id").and_then(Json::as_u64).ok_or_else(|| missing("id"))?,
+        parent: match value.get("parent") {
+            Some(Json::Null) | None => None,
+            Some(p) => Some(p.as_u64().ok_or_else(|| missing("parent"))?),
+        },
+        thread: value
+            .get("thread")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("thread"))?,
+        start_us: value
+            .get("start_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("start_us"))?,
+        duration_us: value
+            .get("duration_us")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("duration_us"))?,
+        fields,
+    })
+}
+
+/// Renders span events as JSON Lines: one compact object per line,
+/// trailing newline after the last event.
+pub fn events_to_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let _ = writeln!(out, "{}", event_to_json(event));
+    }
+    out
+}
+
+/// Parses JSON Lines produced by [`events_to_jsonl`]. Blank lines are
+/// skipped; any malformed line is an error.
+pub fn events_from_jsonl(text: &str) -> Result<Vec<SpanEvent>, JsonError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| event_from_json(&Json::parse(line)?))
+        .collect()
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition
+/// format (`# TYPE` headers, cumulative `_bucket{le=...}` lines,
+/// `_sum` and `_count` per histogram).
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", format_value(*value));
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        render_histogram(&mut out, name, hist);
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (bound, count) in hist.bounds.iter().zip(&hist.buckets) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            format_value(*bound)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "{name}_sum {}", format_value(hist.sum));
+    let _ = writeln!(out, "{name}_count {}", hist.count);
+}
+
+/// Prometheus float formatting: plain decimal where exact, scientific
+/// for the log-spaced bucket bounds.
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "emu.slot".into(),
+                id: 1,
+                parent: None,
+                thread: 1,
+                start_us: 0,
+                duration_us: 900,
+                fields: vec![("slot".into(), 0.0)],
+            },
+            SpanEvent {
+                name: "sched.phase1".into(),
+                id: 2,
+                parent: Some(1),
+                thread: 1,
+                start_us: 100,
+                duration_us: 400,
+                fields: vec![("devices".into(), 32.0), ("nodes".into(), 57.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_events() {
+        let events = sample_events();
+        let text = events_to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(Json::parse(line).is_ok());
+        }
+        assert_eq!(events_from_jsonl(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_rejects_garbage() {
+        let events = sample_events();
+        let text = format!("\n{}\n", events_to_jsonl(&events));
+        assert_eq!(events_from_jsonl(&text).unwrap(), events);
+        assert!(events_from_jsonl("{\"name\": \"x\"}\n").is_err());
+        assert!(events_from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let registry = MetricsRegistry::new();
+        registry.counter("sched_runs_total").add(3);
+        registry.gauge("edge_brownout_factor").set(0.75);
+        let h = registry.histogram("sched_phase1_seconds");
+        h.record(0.002);
+        h.record(0.004);
+        let text = render_prometheus(&registry.snapshot());
+
+        assert!(text.contains("# TYPE sched_runs_total counter\nsched_runs_total 3\n"));
+        assert!(text.contains("# TYPE edge_brownout_factor gauge\nedge_brownout_factor 0.75\n"));
+        assert!(text.contains("# TYPE sched_phase1_seconds histogram\n"));
+        assert!(text.contains("sched_phase1_seconds_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("sched_phase1_seconds_count 2\n"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("sched_phase1_seconds_sum"))
+            .unwrap();
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 0.006).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("lat_seconds");
+        h.record(1e-5);
+        h.record(1e-2);
+        h.record(1e-2);
+        let text = render_prometheus(&registry.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 3);
+    }
+}

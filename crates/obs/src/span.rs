@@ -1,0 +1,244 @@
+//! Structured tracing spans with monotonic timing and nesting.
+//!
+//! A span measures one stage of the pipeline. Opening one costs a
+//! single relaxed atomic load when recording is disabled; when enabled,
+//! the [`SpanGuard`] captures a monotonic start time, tracks its parent
+//! through a thread-local scope stack, and on drop emits a
+//! [`SpanEvent`] to the installed recorder — which also folds the
+//! duration into the span's latency histogram (`sched.phase1` →
+//! `sched_phase1_seconds`).
+
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One completed span, as collected by the recorder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Span name from the taxonomy (dot-separated, e.g. `sched.phase1`).
+    pub name: String,
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Small dense id of the recording thread.
+    pub thread: u64,
+    /// Start offset from the observation epoch, in microseconds.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Numeric attachments recorded while the span was open
+    /// (solver node counts, device counts, …).
+    pub fields: Vec<(String, f64)>,
+}
+
+impl SpanEvent {
+    /// End offset from the observation epoch, in microseconds.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.duration_us
+    }
+
+    /// Value of a named field, if recorded.
+    pub fn field(&self, key: &str) -> Option<f64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Whether `other` is temporally contained in `self` (same thread,
+    /// start-to-end interval inside this span's interval).
+    pub fn contains(&self, other: &SpanEvent) -> bool {
+        self.thread == other.thread
+            && self.start_us <= other.start_us
+            && other.end_us() <= self.end_us()
+    }
+}
+
+/// The Prometheus-style latency-histogram name derived from a span
+/// name: dots become underscores and `_seconds` is appended.
+pub fn span_metric_name(span_name: &str) -> String {
+    let mut name: String = span_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    name.push_str("_seconds");
+    name
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Dense id of the current thread (for span attribution).
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    fields: Vec<(String, f64)>,
+}
+
+/// RAII guard for an open span; emits a [`SpanEvent`] on drop.
+///
+/// Obtained from [`crate::span!`] or [`start_span`]. When recording is
+/// disabled the guard is inert and every method is a no-op.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// An inert guard (recording disabled).
+    pub(crate) fn noop() -> Self {
+        Self { inner: None }
+    }
+
+    pub(crate) fn open(name: &'static str) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        });
+        Self {
+            inner: Some(ActiveSpan {
+                name,
+                id,
+                parent,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this guard will emit an event.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Attaches a numeric field to the span (no-op when inert).
+    pub fn record(&mut self, key: &str, value: f64) {
+        if let Some(active) = &mut self.inner {
+            active.fields.push((key.to_owned(), value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.inner.take() else { return };
+        let duration = active.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // The guard discipline (RAII, one thread) makes this span
+            // the top of the stack; truncate defensively in case a
+            // nested guard leaked across a panic boundary.
+            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                stack.truncate(pos);
+            }
+        });
+        let start_us = active
+            .start
+            .duration_since(crate::epoch())
+            .as_micros()
+            .min(u64::MAX as u128) as u64;
+        let event = SpanEvent {
+            name: active.name.to_owned(),
+            id: active.id,
+            parent: active.parent,
+            thread: current_thread_id(),
+            start_us,
+            duration_us: duration.as_micros().min(u64::MAX as u128) as u64,
+            fields: active.fields,
+        };
+        crate::global().record_span(event);
+    }
+}
+
+/// Opens a span: `span!("sched.phase1")`, optionally with initial
+/// fields: `span!("sched.phase1", "devices" => n as f64)`. Returns a
+/// [`SpanGuard`]; the span closes (and is recorded) when the guard
+/// drops. Costs one atomic load when recording is disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::start_span($name)
+    };
+    ($name:expr, $($key:literal => $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::start_span($name);
+        $(guard.record($key, ($value) as f64);)+
+        guard
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_name_derivation() {
+        assert_eq!(span_metric_name("sched.phase1"), "sched_phase1_seconds");
+        assert_eq!(span_metric_name("emu.slot"), "emu_slot_seconds");
+        assert_eq!(span_metric_name("plain"), "plain_seconds");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = SpanEvent {
+            name: "a".into(),
+            id: 1,
+            parent: None,
+            thread: 1,
+            start_us: 10,
+            duration_us: 5,
+            fields: vec![("n".into(), 3.0)],
+        };
+        assert_eq!(e.end_us(), 15);
+        assert_eq!(e.field("n"), Some(3.0));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn containment_requires_same_thread() {
+        let outer = SpanEvent {
+            name: "outer".into(),
+            id: 1,
+            parent: None,
+            thread: 1,
+            start_us: 0,
+            duration_us: 100,
+            fields: vec![],
+        };
+        let inner = SpanEvent {
+            name: "inner".into(),
+            id: 2,
+            parent: Some(1),
+            thread: 1,
+            start_us: 10,
+            duration_us: 50,
+            fields: vec![],
+        };
+        assert!(outer.contains(&inner));
+        assert!(!inner.contains(&outer));
+        let other_thread = SpanEvent { thread: 2, ..inner };
+        assert!(!outer.contains(&other_thread));
+    }
+
+    #[test]
+    fn inert_guard_is_free_of_side_effects() {
+        let mut g = SpanGuard::noop();
+        assert!(!g.is_recording());
+        g.record("x", 1.0);
+        drop(g);
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

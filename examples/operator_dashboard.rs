@@ -1,18 +1,25 @@
 //! Operator's view of one scheduling slot: who got the transform and
-//! why, what the edge capacity went to, and what each stream's power
-//! profile looks like.
+//! why, what the edge capacity went to, what each stream's power
+//! profile looks like — and the slot's telemetry (span tree, metrics
+//! in Prometheus exposition, JSONL span export).
 //!
 //! Run with: `cargo run --example operator_dashboard`
+//!
+//! Writes `obs_events.jsonl` and `obs_metrics.prom` to the current
+//! directory.
 
 use lpvs::core::explain::{explain, Reason};
 use lpvs::core::problem::{DeviceRequest, SlotProblem};
 use lpvs::core::scheduler::LpvsScheduler;
 use lpvs::display::profile::PowerProfile;
 use lpvs::display::spec::{DisplayKind, DisplaySpec, Resolution};
+use lpvs::edge::slot::SlotBudget;
 use lpvs::media::content::{ContentModel, Genre};
+use lpvs::obs::{sink, SpanEvent};
 use lpvs::survey::curve::AnxietyCurve;
 
 fn main() {
+    let recorder = lpvs::obs::init();
     let cap = 55_440.0;
     let curve = AnxietyCurve::paper_shape();
 
@@ -50,7 +57,11 @@ fn main() {
         ));
     }
 
-    let schedule = LpvsScheduler::paper_default().schedule(&problem).unwrap();
+    let schedule = LpvsScheduler::paper_default().schedule_resilient(
+        &problem,
+        None,
+        &SlotBudget::unbounded(),
+    );
     let explanation = explain(&problem, &schedule.selected);
 
     println!(
@@ -79,7 +90,58 @@ fn main() {
     println!("{}", "-".repeat(110));
     println!("{}", explanation.summary());
     println!(
-        "slot: {:.0} J saved, objective {:.0}, scheduled in {:?}",
-        schedule.stats.energy_saved_j, schedule.stats.objective, schedule.stats.runtime
+        "slot: {:.0} J saved, objective {:.0}, tier {}, {} B&B nodes / {} pivots, \
+         scheduled in {:?}",
+        schedule.stats.energy_saved_j,
+        schedule.stats.objective,
+        schedule.stats.degradation,
+        schedule.stats.phase1_nodes,
+        schedule.stats.phase1_pivots,
+        schedule.stats.runtime
     );
+
+    // --- Telemetry ---------------------------------------------------
+    lpvs::obs::set_enabled(false);
+    let events = recorder.events();
+    println!("\nspan tree (μs):");
+    print_span_tree(&events, None, 1);
+
+    let metrics = recorder.metrics().snapshot();
+    println!("\nmetrics (Prometheus exposition):");
+    print!("{}", sink::render_prometheus(&metrics));
+
+    std::fs::write("obs_events.jsonl", sink::events_to_jsonl(&events))
+        .expect("write obs_events.jsonl");
+    std::fs::write("obs_metrics.prom", sink::render_prometheus(&metrics))
+        .expect("write obs_metrics.prom");
+    println!("\nwrote obs_events.jsonl ({} spans) and obs_metrics.prom", events.len());
+}
+
+/// Prints spans nested under `parent`, in start order.
+fn print_span_tree(events: &[SpanEvent], parent: Option<u64>, depth: usize) {
+    let mut children: Vec<&SpanEvent> =
+        events.iter().filter(|e| e.parent == parent).collect();
+    children.sort_by_key(|e| e.start_us);
+    for span in children {
+        println!(
+            "{:indent$}{} — {} μs{}",
+            "",
+            span.name,
+            span.duration_us,
+            if span.fields.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  [{}]",
+                    span.fields
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            },
+            indent = depth * 2
+        );
+        print_span_tree(events, Some(span.id), depth + 1);
+    }
 }

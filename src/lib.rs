@@ -12,6 +12,7 @@
 //! * [`edge`] — edge servers, virtual clusters, devices and batteries
 //! * [`core`] — the LPVS scheduler (two-phase heuristic, paper §IV–V)
 //! * [`emulator`] — trace-driven emulation and experiment drivers
+//! * [`obs`] — tracing spans, metrics registry, and telemetry sinks
 
 #![warn(missing_docs)]
 
@@ -21,6 +22,7 @@ pub use lpvs_display as display;
 pub use lpvs_edge as edge;
 pub use lpvs_emulator as emulator;
 pub use lpvs_media as media;
+pub use lpvs_obs as obs;
 pub use lpvs_solver as solver;
 pub use lpvs_survey as survey;
 pub use lpvs_trace as trace;

@@ -1,0 +1,89 @@
+//! End-to-end telemetry: a recorder-enabled emulator run must yield
+//! per-stage latency histograms, a latency histogram for every
+//! degradation tier the run exercised, a lossless JSONL span export,
+//! and well-formed Prometheus exposition text.
+//!
+//! Lives in its own integration-test binary so the process-global
+//! recorder cannot interfere with other tests.
+
+use lpvs::core::baseline::Policy;
+use lpvs::core::scheduler::Degradation;
+use lpvs::emulator::engine::{Emulator, EmulatorConfig};
+use lpvs::emulator::faults::FaultConfig;
+use lpvs::obs::sink::{events_from_jsonl, events_to_jsonl, render_prometheus};
+
+#[test]
+fn faulty_emulation_produces_full_telemetry() {
+    let recorder = lpvs::obs::init();
+    recorder.reset();
+    let slots = 10;
+    let config = EmulatorConfig {
+        devices: 16,
+        slots,
+        seed: 2020,
+        server_streams: 96,
+        faults: FaultConfig::uniform(0.25, 2020 ^ 0xFA17),
+        ..EmulatorConfig::default()
+    };
+    let report = Emulator::new(config, Policy::Lpvs).run();
+    lpvs::obs::set_enabled(false);
+
+    // The report embeds the cumulative snapshot of the live recorder.
+    let snapshot = report.obs.expect("recorder was enabled, snapshot attached");
+    assert!(snapshot.span_events > 0, "no spans recorded");
+    let metrics = &snapshot.metrics;
+
+    // Per-stage latency histograms from the span auto-fold, one per
+    // pipeline stage that ran every slot.
+    for stage in
+        ["sched_slot_seconds", "sched_sanitize_seconds", "emu_slot_seconds", "emu_gather_seconds"]
+    {
+        let h = metrics.histogram(stage).unwrap_or_else(|| panic!("missing histogram {stage}"));
+        assert_eq!(h.count, slots as u64, "{stage} should record one sample per slot");
+        assert!(h.sum >= 0.0 && h.sum.is_finite());
+    }
+
+    // Every exercised degradation tier has both a counter and a
+    // latency histogram, and they agree on the sample count.
+    let runs = metrics.counter("sched_runs_total").expect("sched_runs_total missing");
+    assert_eq!(runs, slots as u64);
+    let mut tiers_hit = 0;
+    let mut tier_total = 0;
+    for tier in Degradation::ALL {
+        let name = tier.label().replace('-', "_");
+        let count = metrics.counter(&format!("sched_tier_{name}_total")).unwrap_or(0);
+        tier_total += count;
+        if count == 0 {
+            continue;
+        }
+        tiers_hit += 1;
+        let h = metrics
+            .histogram(&format!("sched_tier_{name}_seconds"))
+            .unwrap_or_else(|| panic!("tier {name} ran {count}x but has no latency histogram"));
+        assert_eq!(h.count, count, "tier {name}: histogram/counter disagree");
+    }
+    assert_eq!(tier_total, runs, "every run lands in exactly one tier");
+    assert!(tiers_hit >= 2, "25% faults should push the ladder past its exact rung");
+
+    // Edge gauges were published (brownouts move the factor below 1).
+    assert!(metrics.gauge("edge_brownout_factor").is_some());
+    assert!(metrics.gauge("edge_compute_capacity").is_some());
+
+    // JSONL export is lossless.
+    let events = recorder.events();
+    assert_eq!(events.len(), snapshot.span_events);
+    let jsonl = events_to_jsonl(&events);
+    let back = events_from_jsonl(&jsonl).expect("exported JSONL must parse");
+    assert_eq!(back, events);
+
+    // Prometheus text: every metric appears with a TYPE header, and
+    // histograms end in a +Inf bucket plus sum/count.
+    let prom = render_prometheus(metrics);
+    for (name, _) in &metrics.counters {
+        assert!(prom.contains(&format!("# TYPE {name} counter")), "no TYPE line for {name}");
+    }
+    for (name, h) in &metrics.histograms {
+        assert!(prom.contains(&format!("{name}_bucket{{le=\"+Inf\"}} {}", h.count)));
+        assert!(prom.contains(&format!("{name}_count {}", h.count)));
+    }
+}
