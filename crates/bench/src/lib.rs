@@ -16,6 +16,7 @@
 //! | `fig8_limited` | Fig. 8 λ sweep under limited capacity |
 //! | `fig9_tpv` | Fig. 9 time-per-viewer of low-battery users |
 //! | `fig10_overhead` | Fig. 10 scheduler runtime scaling |
+//! | `fleet_scaling` | sharded vs monolithic slot latency at 10k/100k devices |
 //! | `ablation_phase2` | Phase-2 on/off (quality) |
 //! | `ablation_bayes` | learned vs fixed vs oracle γ (quality) |
 //! | `ablation_policies` | LPVS vs the §III-C baselines (quality) |

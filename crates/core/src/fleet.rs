@@ -1,0 +1,556 @@
+//! Columnar device-fleet store for production-scale scheduling.
+//!
+//! [`SlotProblem`] is a Vec-of-structs: ideal for a single cluster of a
+//! few hundred devices, wasteful for a provider-scale fleet where the
+//! orchestration layer repeatedly partitions, filters, and scans
+//! per-device scalars (battery level, γ posterior, resource costs)
+//! without ever touching the per-chunk arrays. [`DeviceFleet`] stores
+//! the same information as parallel columns — one `Vec` per field, with
+//! the per-chunk rates/durations flattened behind an offsets array — so
+//! that:
+//!
+//! * scalar scans (anxiety ranking, feasibility filters, partition
+//!   hashing) are cache-linear and never drag chunk data through the
+//!   cache;
+//! * a contiguous index range is an **O(1)** zero-copy [`FleetView`],
+//!   which is what the locality partitioner of
+//!   `lpvs_edge::fleet::FleetScheduler` hands to each shard;
+//! * per-device rows round-trip to [`DeviceRequest`] bit-exactly, so a
+//!   1-shard fleet schedule is bit-identical to the monolithic path.
+//!
+//! Beyond the `SlotProblem` fields, the fleet carries the columns the
+//! orchestration layer needs and the slot problem never did: the γ
+//! *posterior spread* (from `lpvs_survey::gamma::GammaEstimator`), the
+//! panel kind, and connectivity (disconnected devices stay in the fleet
+//! so indices remain stable, but are never scheduled).
+
+use crate::compact::{compact_device, CompactedDevice};
+use crate::problem::{DeviceRequest, SlotProblem};
+use lpvs_display::spec::DisplayKind;
+use lpvs_survey::curve::AnxietyCurve;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// One fleet row in struct form — the insertion/extraction format.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetDevice {
+    /// The slot request (chunk rates, energy, γ mean, resource costs).
+    pub request: DeviceRequest,
+    /// Panel technology (drives the transform family downstream).
+    pub display: DisplayKind,
+    /// Posterior standard deviation of the γ estimate (0 when the
+    /// estimate is treated as exact).
+    pub gamma_std: f64,
+    /// Whether the device is currently reachable. Disconnected devices
+    /// keep their row (stable indices) but must not be selected.
+    pub connected: bool,
+}
+
+impl FleetDevice {
+    /// A plain row: LCD panel, exact γ, connected.
+    pub fn from_request(request: DeviceRequest) -> Self {
+        Self { request, display: DisplayKind::Lcd, gamma_std: 0.0, connected: true }
+    }
+}
+
+/// Columnar store of per-device slot state for an entire fleet.
+///
+/// Parallel arrays, one per field; per-chunk data is flattened with an
+/// offsets array (`chunk_offsets[i]..chunk_offsets[i+1]` indexes device
+/// `i`'s chunks). All rows are validated on insertion, so every
+/// accessor may assume [`DeviceRequest::is_valid`] invariants.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFleet {
+    /// Chunk-range offsets: `n + 1` entries, `chunk_offsets[0] == 0`.
+    chunk_offsets: Vec<usize>,
+    /// Flattened per-chunk power rates `p(κ)` (W), all devices.
+    power_rates_w: Vec<f64>,
+    /// Flattened per-chunk durations Δ_κ (s), all devices.
+    chunk_secs: Vec<f64>,
+    /// Reported remaining energy `e(1)` (J).
+    energy_j: Vec<f64>,
+    /// Battery capacity (J).
+    capacity_j: Vec<f64>,
+    /// γ posterior mean.
+    gamma_mean: Vec<f64>,
+    /// γ posterior standard deviation.
+    gamma_std: Vec<f64>,
+    /// Transform compute cost `g` (edge compute units).
+    compute_cost: Vec<f64>,
+    /// Transform storage cost `h` (GB).
+    storage_cost_gb: Vec<f64>,
+    /// Panel technology.
+    display: Vec<DisplayKind>,
+    /// Connectivity flag.
+    connected: Vec<bool>,
+}
+
+impl DeviceFleet {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self { chunk_offsets: vec![0], ..Self::default() }
+    }
+
+    /// An empty fleet with row capacity reserved for `devices` rows of
+    /// `chunks_hint` chunks each.
+    pub fn with_capacity(devices: usize, chunks_hint: usize) -> Self {
+        let mut chunk_offsets = Vec::with_capacity(devices + 1);
+        chunk_offsets.push(0);
+        Self {
+            chunk_offsets,
+            power_rates_w: Vec::with_capacity(devices * chunks_hint),
+            chunk_secs: Vec::with_capacity(devices * chunks_hint),
+            energy_j: Vec::with_capacity(devices),
+            capacity_j: Vec::with_capacity(devices),
+            gamma_mean: Vec::with_capacity(devices),
+            gamma_std: Vec::with_capacity(devices),
+            compute_cost: Vec::with_capacity(devices),
+            storage_cost_gb: Vec::with_capacity(devices),
+            display: Vec::with_capacity(devices),
+            connected: Vec::with_capacity(devices),
+        }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn len(&self) -> usize {
+        self.chunk_offsets.len() - 1
+    }
+
+    /// True when the fleet holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a device row, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request fails [`DeviceRequest::is_valid`] or the
+    /// γ spread is not a finite nonnegative number.
+    pub fn push(&mut self, device: FleetDevice) -> usize {
+        assert!(device.request.is_valid(), "fleet rows must carry valid telemetry");
+        assert!(
+            device.gamma_std.is_finite() && device.gamma_std >= 0.0,
+            "gamma spread must be a finite nonnegative number"
+        );
+        let FleetDevice { request, display, gamma_std, connected } = device;
+        self.power_rates_w.extend_from_slice(&request.power_rates_w);
+        self.chunk_secs.extend_from_slice(&request.chunk_secs);
+        self.chunk_offsets.push(self.power_rates_w.len());
+        self.energy_j.push(request.energy_j);
+        self.capacity_j.push(request.capacity_j);
+        self.gamma_mean.push(request.gamma);
+        self.gamma_std.push(gamma_std);
+        self.compute_cost.push(request.compute_cost);
+        self.storage_cost_gb.push(request.storage_cost_gb);
+        self.display.push(display);
+        self.connected.push(connected);
+        self.len() - 1
+    }
+
+    /// Appends a bare request as an LCD, exact-γ, connected row.
+    pub fn push_request(&mut self, request: DeviceRequest) -> usize {
+        self.push(FleetDevice::from_request(request))
+    }
+
+    /// Columnarizes an existing slot problem (exact-γ, connected, LCD
+    /// rows). The capacities/λ/curve of the problem are **not** stored
+    /// — a fleet is device state only; capacities belong to the edge
+    /// servers that schedule it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request fails [`DeviceRequest::is_valid`].
+    pub fn from_problem(problem: &SlotProblem) -> Self {
+        let chunks_hint = problem.requests.first().map_or(0, DeviceRequest::num_chunks);
+        let mut fleet = Self::with_capacity(problem.len(), chunks_hint);
+        for request in &problem.requests {
+            fleet.push_request(request.clone());
+        }
+        fleet
+    }
+
+    /// Materializes row `i` back into a [`DeviceRequest`]. Exact: every
+    /// float is copied, never recomputed, so a round-trip through the
+    /// fleet is bit-identical.
+    pub fn device_request(&self, i: usize) -> DeviceRequest {
+        let chunks = self.chunk_range(i);
+        DeviceRequest::from_telemetry(
+            self.power_rates_w[chunks.clone()].to_vec(),
+            self.chunk_secs[chunks].to_vec(),
+            self.energy_j[i],
+            self.capacity_j[i],
+            self.gamma_mean[i],
+            self.compute_cost[i],
+            self.storage_cost_gb[i],
+        )
+    }
+
+    /// Materializes row `i` in full struct form.
+    pub fn device(&self, i: usize) -> FleetDevice {
+        FleetDevice {
+            request: self.device_request(i),
+            display: self.display[i],
+            gamma_std: self.gamma_std[i],
+            connected: self.connected[i],
+        }
+    }
+
+    /// O(1) zero-copy view of the contiguous index range — the locality
+    /// shard. No column data is touched, only the range recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the fleet.
+    pub fn view(&self, range: Range<usize>) -> FleetView<'_> {
+        assert!(range.end <= self.len(), "view range exceeds fleet");
+        assert!(range.start <= range.end, "view range is inverted");
+        FleetView { fleet: self, range }
+    }
+
+    /// Builds a [`SlotProblem`] from an arbitrary index list — the hash
+    /// shard. Rows are materialized in the order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subproblem(
+        &self,
+        indices: &[usize],
+        compute_capacity: f64,
+        storage_capacity_gb: f64,
+        lambda: f64,
+        curve: &AnxietyCurve,
+    ) -> SlotProblem {
+        let mut problem =
+            SlotProblem::new(compute_capacity, storage_capacity_gb, lambda, curve.clone());
+        for &i in indices {
+            problem.push(self.device_request(i));
+        }
+        problem
+    }
+
+    fn chunk_range(&self, i: usize) -> Range<usize> {
+        self.chunk_offsets[i]..self.chunk_offsets[i + 1]
+    }
+
+    /// Per-chunk `(rates, durations)` slices of row `i`.
+    pub fn chunks(&self, i: usize) -> (&[f64], &[f64]) {
+        let r = self.chunk_range(i);
+        (&self.power_rates_w[r.clone()], &self.chunk_secs[r])
+    }
+
+    /// Number of chunks `K` of row `i`.
+    pub fn num_chunks(&self, i: usize) -> usize {
+        self.chunk_range(i).len()
+    }
+
+    /// Reported remaining energy (J) of row `i`.
+    pub fn energy_j(&self, i: usize) -> f64 {
+        self.energy_j[i]
+    }
+
+    /// Battery capacity (J) of row `i`.
+    pub fn capacity_j(&self, i: usize) -> f64 {
+        self.capacity_j[i]
+    }
+
+    /// γ posterior mean of row `i`.
+    pub fn gamma_mean(&self, i: usize) -> f64 {
+        self.gamma_mean[i]
+    }
+
+    /// γ posterior standard deviation of row `i`.
+    pub fn gamma_std(&self, i: usize) -> f64 {
+        self.gamma_std[i]
+    }
+
+    /// Transform compute cost (units) of row `i`.
+    pub fn compute_cost(&self, i: usize) -> f64 {
+        self.compute_cost[i]
+    }
+
+    /// Transform storage cost (GB) of row `i`.
+    pub fn storage_cost_gb(&self, i: usize) -> f64 {
+        self.storage_cost_gb[i]
+    }
+
+    /// Panel technology of row `i`.
+    pub fn display(&self, i: usize) -> DisplayKind {
+        self.display[i]
+    }
+
+    /// Whether row `i` is currently reachable.
+    pub fn connected(&self, i: usize) -> bool {
+        self.connected[i]
+    }
+
+    /// Marks row `i` connected/disconnected.
+    pub fn set_connected(&mut self, i: usize, connected: bool) {
+        self.connected[i] = connected;
+    }
+
+    /// Battery fraction of row `i`, clamped to `[0, 1]` like
+    /// [`DeviceRequest::battery_fraction`].
+    pub fn battery_fraction(&self, i: usize) -> f64 {
+        (self.energy_j[i] / self.capacity_j[i]).clamp(0.0, 1.0)
+    }
+
+    /// Untransformed slot energy `Σ p·Δ` (J) of row `i`.
+    pub fn untransformed_energy_j(&self, i: usize) -> f64 {
+        let (rates, secs) = self.chunks(i);
+        rates.iter().zip(secs).map(|(p, d)| p * d).sum()
+    }
+
+    /// Energy saved over the slot if row `i` is transformed (J).
+    pub fn saving_j(&self, i: usize) -> f64 {
+        self.gamma_mean[i] * self.untransformed_energy_j(i)
+    }
+
+    /// Compacted energy-feasibility verdict for transforming row `i` —
+    /// the columnar mirror of [`compact_device`] (constraint (11)),
+    /// computed without materializing the row.
+    pub fn transform_feasible(&self, i: usize) -> bool {
+        let (rates, secs) = self.chunks(i);
+        let k = rates.len() as f64;
+        let mut total = 0.0;
+        let mut weighted = 0.0;
+        for (idx, (p, d)) in rates.iter().zip(secs).enumerate() {
+            let kappa = (idx + 1) as f64;
+            total += p * d;
+            weighted += (k - kappa) * p * d;
+        }
+        let factor = 1.0 - self.gamma_mean[i];
+        k * self.energy_j[i] - factor * weighted >= factor * total - 1e-9
+    }
+
+    /// Full compacted quantities for row `i` (see [`compact_device`]).
+    pub fn compact(&self, i: usize) -> CompactedDevice {
+        compact_device(&self.device_request(i))
+    }
+
+    /// Row `i`'s contribution to the joint objective (eq. 13) under the
+    /// given transform decision — the columnar mirror of
+    /// [`device_objective`](crate::objective::device_objective).
+    pub fn device_objective(
+        &self,
+        i: usize,
+        selected: bool,
+        lambda: f64,
+        curve: &AnxietyCurve,
+    ) -> f64 {
+        let factor = if selected { 1.0 - self.gamma_mean[i] } else { 1.0 };
+        let (rates, secs) = self.chunks(i);
+        let mut prefix_j = 0.0;
+        let mut total = 0.0;
+        for (p, d) in rates.iter().zip(secs) {
+            let psi = factor * p;
+            let energy = (self.energy_j[i] - prefix_j).max(0.0);
+            let anxiety = curve.phi(energy / self.capacity_j[i]);
+            total += (psi + lambda * anxiety) * d;
+            prefix_j += psi * d;
+        }
+        total
+    }
+}
+
+/// Zero-copy view of a contiguous fleet range — one locality shard.
+#[derive(Debug, Clone)]
+pub struct FleetView<'a> {
+    fleet: &'a DeviceFleet,
+    range: Range<usize>,
+}
+
+impl<'a> FleetView<'a> {
+    /// Number of devices in the view.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True when the view spans no devices.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The global fleet range this view covers.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// Maps a view-local index to the global fleet index.
+    pub fn global_index(&self, local: usize) -> usize {
+        debug_assert!(local < self.len(), "local index out of view");
+        self.range.start + local
+    }
+
+    /// The underlying fleet.
+    pub fn fleet(&self) -> &'a DeviceFleet {
+        self.fleet
+    }
+
+    /// Materializes the view as a [`SlotProblem`] against the given
+    /// shard capacities. Rows keep their fleet order, so local index
+    /// `j` in the problem is global index `range.start + j`.
+    pub fn to_problem(
+        &self,
+        compute_capacity: f64,
+        storage_capacity_gb: f64,
+        lambda: f64,
+        curve: &AnxietyCurve,
+    ) -> SlotProblem {
+        let mut problem =
+            SlotProblem::new(compute_capacity, storage_capacity_gb, lambda, curve.clone());
+        for i in self.range.clone() {
+            problem.push(self.fleet.device_request(i));
+        }
+        problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::device_objective;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn request(seed: u64) -> DeviceRequest {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let chunks = rng.gen_range(5..40);
+        DeviceRequest::new(
+            (0..chunks).map(|_| rng.gen_range(0.4..2.5)).collect(),
+            (0..chunks).map(|_| rng.gen_range(2.0..12.0)).collect(),
+            rng.gen_range(0.0..55_440.0),
+            55_440.0,
+            rng.gen_range(0.05..0.6),
+            rng.gen_range(0.2..2.0),
+            rng.gen_range(0.02..0.3),
+        )
+    }
+
+    fn fleet(n: usize) -> DeviceFleet {
+        let mut f = DeviceFleet::new();
+        for i in 0..n {
+            f.push(FleetDevice {
+                request: request(i as u64),
+                display: if i % 3 == 0 { DisplayKind::Oled } else { DisplayKind::Lcd },
+                gamma_std: 0.01 * (i % 5) as f64,
+                connected: i % 7 != 3,
+            });
+        }
+        f
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let f = fleet(20);
+        for i in 0..20 {
+            let original = request(i as u64);
+            let back = f.device_request(i);
+            // PartialEq on f64 vectors: bit-for-bit float equality.
+            assert_eq!(back, original, "row {i} did not round-trip exactly");
+        }
+        assert_eq!(f.len(), 20);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn columnar_scalars_match_struct_accessors() {
+        let f = fleet(20);
+        for i in 0..20 {
+            let r = f.device_request(i);
+            assert_eq!(f.saving_j(i), r.saving_j());
+            assert_eq!(f.battery_fraction(i), r.battery_fraction());
+            assert_eq!(f.untransformed_energy_j(i), r.untransformed_energy_j());
+            assert_eq!(f.num_chunks(i), r.num_chunks());
+            assert_eq!(f.transform_feasible(i), compact_device(&r).transform_feasible);
+        }
+    }
+
+    #[test]
+    fn columnar_objective_matches_struct_objective() {
+        let f = fleet(20);
+        let curve = AnxietyCurve::paper_shape();
+        for i in 0..20 {
+            let r = f.device_request(i);
+            for on in [false, true] {
+                let a = f.device_objective(i, on, 1.7, &curve);
+                let b = device_objective(&r, on, 1.7, &curve);
+                assert_eq!(a, b, "objective diverged on row {i}, selected {on}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_problem_round_trips() {
+        let curve = AnxietyCurve::paper_shape();
+        let mut p = SlotProblem::new(5.0, 2.0, 1.0, curve.clone());
+        for i in 0..8 {
+            p.push(request(100 + i));
+        }
+        let f = DeviceFleet::from_problem(&p);
+        let back = f.view(0..f.len()).to_problem(5.0, 2.0, 1.0, &curve);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn views_are_contiguous_and_zero_copy() {
+        let f = fleet(30);
+        let v = f.view(10..25);
+        assert_eq!(v.len(), 15);
+        assert!(!v.is_empty());
+        assert_eq!(v.global_index(0), 10);
+        assert_eq!(v.global_index(14), 24);
+        assert_eq!(v.range(), 10..25);
+        let p = v.to_problem(3.0, 1.0, 1.0, &AnxietyCurve::paper_shape());
+        assert_eq!(p.len(), 15);
+        assert_eq!(p.requests[0], f.device_request(10));
+        assert_eq!(p.requests[14], f.device_request(24));
+        // Empty views are fine.
+        assert!(f.view(7..7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds fleet")]
+    fn oversized_view_rejected() {
+        let f = fleet(5);
+        let _ = f.view(0..6);
+    }
+
+    #[test]
+    fn subproblem_follows_index_order() {
+        let f = fleet(12);
+        let curve = AnxietyCurve::paper_shape();
+        let p = f.subproblem(&[11, 0, 5], 2.0, 1.0, 0.5, &curve);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.requests[0], f.device_request(11));
+        assert_eq!(p.requests[1], f.device_request(0));
+        assert_eq!(p.requests[2], f.device_request(5));
+        assert_eq!(p.lambda, 0.5);
+    }
+
+    #[test]
+    fn extra_columns_are_stored() {
+        let f = fleet(10);
+        assert_eq!(f.display(0), DisplayKind::Oled);
+        assert_eq!(f.display(1), DisplayKind::Lcd);
+        assert!(f.connected(0));
+        assert!(!f.connected(3));
+        assert_eq!(f.gamma_std(4), 0.04);
+        let row = f.device(3);
+        assert!(!row.connected);
+        assert_eq!(row.request, request(3));
+        let mut f = f;
+        f.set_connected(3, true);
+        assert!(f.connected(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "valid telemetry")]
+    fn corrupt_rows_rejected() {
+        let mut f = DeviceFleet::new();
+        let mut bad = request(0);
+        bad.gamma = f64::NAN;
+        f.push(FleetDevice::from_request(bad));
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`phase1`] — Phase-1 (§V-C): energy-saving maximization as a 0/1
 //!   ILP over the capacity knapsacks, solved exactly with
 //!   [`lpvs_solver`]'s branch-and-bound (or greedily, for ablation);
+//! * [`backend`] — the [`SolverBackend`] trait the Phase-1 paths
+//!   (exact / Lagrangian / greedy) implement; the resilient scheduler's
+//!   degradation ladder is a walk over these backends;
 //! * [`phase2`] — Phase-2 (§V-C): anxiety-driven swapping that trades
 //!   selected devices for high-anxiety ones whenever the full
 //!   λ-weighted objective improves;
@@ -33,7 +36,11 @@
 //! * [`explain`](mod@crate::explain) — per-device explanations of a schedule (selected /
 //!   lost on capacity / energy-infeasible / no benefit);
 //! * [`provision`] — capacity shadow prices from the Phase-1 LP
-//!   relaxation (marginal joules per compute unit / storage GB).
+//!   relaxation (marginal joules per compute unit / storage GB);
+//! * [`budget`] — the per-slot compute budget ([`SlotBudget`]) the
+//!   resilient scheduler degrades against;
+//! * [`fleet`] — the columnar [`DeviceFleet`] store backing
+//!   provider-scale sharded scheduling (`lpvs_edge::fleet`).
 //!
 //! A note on conventions: γ is the *saved* fraction — transformed
 //! power is `(1 − γ)·p` (see `lpvs_display::transform` and DESIGN.md).
@@ -57,9 +64,12 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
+pub mod budget;
 pub mod compact;
 pub mod explain;
+pub mod fleet;
 pub mod objective;
 pub mod phase1;
 pub mod phase2;
@@ -67,9 +77,15 @@ pub mod problem;
 pub mod provision;
 pub mod scheduler;
 
+pub use backend::{
+    backend_for, ladder_from, solver_ladder, ExactBackend, GreedyBackend, LagrangianBackend,
+    SolverBackend,
+};
 pub use baseline::{Policy, SelectionPolicy};
+pub use budget::SlotBudget;
 pub use compact::CompactedDevice;
 pub use explain::{explain, Explanation, Reason};
+pub use fleet::{DeviceFleet, FleetDevice, FleetView};
 pub use objective::{device_objective, objective_value, objective_value_recursive};
 pub use phase1::{solve_phase1, Phase1Config, Phase1Result, Phase1Solver};
 pub use phase2::{run_phase2, Phase2Stats};

@@ -8,9 +8,9 @@
 //! branch-and-bound, with a greedy multi-knapsack fallback available
 //! for the solver-path ablation.
 
-use crate::compact::compact_device;
+use crate::backend::backend_for;
 use crate::problem::SlotProblem;
-use lpvs_solver::{BinaryProgram, Relation, Sense, SolverError};
+use lpvs_solver::SolverError;
 use serde::{Deserialize, Serialize};
 
 /// Which solver runs Phase-1.
@@ -91,6 +91,10 @@ pub fn solve_phase1(
 /// incumbent, which both speeds certification and biases ties toward
 /// the standing selection (fewer encoder restarts between slots).
 ///
+/// Dispatches to the [`SolverBackend`](crate::backend::SolverBackend)
+/// implementing the configured solver; see [`crate::backend`] for the
+/// individual solution paths.
+///
 /// # Errors
 ///
 /// As [`solve_phase1`].
@@ -99,93 +103,7 @@ pub fn solve_phase1_warm(
     config: &Phase1Config,
     hint: Option<&[bool]>,
 ) -> Result<Phase1Result, SolverError> {
-    let n = problem.len();
-    if n == 0 {
-        return Ok(Phase1Result {
-            selected: Vec::new(),
-            energy_saved_j: 0.0,
-            infeasible_devices: 0,
-            nodes: 0,
-            pivots: 0,
-        });
-    }
-
-    // Information compacting: per-device savings and feasibility.
-    let compact_span = lpvs_obs::span!("sched.compact", "devices" => n);
-    let savings: Vec<f64> = problem.requests.iter().map(|r| r.saving_j()).collect();
-    let feasible: Vec<bool> = problem
-        .requests
-        .iter()
-        .map(|r| compact_device(r).transform_feasible)
-        .collect();
-    let infeasible_devices = feasible.iter().filter(|&&f| !f).count();
-
-    let g: Vec<f64> = problem.requests.iter().map(|r| r.compute_cost).collect();
-    let h: Vec<f64> = problem.requests.iter().map(|r| r.storage_cost_gb).collect();
-    drop(compact_span);
-
-    let (selected, pivots) = match config.solver {
-        Phase1Solver::Exact => {
-            let mut ilp = BinaryProgram::new(Sense::Maximize, savings.clone())?;
-            ilp.add_constraint(g, Relation::Le, problem.compute_capacity)?;
-            ilp.add_constraint(h, Relation::Le, problem.storage_capacity_gb)?;
-            for (i, &ok) in feasible.iter().enumerate() {
-                if !ok {
-                    ilp.fix(i, false)?;
-                }
-            }
-            ilp.set_node_limit(config.node_limit);
-            ilp.set_relative_gap(config.relative_gap);
-            let mut search = lpvs_solver::BranchBound::new(&ilp);
-            if let Some(hint) = hint {
-                if hint.len() == n {
-                    // Clear decisions that became energy-infeasible
-                    // since the hint was computed, then offer it.
-                    let cleaned: Vec<bool> =
-                        hint.iter().zip(&feasible).map(|(&h, &f)| h && f).collect();
-                    search.warm_start(cleaned);
-                }
-            }
-            let solution = search.solve()?;
-            return Ok(Phase1Result {
-                energy_saved_j: solution.objective,
-                nodes: solution.stats.nodes,
-                pivots: solution.stats.simplex_iterations,
-                selected: solution.x,
-                infeasible_devices,
-            });
-        }
-        Phase1Solver::Greedy => {
-            let fixings: Vec<Option<bool>> = feasible
-                .iter()
-                .map(|&ok| if ok { None } else { Some(false) })
-                .collect();
-            let rows: Vec<(&[f64], f64)> = vec![
-                (g.as_slice(), problem.compute_capacity),
-                (h.as_slice(), problem.storage_capacity_gb),
-            ];
-            (lpvs_solver::greedy_multi_knapsack(&savings, &rows, &fixings).x, 0)
-        }
-        Phase1Solver::Lagrangian => {
-            let mut ilp = BinaryProgram::new(Sense::Maximize, savings.clone())?;
-            ilp.add_constraint(g, Relation::Le, problem.compute_capacity)?;
-            ilp.add_constraint(h, Relation::Le, problem.storage_capacity_gb)?;
-            for (i, &ok) in feasible.iter().enumerate() {
-                if !ok {
-                    ilp.fix(i, false)?;
-                }
-            }
-            let solution = lpvs_solver::lagrangian_knapsack(&ilp, 200)?;
-            (solution.x, solution.iterations)
-        }
-    };
-
-    let energy_saved_j = savings
-        .iter()
-        .zip(&selected)
-        .map(|(s, &x)| if x { *s } else { 0.0 })
-        .sum();
-    Ok(Phase1Result { selected, energy_saved_j, infeasible_devices, nodes: 0, pivots })
+    backend_for(config.solver).solve(problem, config, hint)
 }
 
 #[cfg(test)]

@@ -1,10 +1,11 @@
 //! The LPVS scheduler: Phase-1 + Phase-2 with instrumentation.
 
+use crate::backend::{backend_for, ladder_from, SolverBackend};
+use crate::budget::SlotBudget;
 use crate::objective::objective_value;
-use crate::phase1::{solve_phase1_warm, Phase1Config, Phase1Solver};
+use crate::phase1::{Phase1Config, Phase1Solver};
 use crate::phase2::{run_phase2, Phase2Stats};
 use crate::problem::SlotProblem;
-use lpvs_edge::slot::SlotBudget;
 use lpvs_solver::SolverError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -235,10 +236,29 @@ impl LpvsScheduler {
         problem: &SlotProblem,
         previous: Option<&[bool]>,
     ) -> Result<Schedule, SolverError> {
+        let backend = backend_for(self.config.phase1.solver);
+        self.schedule_with_backend(backend.as_ref(), &self.config.phase1, problem, previous)
+    }
+
+    /// [`LpvsScheduler::schedule_warm`] with an explicit Phase-1
+    /// backend and configuration — the primitive both the plain path
+    /// (configured solver) and the resilient ladder (each rung in
+    /// turn) are built on.
+    ///
+    /// # Errors
+    ///
+    /// As [`LpvsScheduler::schedule`].
+    pub fn schedule_with_backend(
+        &self,
+        backend: &dyn SolverBackend,
+        phase1_config: &Phase1Config,
+        problem: &SlotProblem,
+        previous: Option<&[bool]>,
+    ) -> Result<Schedule, SolverError> {
         let start = Instant::now();
         let phase1 = {
             let mut span = lpvs_obs::span!("sched.phase1", "devices" => problem.len());
-            let phase1 = solve_phase1_warm(problem, &self.config.phase1, previous)?;
+            let phase1 = backend.solve(problem, phase1_config, previous)?;
             span.record("nodes", phase1.nodes as f64);
             span.record("pivots", phase1.pivots as f64);
             phase1
@@ -266,7 +286,7 @@ impl LpvsScheduler {
             phase1_nodes: phase1.nodes,
             phase1_pivots: phase1.pivots,
             phase2,
-            degradation: solver_rung(self.config.phase1.solver),
+            degradation: backend.rung(),
             rejected_devices: 0,
             runtime: start.elapsed(),
         };
@@ -323,24 +343,19 @@ impl LpvsScheduler {
 
         // Solver rungs, starting from the configured solver so the
         // ladder never silently *upgrades* an ablation configuration.
-        let ladder = [Phase1Solver::Exact, Phase1Solver::Lagrangian, Phase1Solver::Greedy];
-        let first = ladder
-            .iter()
-            .position(|&s| s == self.config.phase1.solver)
-            .unwrap_or(0);
-        for &solver in &ladder[first..] {
+        // Each rung is a boxed [`SolverBackend`]; walking the ladder is
+        // walking the slice.
+        let ladder = ladder_from(self.config.phase1.solver);
+        for backend in &ladder {
             if out_of_time() {
                 break;
             }
-            let config = SchedulerConfig {
-                phase1: Phase1Config { solver, node_limit, ..self.config.phase1 },
-                enable_phase2: self.config.enable_phase2,
-            };
+            let phase1 = Phase1Config { node_limit, ..self.config.phase1 };
             // Defense in depth: sanitization should make the inner
             // pipeline panic-free, but a rung that panics anyway is a
             // rung that failed, not a dead slot.
             let attempt = catch_unwind(AssertUnwindSafe(|| {
-                LpvsScheduler::new(config).schedule_warm(&clean, previous)
+                self.schedule_with_backend(backend.as_ref(), &phase1, &clean, previous)
             }));
             if let Ok(Ok(schedule)) = attempt {
                 let mut selected = schedule.selected;
@@ -351,7 +366,7 @@ impl LpvsScheduler {
                     return finish_resilient(
                         &clean,
                         selected,
-                        solver_rung(solver),
+                        backend.rung(),
                         rejected,
                         schedule.stats,
                         start,
@@ -459,15 +474,6 @@ fn finish_resilient(
         );
     }
     Schedule { selected, stats }
-}
-
-/// The ladder rung corresponding to a Phase-1 solver.
-fn solver_rung(solver: Phase1Solver) -> Degradation {
-    match solver {
-        Phase1Solver::Exact => Degradation::Exact,
-        Phase1Solver::Lagrangian => Degradation::Lagrangian,
-        Phase1Solver::Greedy => Degradation::Greedy,
-    }
 }
 
 #[cfg(test)]
@@ -580,6 +586,22 @@ mod tests {
         assert!(churn <= 0.2, "excessive churn {churn}");
         // Length mismatch reports None.
         assert!(warm.churn_vs(&[true]).is_none());
+    }
+
+    #[test]
+    fn churn_vs_rejects_length_mismatch_without_truncation() {
+        let p = random_problem(10, 5.0, 1.0, 31);
+        let s = LpvsScheduler::paper_default().schedule(&p).unwrap();
+        // Shorter, longer, and empty previous selections all report
+        // None rather than silently zipping over the common prefix.
+        assert_eq!(s.churn_vs(&vec![false; 9]), None);
+        assert_eq!(s.churn_vs(&vec![false; 11]), None);
+        assert_eq!(s.churn_vs(&[]), None);
+        // Equal lengths still report: identical selections churn 0.
+        assert_eq!(s.churn_vs(&s.selected), Some(0.0));
+        // An empty schedule has no churn to report either.
+        let empty = Schedule { selected: vec![], stats: s.stats };
+        assert_eq!(empty.churn_vs(&[]), None);
     }
 
     #[test]

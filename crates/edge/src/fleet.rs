@@ -1,0 +1,662 @@
+//! Provider-scale sharded scheduling: one fleet, many edge servers.
+//!
+//! The paper schedules one virtual cluster against one edge server. A
+//! provider operates many base stations, each with its own co-located
+//! server, over a fleet orders of magnitude larger than a cluster.
+//! [`FleetScheduler`] closes that gap in three steps:
+//!
+//! 1. **Partition** — the columnar
+//!    [`DeviceFleet`](lpvs_core::fleet::DeviceFleet) is split across
+//!    `N` shards, either by *locality* (contiguous index ranges — O(1)
+//!    zero-copy [`FleetView`](lpvs_core::fleet::FleetView)s, modeling
+//!    devices already grouped by base station) or by *hash*
+//!    (deterministic scatter, modeling provider-side load balancing).
+//! 2. **Solve** — each shard materializes its own
+//!    [`SlotProblem`](lpvs_core::problem::SlotProblem) and runs the full
+//!    resilient pipeline
+//!    ([`LpvsScheduler::schedule_resilient`](lpvs_core::scheduler::LpvsScheduler::schedule_resilient))
+//!    on its own scoped thread, against its own server's capacities.
+//!    Shards never share mutable state; results are joined in shard
+//!    order, so the outcome is deterministic regardless of thread
+//!    interleaving.
+//! 3. **Rebalance** — a bounded cross-shard pass migrates marginal
+//!    low-battery viewers from saturated shards to shards with spare
+//!    capacity, reusing Phase-2's pure-addition criterion (the
+//!    λ-weighted objective of eq. 13 must strictly improve) and the
+//!    target server's own admission control — so per-shard capacity
+//!    can never be violated by a migration.
+//!
+//! With one shard the partition is the identity, no migration target
+//! exists, and the result is **bit-identical** to the monolithic
+//! scheduler — the equivalence proptest in `tests/fleet.rs` pins this.
+
+use crate::server::EdgeServer;
+use lpvs_core::budget::SlotBudget;
+use lpvs_core::fleet::DeviceFleet;
+use lpvs_core::scheduler::{Degradation, LpvsScheduler, Schedule, ScheduleStats, SchedulerConfig};
+use lpvs_core::Phase2Stats;
+use lpvs_survey::curve::AnxietyCurve;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// How the fleet is split across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Partitioner {
+    /// Contiguous index ranges — devices are already grouped by base
+    /// station, and each shard is an O(1) zero-copy fleet view.
+    #[default]
+    Locality,
+    /// Deterministic multiplicative-hash scatter — provider-side load
+    /// balancing with no locality assumption. Within a shard, devices
+    /// keep their fleet order.
+    Hash,
+}
+
+/// Fleet-scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of edge shards (≥ 1).
+    pub num_shards: usize,
+    /// Device-to-shard assignment strategy.
+    pub partitioner: Partitioner,
+    /// Per-shard scheduler configuration (solver path, Phase-2).
+    pub scheduler: SchedulerConfig,
+    /// Upper bound on cross-shard migrations per slot. Bounding the
+    /// pass keeps the rebalance O(`max_migrations` · shards) after the
+    /// candidate scan and caps how much churn a single slot can inject.
+    pub max_migrations: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 1,
+            partitioner: Partitioner::Locality,
+            scheduler: SchedulerConfig::default(),
+            max_migrations: 64,
+        }
+    }
+}
+
+/// One shard's slice of a fleet schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Global fleet indices assigned to this shard, in shard-problem
+    /// order.
+    pub devices: Vec<usize>,
+    /// The shard scheduler's run statistics (rung reached, objective,
+    /// Phase-1/2 work).
+    pub stats: ScheduleStats,
+    /// Global indices of devices migrated *into* this shard by the
+    /// rebalancing pass (their load counts against this shard's server,
+    /// not their home shard's).
+    pub migrated_in: Vec<usize>,
+}
+
+/// A fleet-wide scheduling decision for one slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSchedule {
+    /// Transform decision per fleet device (global fleet order).
+    pub selected: Vec<bool>,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Cross-shard migrations accepted by the rebalancing pass.
+    pub migrations: usize,
+    /// Fleet-wide objective (eq. 13) of the final selection.
+    pub objective: f64,
+    /// Fleet-wide energy saved by the final selection (J).
+    pub energy_saved_j: f64,
+    /// Wall-clock time for the whole fleet slot (partition + parallel
+    /// solve + rebalance).
+    pub runtime: Duration,
+}
+
+impl FleetSchedule {
+    /// Number of devices selected fleet-wide.
+    pub fn num_selected(&self) -> usize {
+        self.selected.iter().filter(|&&x| x).count()
+    }
+}
+
+/// Schedules a [`DeviceFleet`] across multiple edge shards.
+#[derive(Debug, Clone, Default)]
+pub struct FleetScheduler {
+    config: FleetConfig,
+}
+
+impl FleetScheduler {
+    /// Creates a fleet scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration names zero shards.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.num_shards >= 1, "a fleet needs at least one shard");
+        Self { config }
+    }
+
+    /// Locality-partitioned scheduler with `num_shards` shards and the
+    /// paper-default per-shard pipeline.
+    pub fn with_shards(num_shards: usize) -> Self {
+        Self::new(FleetConfig { num_shards, ..FleetConfig::default() })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Assigns the *connected* devices of an `n`-device fleet to
+    /// shards. Returns one global-index list per shard; within every
+    /// shard, indices are in ascending fleet order.
+    pub fn partition(&self, fleet: &DeviceFleet) -> Vec<Vec<usize>> {
+        let k = self.config.num_shards;
+        let connected: Vec<usize> = (0..fleet.len()).filter(|&i| fleet.connected(i)).collect();
+        let mut shards = vec![Vec::new(); k];
+        match self.config.partitioner {
+            Partitioner::Locality => {
+                // Balanced contiguous ranges: the first `n % k` shards
+                // take one extra device.
+                let n = connected.len();
+                let base = n / k;
+                let extra = n % k;
+                let mut start = 0;
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    let size = base + usize::from(s < extra);
+                    shard.extend_from_slice(&connected[start..start + size]);
+                    start += size;
+                }
+            }
+            Partitioner::Hash => {
+                // Fibonacci hashing: deterministic, well-scattered, and
+                // independent of the shard count's divisors.
+                for &i in &connected {
+                    let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+                    shards[(h % k as u64) as usize].push(i);
+                }
+            }
+        }
+        shards
+    }
+
+    /// Splits one server's spare capacity evenly across `k` shard
+    /// servers (total capacity is conserved up to float division).
+    pub fn split_server(server: &EdgeServer, k: usize) -> Vec<EdgeServer> {
+        assert!(k >= 1, "cannot split across zero shards");
+        let f = k as f64;
+        vec![
+            EdgeServer::new(
+                server.compute_capacity() / f,
+                server.storage_capacity_gb() / f,
+            );
+            k
+        ]
+    }
+
+    /// Schedules the fleet against one aggregate server whose capacity
+    /// is split evenly across the configured shards.
+    pub fn schedule(
+        &self,
+        fleet: &DeviceFleet,
+        server: &EdgeServer,
+        lambda: f64,
+        curve: &AnxietyCurve,
+        previous: Option<&[bool]>,
+        budget: &SlotBudget,
+    ) -> FleetSchedule {
+        let servers = Self::split_server(server, self.config.num_shards);
+        self.schedule_with_servers(fleet, &servers, lambda, curve, previous, budget)
+    }
+
+    /// Schedules the fleet against explicit per-shard servers.
+    ///
+    /// Each shard runs the full resilient pipeline on its own scoped
+    /// thread; the per-slot `budget` applies to every shard
+    /// independently (shards run concurrently, so the slot deadline is
+    /// a per-shard wall-clock bound). A `previous` selection in global
+    /// fleet order warm-starts each shard with its own slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers.len()` differs from the configured shard
+    /// count.
+    pub fn schedule_with_servers(
+        &self,
+        fleet: &DeviceFleet,
+        servers: &[EdgeServer],
+        lambda: f64,
+        curve: &AnxietyCurve,
+        previous: Option<&[bool]>,
+        budget: &SlotBudget,
+    ) -> FleetSchedule {
+        assert_eq!(
+            servers.len(),
+            self.config.num_shards,
+            "one server per configured shard required"
+        );
+        let start = Instant::now();
+        let mut fleet_span =
+            lpvs_obs::span!("fleet.slot", "devices" => fleet.len(), "shards" => servers.len());
+
+        let shards = self.partition(fleet);
+        // A warm start only applies when the population is unchanged.
+        let previous = previous.filter(|p| p.len() == fleet.len());
+        let problems: Vec<_> = shards
+            .iter()
+            .zip(servers)
+            .map(|(indices, server)| {
+                fleet.subproblem(
+                    indices,
+                    server.compute_capacity(),
+                    server.storage_capacity_gb(),
+                    lambda,
+                    curve,
+                )
+            })
+            .collect();
+        let warm: Vec<Option<Vec<bool>>> = shards
+            .iter()
+            .map(|indices| previous.map(|p| indices.iter().map(|&i| p[i]).collect()))
+            .collect();
+
+        // One scoped thread per shard; join handles in shard order make
+        // the gather deterministic without any shared mutable state.
+        let scheduler = LpvsScheduler::new(self.config.scheduler);
+        let results: Vec<Option<Schedule>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = problems
+                .iter()
+                .zip(&warm)
+                .enumerate()
+                .map(|(s, (problem, warm))| {
+                    let scheduler = &scheduler;
+                    scope.spawn(move |_| {
+                        let _span = lpvs_obs::span!(
+                            "fleet.shard", "shard" => s, "devices" => problem.len()
+                        );
+                        scheduler.schedule_resilient(problem, warm.as_deref(), budget)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().ok()).collect()
+        })
+        .unwrap_or_default();
+
+        // Scatter shard selections back into global fleet order. A
+        // shard whose thread died (should be unreachable — the
+        // resilient scheduler absorbs panics) degrades to passthrough.
+        let mut selected = vec![false; fleet.len()];
+        let mut reports = Vec::with_capacity(shards.len());
+        for (s, indices) in shards.iter().enumerate() {
+            let schedule = results.get(s).and_then(Clone::clone).unwrap_or_else(|| Schedule {
+                selected: vec![false; indices.len()],
+                stats: ScheduleStats {
+                    objective: 0.0,
+                    energy_saved_j: 0.0,
+                    infeasible_devices: 0,
+                    phase1_nodes: 0,
+                    phase1_pivots: 0,
+                    phase2: Phase2Stats::default(),
+                    degradation: Degradation::Passthrough,
+                    rejected_devices: indices.len(),
+                    runtime: Duration::ZERO,
+                },
+            });
+            for (&global, &x) in indices.iter().zip(&schedule.selected) {
+                selected[global] = x;
+            }
+            reports.push(ShardReport {
+                shard: s,
+                devices: indices.clone(),
+                stats: schedule.stats,
+                migrated_in: Vec::new(),
+            });
+        }
+
+        let migrations =
+            self.rebalance(fleet, servers, &shards, lambda, curve, &mut selected, &mut reports);
+
+        let objective: f64 = (0..fleet.len())
+            .map(|i| fleet.device_objective(i, selected[i], lambda, curve))
+            .sum();
+        let energy_saved_j: f64 =
+            (0..fleet.len()).filter(|&i| selected[i]).map(|i| fleet.saving_j(i)).sum();
+
+        if lpvs_obs::enabled() {
+            lpvs_obs::add("fleet_migrations_total", migrations as u64);
+            lpvs_obs::inc("fleet_slots_total");
+            lpvs_obs::gauge_set("fleet_shards", servers.len() as f64);
+            lpvs_obs::observe("fleet_slot_seconds", start.elapsed().as_secs_f64());
+        }
+        fleet_span.record("migrations", migrations as f64);
+
+        FleetSchedule {
+            selected,
+            shards: reports,
+            migrations,
+            objective,
+            energy_saved_j,
+            runtime: start.elapsed(),
+        }
+    }
+
+    /// Bounded cross-shard rebalancing (the anxiety-repair pass of
+    /// Phase-2, lifted fleet-wide). Candidates are the unselected,
+    /// connected, transform-feasible devices whose transform strictly
+    /// improves the λ-weighted objective (the Phase-2 pure-addition
+    /// criterion), scanned in descending anxiety order; each is
+    /// migrated to the foreign shard with the most free compute that
+    /// admits it. Returns the number of accepted migrations.
+    #[allow(clippy::too_many_arguments)]
+    fn rebalance(
+        &self,
+        fleet: &DeviceFleet,
+        servers: &[EdgeServer],
+        shards: &[Vec<usize>],
+        lambda: f64,
+        curve: &AnxietyCurve,
+        selected: &mut [bool],
+        reports: &mut [ShardReport],
+    ) -> usize {
+        if self.config.max_migrations == 0 || servers.len() < 2 {
+            return 0;
+        }
+        let _span = lpvs_obs::span!("fleet.rebalance", "shards" => servers.len());
+
+        // Reconstruct per-shard usage through the servers' own
+        // admission control; shard schedules are capacity-feasible, so
+        // every admission must succeed.
+        let mut usage: Vec<EdgeServer> = servers.to_vec();
+        let mut home = vec![usize::MAX; fleet.len()];
+        for (s, indices) in shards.iter().enumerate() {
+            usage[s].reset_slot();
+            for &i in indices {
+                home[i] = s;
+                if selected[i] {
+                    let admitted = usage[s].try_admit(fleet.compute_cost(i), fleet.storage_cost_gb(i));
+                    debug_assert!(admitted, "shard schedule exceeded its own capacity");
+                }
+            }
+        }
+
+        // Candidates in descending anxiety order (Phase-2's ranking),
+        // index-ascending on ties for determinism.
+        let mut candidates: Vec<usize> = (0..fleet.len())
+            .filter(|&i| {
+                !selected[i]
+                    && fleet.connected(i)
+                    && home[i] != usize::MAX
+                    && fleet.transform_feasible(i)
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let aa = curve.phi(fleet.battery_fraction(a));
+            let ab = curve.phi(fleet.battery_fraction(b));
+            ab.partial_cmp(&aa).expect("finite anxiety").then(a.cmp(&b))
+        });
+
+        let mut migrations = 0;
+        for i in candidates {
+            if migrations >= self.config.max_migrations {
+                break;
+            }
+            // The Phase-2 pure-addition criterion: transforming must
+            // strictly improve the device's eq.-13 contribution.
+            let gain_in = fleet.device_objective(i, true, lambda, curve)
+                - fleet.device_objective(i, false, lambda, curve);
+            if gain_in >= -1e-12 {
+                continue;
+            }
+            let (g, h) = (fleet.compute_cost(i), fleet.storage_cost_gb(i));
+            // Most-free-compute foreign shard that admits the device;
+            // lowest shard id on ties.
+            let target = (0..usage.len())
+                .filter(|&s| s != home[i] && usage[s].fits(g, h))
+                .max_by(|&a, &b| {
+                    usage[a]
+                        .compute_free()
+                        .partial_cmp(&usage[b].compute_free())
+                        .expect("finite capacity")
+                        .then(b.cmp(&a))
+                });
+            if let Some(s) = target {
+                let admitted = usage[s].try_admit(g, h);
+                debug_assert!(admitted, "target shard stopped fitting between check and admit");
+                selected[i] = true;
+                reports[s].migrated_in.push(i);
+                migrations += 1;
+            }
+        }
+        migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lpvs_core::fleet::FleetDevice;
+    use lpvs_core::problem::DeviceRequest;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fleet(n: usize, seed: u64) -> DeviceFleet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = DeviceFleet::new();
+        for _ in 0..n {
+            f.push_request(DeviceRequest::uniform(
+                rng.gen_range(0.5..2.0),
+                10.0,
+                30,
+                rng.gen_range(0.05..0.95) * 55_440.0,
+                55_440.0,
+                rng.gen_range(0.1..0.5),
+                1.0,
+                0.1125,
+            ));
+        }
+        f
+    }
+
+    fn capacity_used(fleet: &DeviceFleet, indices: &[usize], selected: &[bool]) -> (f64, f64) {
+        indices.iter().filter(|&&i| selected[i]).fold((0.0, 0.0), |(g, h), &i| {
+            (g + fleet.compute_cost(i), h + fleet.storage_cost_gb(i))
+        })
+    }
+
+    #[test]
+    fn locality_partition_is_balanced_and_ordered() {
+        let f = fleet(10, 1);
+        let s = FleetScheduler::with_shards(3);
+        let parts = s.partition(&f);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6]);
+        assert_eq!(parts[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn hash_partition_covers_every_connected_device_once() {
+        let mut f = fleet(200, 2);
+        f.set_connected(17, false);
+        let s = FleetScheduler::new(FleetConfig {
+            num_shards: 4,
+            partitioner: Partitioner::Hash,
+            ..FleetConfig::default()
+        });
+        let parts = s.partition(&f);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..200).filter(|&i| i != 17).collect();
+        assert_eq!(all, expected);
+        // The scatter actually spreads load.
+        assert!(parts.iter().all(|p| !p.is_empty()));
+        // Within-shard order is fleet order.
+        for p in &parts {
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn split_server_conserves_capacity() {
+        let server = EdgeServer::new(100.0, 11.25);
+        let halves = FleetScheduler::split_server(&server, 4);
+        assert_eq!(halves.len(), 4);
+        let total: f64 = halves.iter().map(EdgeServer::compute_capacity).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_shard_schedule_respects_every_shard_capacity() {
+        let f = fleet(120, 3);
+        let server = EdgeServer::new(40.0, 4.5); // tight: ~1/3 of the fleet
+        let s = FleetScheduler::with_shards(4);
+        let out = s.schedule(
+            &f,
+            &server,
+            1.0,
+            &AnxietyCurve::paper_shape(),
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(out.selected.len(), 120);
+        assert!(out.num_selected() > 0, "a tight-but-positive budget must select someone");
+        // Exact per-shard accounting: a migrated device's load belongs
+        // to the shard that admitted it, not its home shard.
+        let migrated: std::collections::HashSet<usize> =
+            out.shards.iter().flat_map(|r| r.migrated_in.iter().copied()).collect();
+        let per_shard = server.compute_capacity() / 4.0;
+        for report in &out.shards {
+            let home: Vec<usize> = report
+                .devices
+                .iter()
+                .copied()
+                .filter(|i| !migrated.contains(i))
+                .chain(report.migrated_in.iter().copied())
+                .collect();
+            let (g, h) = capacity_used(&f, &home, &out.selected);
+            assert!(g <= per_shard + 1e-9, "shard {} compute blown: {g}", report.shard);
+            assert!(h <= server.storage_capacity_gb() / 4.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rebalancing_is_bounded_and_counted() {
+        // Shard 0 saturated (low-battery devices with real savings),
+        // shard 1 idle (full batteries, γ = 0 ⇒ nothing worth
+        // transforming locally): migration has both supply and room.
+        let mut f = DeviceFleet::new();
+        for i in 0..40 {
+            let (battery, gamma) = if i < 20 { (0.10, 0.35) } else { (0.85, 0.0) };
+            f.push_request(DeviceRequest::uniform(
+                1.5,
+                10.0,
+                30,
+                battery * 55_440.0,
+                55_440.0,
+                gamma,
+                1.0,
+                0.1125,
+            ));
+        }
+        let config = FleetConfig { num_shards: 2, max_migrations: 5, ..FleetConfig::default() };
+        let out = FleetScheduler::new(config).schedule(
+            &f,
+            &EdgeServer::new(24.0, 2.7), // 12 compute per shard, 20 wanted
+            2.0,
+            &AnxietyCurve::paper_shape(),
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert!(out.migrations <= 5);
+        assert!(out.migrations > 0, "saturated/idle split must trigger migration");
+        let reported: usize = out.shards.iter().map(|r| r.migrated_in.len()).sum();
+        assert_eq!(reported, out.migrations);
+    }
+
+    #[test]
+    fn one_shard_never_migrates() {
+        let f = fleet(50, 4);
+        let out = FleetScheduler::with_shards(1).schedule(
+            &f,
+            &EdgeServer::new(20.0, 2.25),
+            1.0,
+            &AnxietyCurve::paper_shape(),
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(out.migrations, 0);
+        assert_eq!(out.shards.len(), 1);
+        assert_eq!(out.shards[0].devices.len(), 50);
+    }
+
+    #[test]
+    fn disconnected_devices_are_never_selected() {
+        let mut f = fleet(30, 5);
+        for i in [0, 7, 29] {
+            f.set_connected(i, false);
+        }
+        let out = FleetScheduler::with_shards(2).schedule(
+            &f,
+            &EdgeServer::new(100.0, 11.25),
+            1.0,
+            &AnxietyCurve::paper_shape(),
+            None,
+            &SlotBudget::unbounded(),
+        );
+        for i in [0, 7, 29] {
+            assert!(!out.selected[i], "disconnected device {i} was scheduled");
+        }
+        assert!(out.num_selected() > 0);
+    }
+
+    #[test]
+    fn warm_start_slices_apply_per_shard() {
+        let f = fleet(60, 6);
+        let s = FleetScheduler::with_shards(3);
+        let server = EdgeServer::new(100.0, 11.25);
+        let curve = AnxietyCurve::paper_shape();
+        let cold =
+            s.schedule(&f, &server, 1.0, &curve, None, &SlotBudget::unbounded());
+        let warm = s.schedule(
+            &f,
+            &server,
+            1.0,
+            &curve,
+            Some(&cold.selected),
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(warm.selected.len(), 60);
+        // A mismatched previous selection is ignored, not fatal.
+        let odd = s.schedule(
+            &f,
+            &server,
+            1.0,
+            &curve,
+            Some(&[true; 3]),
+            &SlotBudget::unbounded(),
+        );
+        assert_eq!(odd.selected.len(), 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = FleetScheduler::new(FleetConfig { num_shards: 0, ..FleetConfig::default() });
+    }
+
+    #[test]
+    fn empty_fleet_is_trivial() {
+        let out = FleetScheduler::with_shards(2).schedule(
+            &DeviceFleet::new(),
+            &EdgeServer::new(10.0, 1.0),
+            1.0,
+            &AnxietyCurve::paper_shape(),
+            None,
+            &SlotBudget::unbounded(),
+        );
+        assert!(out.selected.is_empty());
+        assert_eq!(out.migrations, 0);
+        assert_eq!(out.objective, 0.0);
+    }
+}

@@ -107,6 +107,20 @@ impl EdgeServer {
         }
         self.compute_used += compute;
         self.storage_used_gb += storage_gb;
+        // `fits` allows 1e-9 of float slack per admission; usage must
+        // never drift past capacity by more than that slack.
+        debug_assert!(
+            self.compute_used <= self.compute_capacity + 1e-9,
+            "admission overshot compute capacity: {} > {}",
+            self.compute_used,
+            self.compute_capacity
+        );
+        debug_assert!(
+            self.storage_used_gb <= self.storage_capacity_gb + 1e-9,
+            "admission overshot storage capacity: {} > {}",
+            self.storage_used_gb,
+            self.storage_capacity_gb
+        );
         true
     }
 
@@ -114,6 +128,7 @@ impl EdgeServer {
     pub fn reset_slot(&mut self) {
         self.compute_used = 0.0;
         self.storage_used_gb = 0.0;
+        debug_assert!(self.fits(0.0, 0.0), "a freshly reset server must admit a free request");
     }
 
     /// A browned-out view of this server: both capacities scaled by
@@ -212,6 +227,23 @@ mod tests {
         assert!((b.compute_capacity() - 3.0).abs() < 1e-12);
         assert!((b.storage_capacity_gb() - 0.6).abs() < 1e-12);
         assert_eq!(b.compute_used(), 0.0);
+    }
+
+    #[test]
+    fn brownout_then_admit_respects_the_derated_capacity() {
+        // Regression: a browned-out server must enforce its *derated*
+        // budget from a clean slate — reservations on the original
+        // server neither carry over nor inflate the derated capacity.
+        let mut s = EdgeServer::new(10.0, 2.0);
+        assert!(s.try_admit(9.0, 1.5));
+        let mut b = s.browned_out(0.3); // 3.0 compute, 0.6 GB
+        assert_eq!(b.compute_used(), 0.0);
+        assert!(b.try_admit(2.0, 0.4));
+        assert!(!b.try_admit(2.0, 0.1), "derated compute budget must bind");
+        assert!(!b.try_admit(0.5, 0.3), "derated storage budget must bind");
+        assert!(b.try_admit(1.0, 0.2)); // exactly exhausts both
+        b.reset_slot();
+        assert!(b.try_admit(3.0, 0.6), "reset must release the full derated budget");
     }
 
     #[test]

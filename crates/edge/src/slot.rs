@@ -2,6 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Per-slot scheduling budget, re-exported from `lpvs-core`.
+///
+/// The type moved to [`lpvs_core::budget`] when the crate dependency
+/// was reversed (this crate's [`FleetScheduler`](crate::fleet) now
+/// builds *on top of* the core scheduler); the re-export keeps every
+/// `lpvs_edge::slot::SlotBudget` call site working unchanged.
+pub use lpvs_core::budget::SlotBudget;
+
 /// Seconds per scheduling slot (5 minutes, matching the Twitch trace's
 /// sampling interval).
 pub const DEFAULT_SLOT_SECS: f64 = 300.0;
@@ -77,58 +85,6 @@ impl Default for SlotClock {
     }
 }
 
-/// Per-slot scheduling budget: how much work the scheduler may spend
-/// before the slot's decision is due.
-///
-/// The default is unbounded — the scheduler runs its configured
-/// pipeline to completion. Faults (or a provider SLA) can tighten
-/// either knob; the resilient scheduler walks its degradation ladder
-/// when the budget does not allow the configured solver to finish.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct SlotBudget {
-    /// Wall-clock deadline (seconds) for the whole scheduling run.
-    /// `None` means no deadline. A deadline of zero forces the
-    /// scheduler straight to its cheapest fallbacks.
-    pub deadline_secs: Option<f64>,
-    /// Cap on branch-and-bound nodes for this slot. `None` leaves the
-    /// configured node limit in force; a cap only ever tightens it.
-    pub solver_nodes: Option<usize>,
-}
-
-impl SlotBudget {
-    /// No deadline, no node cap: the scheduler's normal regime.
-    pub fn unbounded() -> Self {
-        Self::default()
-    }
-
-    /// Budget with a wall-clock deadline in seconds.
-    pub fn with_deadline_secs(mut self, secs: f64) -> Self {
-        self.deadline_secs = Some(secs.max(0.0));
-        self
-    }
-
-    /// Budget with a branch-and-bound node cap.
-    pub fn with_solver_nodes(mut self, nodes: usize) -> Self {
-        self.solver_nodes = Some(nodes);
-        self
-    }
-
-    /// Applies a transient budget cut: the node cap becomes `fraction`
-    /// of `baseline_nodes` (at least one node). Non-finite or negative
-    /// fractions are treated as a full cut.
-    pub fn cut(mut self, fraction: f64, baseline_nodes: usize) -> Self {
-        let fraction = if fraction.is_finite() { fraction.clamp(0.0, 1.0) } else { 0.0 };
-        let nodes = ((baseline_nodes as f64) * fraction).floor() as usize;
-        self.solver_nodes = Some(nodes.max(1).min(self.solver_nodes.unwrap_or(usize::MAX)));
-        self
-    }
-
-    /// Whether either knob is tightened.
-    pub fn is_bounded(&self) -> bool {
-        self.deadline_secs.is_some() || self.solver_nodes.is_some()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,32 +126,5 @@ mod tests {
     #[should_panic(expected = "slot length")]
     fn zero_slot_rejected() {
         let _ = SlotClock::new(0.0);
-    }
-
-    #[test]
-    fn default_budget_is_unbounded() {
-        let b = SlotBudget::unbounded();
-        assert!(!b.is_bounded());
-        assert_eq!(b.deadline_secs, None);
-        assert_eq!(b.solver_nodes, None);
-    }
-
-    #[test]
-    fn budget_knobs_tighten() {
-        let b = SlotBudget::unbounded().with_deadline_secs(0.5).with_solver_nodes(16);
-        assert!(b.is_bounded());
-        assert_eq!(b.deadline_secs, Some(0.5));
-        assert_eq!(b.solver_nodes, Some(16));
-        // Negative deadlines clamp to zero rather than panicking.
-        assert_eq!(SlotBudget::unbounded().with_deadline_secs(-1.0).deadline_secs, Some(0.0));
-    }
-
-    #[test]
-    fn budget_cut_scales_and_floors_at_one_node() {
-        assert_eq!(SlotBudget::unbounded().cut(0.25, 128).solver_nodes, Some(32));
-        assert_eq!(SlotBudget::unbounded().cut(0.0, 128).solver_nodes, Some(1));
-        assert_eq!(SlotBudget::unbounded().cut(f64::NAN, 128).solver_nodes, Some(1));
-        // A cut never loosens an existing cap.
-        assert_eq!(SlotBudget::unbounded().with_solver_nodes(8).cut(0.5, 128).solver_nodes, Some(8));
     }
 }

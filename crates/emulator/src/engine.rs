@@ -27,12 +27,15 @@ use crate::gather::gather_problem;
 use crate::metrics::{EmulationReport, SlotRecord};
 use lpvs_bayes::{GammaEstimator, GAMMA_PRIOR_MEAN};
 use lpvs_core::baseline::{Policy, SelectionPolicy};
+use lpvs_core::fleet::DeviceFleet;
 use lpvs_core::problem::SlotProblem;
 use lpvs_core::scheduler::{Degradation, LpvsScheduler};
 use lpvs_display::quality::QualityBudget;
 use lpvs_display::stats::FrameStats;
 use lpvs_edge::cache::PrefetchPolicy;
 use lpvs_edge::cluster::{ClusterGenerator, VirtualCluster};
+use lpvs_edge::fleet::{FleetConfig, FleetScheduler, Partitioner};
+use lpvs_edge::server::EdgeServer;
 use lpvs_edge::slot::SlotBudget;
 use lpvs_media::content::{ContentModel, Genre};
 use lpvs_media::encoder::TransformEncoder;
@@ -98,6 +101,13 @@ pub struct EmulatorConfig {
     /// is salted independently of `seed`, so turning faults on does
     /// not reshuffle the population or the content trace.
     pub faults: FaultConfig,
+    /// Edge shards serving the cluster. With the default of 1 the
+    /// monolithic scheduling path runs unchanged; with N > 1 the slot
+    /// is scheduled by the [`FleetScheduler`] — the server's capacity
+    /// split evenly across N shards, each running the full resilient
+    /// pipeline in parallel, followed by the bounded cross-shard
+    /// rebalance.
+    pub num_edges: usize,
 }
 
 impl Default for EmulatorConfig {
@@ -117,6 +127,7 @@ impl Default for EmulatorConfig {
             one_slot_ahead: false,
             prefetch: PrefetchPolicy::Full,
             faults: FaultConfig::none(),
+            num_edges: 1,
         }
     }
 }
@@ -157,6 +168,7 @@ impl Emulator {
     pub fn new(config: EmulatorConfig, policy: Policy) -> Self {
         assert!(config.devices > 0, "need at least one device");
         assert!(config.slots > 0, "need at least one slot");
+        assert!(config.num_edges > 0, "need at least one edge shard");
         let cohort = SurveyGenerator::paper_cohort(config.seed).generate();
         let curve = extract_curve(cohort.iter().map(|p| p.charge_level));
         let giveup_pool: Vec<u8> = cohort.iter().map(|p| p.giveup_level).collect();
@@ -447,8 +459,57 @@ impl Emulator {
             Policy::LpvsPhase1Only => LpvsScheduler::phase1_only(),
             _ => return (self.policy.select(problem), None),
         };
+        if self.config.num_edges > 1 {
+            return self.schedule_sharded(&scheduler, problem, warm, budget);
+        }
         let schedule = scheduler.schedule_resilient(problem, warm, budget);
         (schedule.selected, Some(schedule.stats.degradation))
+    }
+
+    /// Multi-edge scheduling path (`num_edges > 1`): the gathered slot
+    /// is columnarized into a [`DeviceFleet`], the server's capacity is
+    /// split evenly across the shards, and the [`FleetScheduler`] runs
+    /// each shard's resilient pipeline in parallel. Telemetry is
+    /// sanitized *before* the fleet is built — rows the monolithic path
+    /// would reject are marked disconnected, so they are never
+    /// scheduled, matching the resilient contract. The reported tier is
+    /// the worst rung any shard fell to.
+    fn schedule_sharded(
+        &self,
+        scheduler: &LpvsScheduler,
+        problem: &SlotProblem,
+        warm: Option<&[bool]>,
+        budget: &SlotBudget,
+    ) -> (Vec<bool>, Option<Degradation>) {
+        let (clean, valid) = problem.sanitize();
+        let mut fleet = DeviceFleet::from_problem(&clean);
+        for (i, &ok) in valid.iter().enumerate() {
+            if !ok {
+                fleet.set_connected(i, false);
+            }
+        }
+        let fleet_scheduler = FleetScheduler::new(FleetConfig {
+            num_shards: self.config.num_edges,
+            partitioner: Partitioner::Locality,
+            scheduler: *scheduler.config(),
+            ..FleetConfig::default()
+        });
+        let server = EdgeServer::new(clean.compute_capacity, clean.storage_capacity_gb);
+        let out = fleet_scheduler.schedule(
+            &fleet,
+            &server,
+            clean.lambda,
+            &clean.curve,
+            warm,
+            budget,
+        );
+        let tier = out
+            .shards
+            .iter()
+            .map(|r| r.stats.degradation)
+            .max()
+            .unwrap_or(Degradation::Passthrough);
+        (out.selected, Some(tier))
     }
 
     /// Synthesizes the chunk window device `i` plays in `slot`. The
@@ -722,6 +783,46 @@ mod tests {
         }
         // The emulator still produces sane savings with a tiny window.
         assert!(b.display_saving_ratio() > 0.05);
+    }
+
+    #[test]
+    fn multi_edge_slot_loop_runs_and_saves() {
+        let base = EmulatorConfig { devices: 24, slots: 5, seed: 8, ..Default::default() };
+        let mono = Emulator::new(base, Policy::Lpvs).run();
+        let sharded =
+            Emulator::new(EmulatorConfig { num_edges: 4, ..base }, Policy::Lpvs).run();
+        assert!(sharded.display_saving_ratio() > 0.05);
+        // Capacity is ample on both sides (100 streams for 24 viewers),
+        // so splitting it four ways costs little.
+        assert!(sharded.display_energy_j <= mono.display_energy_j * 1.2);
+        // The parallel shard path is as deterministic as the monolith.
+        let again =
+            Emulator::new(EmulatorConfig { num_edges: 4, ..base }, Policy::Lpvs).run();
+        assert_eq!(sharded.display_energy_j, again.display_energy_j);
+        assert_eq!(sharded.slots, again.slots);
+    }
+
+    #[test]
+    fn sharded_path_survives_faults_deterministically() {
+        // Corrupt telemetry must be neutralized before the fleet store
+        // sees it, exactly like the monolithic resilient path.
+        let config = EmulatorConfig {
+            devices: 16,
+            slots: 8,
+            seed: 7,
+            num_edges: 3,
+            faults: FaultConfig::uniform(0.2, 11),
+            ..EmulatorConfig::default()
+        };
+        let a = Emulator::new(config, Policy::Lpvs).run();
+        let b = Emulator::new(config, Policy::Lpvs).run();
+        assert_eq!(a.slots, b.slots);
+        assert_eq!(a.display_energy_j, b.display_energy_j);
+        for s in &a.slots {
+            if s.watching > 0 {
+                assert!(s.degradation.is_some(), "sharded slot {} lost its tier", s.slot);
+            }
+        }
     }
 
     #[test]
