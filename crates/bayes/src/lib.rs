@@ -16,7 +16,10 @@
 //!   marginal of eq. 18 for non-conjugate likelihoods and to
 //!   cross-check the closed forms in tests;
 //! * [`estimator`] — [`GammaEstimator`], the per-device state machine
-//!   the scheduler actually holds.
+//!   the scheduler actually holds;
+//! * [`bank`] — [`BayesBank`], shard-local collections of estimators
+//!   that split/migrate/merge without ever touching a posterior, so the
+//!   pipelined runtime can own γ state per shard.
 //!
 //! # Example
 //!
@@ -37,12 +40,14 @@
 
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod conjugate;
 pub mod estimator;
 pub mod gaussian;
 pub mod integrate;
 pub mod truncated;
 
+pub use bank::BayesBank;
 pub use conjugate::ConjugateUpdate;
 pub use estimator::{GammaEstimator, ObservationError};
 pub use gaussian::Gaussian;

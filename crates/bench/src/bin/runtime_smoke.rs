@@ -1,0 +1,80 @@
+//! CI smoke for the staged runtime's graceful degradation: a pipelined
+//! trace-driven run over two shards with 10% stage faults must lose a
+//! worker, fall back to the sequential engine, and still complete its
+//! full horizon. A fault-free control run over the same session pins
+//! the healthy path (no fallback, no workers lost), and a faulted
+//! replay pins determinism — worker death is hash-derived, so the
+//! fallback slot reproduces exactly.
+
+use lpvs_core::baseline::Policy;
+use lpvs_emulator::engine::{Emulator, EmulatorConfig};
+use lpvs_emulator::FaultConfig;
+use lpvs_trace::generator::TraceGenerator;
+
+fn main() {
+    // The busiest eligible live session of the paper-calibrated trace,
+    // selected exactly as `experiment::trace_driven` does.
+    let trace = TraceGenerator::paper_scale(2024).generate();
+    let (channel, viewers, slots) = trace
+        .sessions()
+        .filter_map(|(c, s)| {
+            let viewers = s.mean_viewers().round() as usize;
+            ((20..=500).contains(&viewers))
+                .then(|| (c.id().0, viewers, (s.duration_slots() as usize).clamp(1, 24)))
+        })
+        .max_by_key(|&(id, viewers, _)| (viewers, std::cmp::Reverse(id)))
+        .expect("paper-scale trace has eligible sessions");
+    println!("session: channel {channel}, {viewers} viewers, {slots} slots, 2 shards");
+
+    let config = EmulatorConfig {
+        devices: viewers,
+        slots,
+        seed: 31 ^ u64::from(channel),
+        server_streams: 100,
+        lambda: 1.0,
+        num_edges: 2,
+        pipelined: true,
+        ..EmulatorConfig::default()
+    };
+
+    // Control: the healthy pipeline serves the whole session.
+    let clean = Emulator::new(config, Policy::Lpvs).run();
+    let summary = clean.runtime.expect("pipelined run reports a runtime summary");
+    assert!(summary.pipelined && summary.shards == 2, "control run must be pipelined ×2");
+    assert_eq!(summary.fell_back, None, "control run must not fall back");
+    assert_eq!(summary.workers_lost, 0, "control run must keep both workers");
+    assert_eq!(clean.slots.len(), slots, "control run must cover the horizon");
+    println!("control: {} slots pipelined, no fallback", clean.slots.len());
+
+    // 10% per-(slot, shard) stage faults: a worker dies, the hub drains
+    // the in-flight slot, merges the shard banks, and finishes inline.
+    let faulted_config = EmulatorConfig {
+        faults: FaultConfig { stage_fault_rate: 0.10, ..FaultConfig::none() },
+        ..config
+    };
+    let faulted = Emulator::new(faulted_config, Policy::Lpvs).run();
+    let summary = faulted.runtime.expect("faulted run reports a runtime summary");
+    assert!(summary.workers_lost > 0, "10% stage faults over {slots}x2 must kill a worker");
+    let fell_back = summary
+        .fell_back
+        .expect("losing a worker must trigger the sequential fallback");
+    assert_eq!(faulted.slots.len(), slots, "faulted run must still cover the horizon");
+    assert!(
+        faulted.slots.iter().all(|s| s.watching == 0 || s.degradation.is_some()),
+        "every watched slot must record a degradation tier"
+    );
+    println!(
+        "faulted: lost {} worker(s), fell back at slot {fell_back}, completed {}/{slots} slots",
+        summary.workers_lost,
+        faulted.slots.len()
+    );
+
+    // Stage faults are hash-derived, not sampled: the replay must
+    // reproduce the fallback slot and the report bit-for-bit.
+    let replay = Emulator::new(faulted_config, Policy::Lpvs).run();
+    assert_eq!(replay.runtime.expect("summary").fell_back, Some(fell_back));
+    assert_eq!(replay.gamma_posteriors, faulted.gamma_posteriors);
+    assert_eq!(replay.display_energy_j, faulted.display_energy_j);
+    println!("replay: fallback slot and report reproduce bit-for-bit");
+    println!("runtime smoke OK");
+}

@@ -170,6 +170,38 @@ impl DeviceFleet {
         fleet
     }
 
+    /// Clears every row while keeping the column allocations, so the
+    /// buffer can be refilled for the next slot without reallocating —
+    /// the double-buffered slot runtime recycles fleets this way.
+    pub fn clear(&mut self) {
+        self.chunk_offsets.clear();
+        self.chunk_offsets.push(0);
+        self.power_rates_w.clear();
+        self.chunk_secs.clear();
+        self.energy_j.clear();
+        self.capacity_j.clear();
+        self.gamma_mean.clear();
+        self.gamma_std.clear();
+        self.compute_cost.clear();
+        self.storage_cost_gb.clear();
+        self.display.clear();
+        self.connected.clear();
+    }
+
+    /// Refills this fleet in place from a slot problem — the recycling
+    /// counterpart of [`from_problem`](Self::from_problem): same rows,
+    /// but the column allocations of the previous slot are reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request fails [`DeviceRequest::is_valid`].
+    pub fn rebuild_from_problem(&mut self, problem: &SlotProblem) {
+        self.clear();
+        for request in &problem.requests {
+            self.push_request(request.clone());
+        }
+    }
+
     /// Materializes row `i` back into a [`DeviceRequest`]. Exact: every
     /// float is copied, never recomputed, so a round-trip through the
     /// fleet is bit-identical.

@@ -283,26 +283,58 @@ impl FleetScheduler {
         })
         .unwrap_or_default();
 
-        // Scatter shard selections back into global fleet order. A
-        // shard whose thread died (should be unreachable — the
-        // resilient scheduler absorbs panics) degrades to passthrough.
+        let schedule = self.assemble(fleet, servers, &shards, results, lambda, curve, start);
+        fleet_span.record("migrations", schedule.migrations as f64);
+        schedule
+    }
+
+    /// The per-shard schedule a dead or faulted shard degrades to:
+    /// passthrough (nobody transformed, every device rejected).
+    pub fn passthrough_schedule(devices: usize) -> Schedule {
+        Schedule {
+            selected: vec![false; devices],
+            stats: ScheduleStats {
+                objective: 0.0,
+                energy_saved_j: 0.0,
+                infeasible_devices: 0,
+                phase1_nodes: 0,
+                phase1_pivots: 0,
+                phase2: Phase2Stats::default(),
+                degradation: Degradation::Passthrough,
+                rejected_devices: devices,
+                runtime: Duration::ZERO,
+            },
+        }
+    }
+
+    /// Joins per-shard schedules into a fleet-wide decision: scatter
+    /// into global order, run the bounded cross-shard rebalance, and
+    /// total the objective. A `None` result (a shard whose solver died)
+    /// degrades to [`passthrough_schedule`](Self::passthrough_schedule).
+    ///
+    /// This is the second half of
+    /// [`schedule_with_servers`](Self::schedule_with_servers), exposed
+    /// so runtimes that keep their own persistent shard workers (the
+    /// pipelined slot runtime) join results through the **same** code
+    /// path and stay bit-identical to the scoped-thread scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble(
+        &self,
+        fleet: &DeviceFleet,
+        servers: &[EdgeServer],
+        shards: &[Vec<usize>],
+        results: Vec<Option<Schedule>>,
+        lambda: f64,
+        curve: &AnxietyCurve,
+        start: Instant,
+    ) -> FleetSchedule {
         let mut selected = vec![false; fleet.len()];
         let mut reports = Vec::with_capacity(shards.len());
         for (s, indices) in shards.iter().enumerate() {
-            let schedule = results.get(s).and_then(Clone::clone).unwrap_or_else(|| Schedule {
-                selected: vec![false; indices.len()],
-                stats: ScheduleStats {
-                    objective: 0.0,
-                    energy_saved_j: 0.0,
-                    infeasible_devices: 0,
-                    phase1_nodes: 0,
-                    phase1_pivots: 0,
-                    phase2: Phase2Stats::default(),
-                    degradation: Degradation::Passthrough,
-                    rejected_devices: indices.len(),
-                    runtime: Duration::ZERO,
-                },
-            });
+            let schedule = results
+                .get(s)
+                .and_then(Clone::clone)
+                .unwrap_or_else(|| Self::passthrough_schedule(indices.len()));
             for (&global, &x) in indices.iter().zip(&schedule.selected) {
                 selected[global] = x;
             }
@@ -315,7 +347,7 @@ impl FleetScheduler {
         }
 
         let migrations =
-            self.rebalance(fleet, servers, &shards, lambda, curve, &mut selected, &mut reports);
+            self.rebalance(fleet, servers, shards, lambda, curve, &mut selected, &mut reports);
 
         let objective: f64 = (0..fleet.len())
             .map(|i| fleet.device_objective(i, selected[i], lambda, curve))
@@ -329,7 +361,6 @@ impl FleetScheduler {
             lpvs_obs::gauge_set("fleet_shards", servers.len() as f64);
             lpvs_obs::observe("fleet_slot_seconds", start.elapsed().as_secs_f64());
         }
-        fleet_span.record("migrations", migrations as f64);
 
         FleetSchedule {
             selected,

@@ -27,7 +27,6 @@ use crate::gather::gather_problem;
 use crate::metrics::{EmulationReport, SlotRecord};
 use lpvs_bayes::{GammaEstimator, GAMMA_PRIOR_MEAN};
 use lpvs_core::baseline::{Policy, SelectionPolicy};
-use lpvs_core::fleet::DeviceFleet;
 use lpvs_core::problem::SlotProblem;
 use lpvs_core::scheduler::{Degradation, LpvsScheduler};
 use lpvs_display::quality::QualityBudget;
@@ -101,6 +100,14 @@ pub struct EmulatorConfig {
     /// is salted independently of `seed`, so turning faults on does
     /// not reshuffle the population or the content trace.
     pub faults: FaultConfig,
+    /// Drive the slot loop through the staged `lpvs-runtime` pipeline —
+    /// gather(t+1) ∥ solve(t) ∥ apply(t−1) — instead of the sequential
+    /// loop. Pipelining *is* one-slot-ahead scheduling (the overlap is
+    /// where the decision lag comes from), so a pipelined run
+    /// reproduces a sequential `one_slot_ahead` run bit-for-bit.
+    /// Baseline policies ignore the flag: they bypass the resilient
+    /// scheduler entirely and keep the sequential loop.
+    pub pipelined: bool,
     /// Edge shards serving the cluster. With the default of 1 the
     /// monolithic scheduling path runs unchanged; with N > 1 the slot
     /// is scheduled by the [`FleetScheduler`] — the server's capacity
@@ -127,6 +134,7 @@ impl Default for EmulatorConfig {
             one_slot_ahead: false,
             prefetch: PrefetchPolicy::Full,
             faults: FaultConfig::none(),
+            pipelined: false,
             num_edges: 1,
         }
     }
@@ -143,18 +151,18 @@ const BATTERY_SAVER_THRESHOLD: f64 = 0.40;
 
 /// The LPVS emulator for one virtual cluster.
 pub struct Emulator {
-    config: EmulatorConfig,
-    policy: Policy,
-    cluster: VirtualCluster,
+    pub(crate) config: EmulatorConfig,
+    pub(crate) policy: Policy,
+    pub(crate) cluster: VirtualCluster,
     genres: Vec<Genre>,
-    estimators: Vec<GammaEstimator>,
-    curve: AnxietyCurve,
+    pub(crate) estimators: Vec<GammaEstimator>,
+    pub(crate) curve: AnxietyCurve,
     encoder: TransformEncoder,
     saver_encoder: TransformEncoder,
-    bitrate_kbps: f64,
+    pub(crate) bitrate_kbps: f64,
     /// Synthetic per-device channel viewer counts (drives
     /// popularity-boosted prefetch).
-    channel_viewers: Vec<u32>,
+    pub(crate) channel_viewers: Vec<u32>,
 }
 
 impl Emulator {
@@ -223,8 +231,16 @@ impl Emulator {
         &self.curve
     }
 
-    /// Runs the emulation to completion.
+    /// Runs the emulation to completion. With `pipelined` set (and an
+    /// LPVS policy), the slot loop runs through the staged
+    /// [`lpvs_runtime`] pipeline instead; results are bit-identical to
+    /// a sequential `one_slot_ahead` run.
     pub fn run(mut self) -> EmulationReport {
+        if self.config.pipelined
+            && matches!(self.policy, Policy::Lpvs | Policy::LpvsPhase1Only)
+        {
+            return crate::pipeline::run_pipelined(self);
+        }
         let n = self.config.devices;
         let initial_battery: Vec<f64> =
             self.cluster.devices().iter().map(|d| d.battery().fraction()).collect();
@@ -435,7 +451,13 @@ impl Emulator {
             final_battery: devices.iter().map(|d| d.battery().fraction()).collect(),
             gave_up: devices.iter().map(|d| d.has_given_up()).collect(),
             ever_selected,
+            gamma_posteriors: self
+                .estimators
+                .iter()
+                .map(|e| (e.expected(), e.uncertainty()))
+                .collect(),
             scheduler_runtime,
+            runtime: None,
             obs: lpvs_obs::enabled()
                 .then(|| lpvs_obs::installed().map(|r| r.snapshot()))
                 .flatten(),
@@ -467,7 +489,8 @@ impl Emulator {
     }
 
     /// Multi-edge scheduling path (`num_edges > 1`): the gathered slot
-    /// is columnarized into a [`DeviceFleet`], the server's capacity is
+    /// is columnarized into a [`DeviceFleet`](lpvs_core::fleet::DeviceFleet),
+    /// the server's capacity is
     /// split evenly across the shards, and the [`FleetScheduler`] runs
     /// each shard's resilient pipeline in parallel. Telemetry is
     /// sanitized *before* the fleet is built — rows the monolithic path
@@ -481,13 +504,7 @@ impl Emulator {
         warm: Option<&[bool]>,
         budget: &SlotBudget,
     ) -> (Vec<bool>, Option<Degradation>) {
-        let (clean, valid) = problem.sanitize();
-        let mut fleet = DeviceFleet::from_problem(&clean);
-        for (i, &ok) in valid.iter().enumerate() {
-            if !ok {
-                fleet.set_connected(i, false);
-            }
-        }
+        let (fleet, clean) = crate::gather::sanitized_fleet(problem, None);
         let fleet_scheduler = FleetScheduler::new(FleetConfig {
             num_shards: self.config.num_edges,
             partitioner: Partitioner::Locality,
@@ -515,7 +532,7 @@ impl Emulator {
     /// Synthesizes the chunk window device `i` plays in `slot`. The
     /// content stream is deterministic per (seed, device, slot) so
     /// paired runs under different policies replay identical footage.
-    fn content_window(&self, device: usize, slot: usize) -> Vec<FrameStats> {
+    pub(crate) fn content_window(&self, device: usize, slot: usize) -> Vec<FrameStats> {
         let stream_seed = self
             .config
             .seed
@@ -528,7 +545,7 @@ impl Emulator {
 
     /// Clairvoyant whole-device reduction ratio: encodes the upcoming
     /// window without touching the battery.
-    fn oracle_gamma(&self, dev_idx: usize, window: &[FrameStats]) -> f64 {
+    pub(crate) fn oracle_gamma(&self, dev_idx: usize, window: &[FrameStats]) -> f64 {
         let device = &self.cluster.devices()[dev_idx];
         let spec = *device.spec();
         let mut orig = 0.0;
@@ -563,6 +580,31 @@ impl Emulator {
         window: &[FrameStats],
         transform: bool,
     ) -> (f64, f64, f64) {
+        let (display_j, counter_j, device_j, observed) =
+            self.play_slot_raw(dev_idx, window, transform);
+        if let Some(ratio) = observed {
+            // Observed whole-device reduction ratio Δ_n for this slot.
+            // Playback yields ratios in [0, 1] by construction, but the
+            // validated path keeps a corrupt measurement from poisoning
+            // the belief: a rejected sample counts as a stale slot.
+            if self.estimators[dev_idx].try_observe(ratio).is_err() {
+                self.estimators[dev_idx].forget(1);
+            }
+        }
+        (display_j, counter_j, device_j)
+    }
+
+    /// [`play_slot`](Self::play_slot) without the estimator update: the
+    /// pipelined driver routes the observation to the *owning shard's*
+    /// bank instead of a device-indexed vector, so playback returns the
+    /// raw measurement (`None` when the device was not transformed or
+    /// played nothing).
+    pub(crate) fn play_slot_raw(
+        &mut self,
+        dev_idx: usize,
+        window: &[FrameStats],
+        transform: bool,
+    ) -> (f64, f64, f64, Option<f64>) {
         let mut display_j = 0.0;
         let mut counter_j = 0.0;
         let mut device_j = 0.0;
@@ -610,17 +652,9 @@ impl Emulator {
             }
         }
 
-        if transform && orig_device_j > 0.0 {
-            // Observed whole-device reduction ratio Δ_n for this slot.
-            // Playback yields ratios in [0, 1] by construction, but the
-            // validated path keeps a corrupt measurement from poisoning
-            // the belief: a rejected sample counts as a stale slot.
-            let observed = 1.0 - device_j / orig_device_j;
-            if self.estimators[dev_idx].try_observe(observed).is_err() {
-                self.estimators[dev_idx].forget(1);
-            }
-        }
-        (display_j, counter_j, device_j)
+        let observed =
+            (transform && orig_device_j > 0.0).then(|| 1.0 - device_j / orig_device_j);
+        (display_j, counter_j, device_j, observed)
     }
 }
 
@@ -629,7 +663,7 @@ impl Emulator {
 /// below [`STALL_FRACTION`] also zeroes the deadline — the solver
 /// missed its window entirely, so the ladder falls through to reusing
 /// the previous schedule (or passthrough in slot 0).
-fn slot_budget(budget_cut: &Option<f64>) -> SlotBudget {
+pub(crate) fn slot_budget(budget_cut: &Option<f64>) -> SlotBudget {
     match *budget_cut {
         None => SlotBudget::unbounded(),
         Some(fraction) => {
@@ -646,7 +680,7 @@ fn slot_budget(budget_cut: &Option<f64>) -> SlotBudget {
 
 /// Helper: converts a running total into this slot's delta given the
 /// records already pushed.
-fn slots_delta<F: Fn(&SlotRecord) -> f64>(
+pub(crate) fn slots_delta<F: Fn(&SlotRecord) -> f64>(
     slots: &[SlotRecord],
     running_total: f64,
     field: F,

@@ -311,6 +311,33 @@ pub fn trace_driven_sharded(
     seed: u64,
     num_edges: usize,
 ) -> TraceDrivenReport {
+    trace_driven_with(trace, max_sessions, max_slots, seed, num_edges, false)
+}
+
+/// [`trace_driven_sharded`] with each session's slot loop driven
+/// through the staged `lpvs-runtime` pipeline
+/// (`EmulatorConfig::pipelined`): gather ∥ solve ∥ apply with
+/// shard-local Bayes banks. Decisions apply one slot after they are
+/// computed — the pipeline's inherent latency, identical to the
+/// sequential engine's `one_slot_ahead` mode.
+pub fn trace_driven_pipelined(
+    trace: &Trace,
+    max_sessions: usize,
+    max_slots: usize,
+    seed: u64,
+    num_edges: usize,
+) -> TraceDrivenReport {
+    trace_driven_with(trace, max_sessions, max_slots, seed, num_edges, true)
+}
+
+fn trace_driven_with(
+    trace: &Trace,
+    max_sessions: usize,
+    max_slots: usize,
+    seed: u64,
+    num_edges: usize,
+    pipelined: bool,
+) -> TraceDrivenReport {
     let mut eligible: Vec<(u32, usize, usize)> = trace
         .sessions()
         .filter_map(|(c, s)| {
@@ -335,6 +362,7 @@ pub fn trace_driven_sharded(
                     server_streams: 100,
                     lambda: 1.0,
                     num_edges,
+                    pipelined,
                     ..EmulatorConfig::default()
                 };
                 let (with, without) = run_pair(config, Policy::Lpvs);

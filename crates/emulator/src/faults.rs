@@ -65,6 +65,13 @@ pub struct FaultConfig {
     pub brownout_floor: f64,
     /// Per-slot probability of a solver-budget cut.
     pub budget_cut_rate: f64,
+    /// Per-(slot, shard) probability of a *pipeline stage crash*: a
+    /// shard worker of the pipelined runtime dies mid-slot, exercising
+    /// the drain-and-fall-back ladder. Only the pipelined slot loop
+    /// reads this — it is not part of the [`FaultPlan`] (worker death
+    /// is a runtime event, not a telemetry event), and sequential runs
+    /// ignore it entirely.
+    pub stage_fault_rate: f64,
 }
 
 impl FaultConfig {
@@ -78,6 +85,7 @@ impl FaultConfig {
             brownout_rate: 0.0,
             brownout_floor: 0.25,
             budget_cut_rate: 0.0,
+            stage_fault_rate: 0.0,
         }
     }
 
@@ -95,6 +103,10 @@ impl FaultConfig {
             brownout_rate: rate,
             brownout_floor: 0.25,
             budget_cut_rate: rate,
+            // Stage faults kill pipeline workers rather than corrupt
+            // telemetry; the sweeps that turn this profile compare
+            // sequential runs, so they stay off here.
+            stage_fault_rate: 0.0,
         }
     }
 

@@ -129,6 +129,39 @@ pub fn gather_fleet(
     fleet
 }
 
+/// Sanitizes a gathered slot problem and columnarizes the clean copy —
+/// the fault-tolerant route into the fleet store shared by the sharded
+/// engine path and the pipelined runtime driver. Rows the monolithic
+/// resilient path would reject stay present but are marked
+/// disconnected, so the shard schedulers never select them.
+///
+/// `recycled` is a previously-solved fleet buffer to refill in place
+/// (the pipeline's double-buffer hand-off); its columns are rebuilt
+/// with the same `push_request` path as a fresh build, so recycling
+/// never changes a bit of the stored telemetry.
+///
+/// Returns the fleet alongside the sanitized problem (whose capacities,
+/// λ, and curve the caller still needs).
+pub fn sanitized_fleet(
+    problem: &SlotProblem,
+    recycled: Option<DeviceFleet>,
+) -> (DeviceFleet, SlotProblem) {
+    let (clean, valid) = problem.sanitize();
+    let mut fleet = match recycled {
+        Some(mut fleet) => {
+            fleet.rebuild_from_problem(&clean);
+            fleet
+        }
+        None => DeviceFleet::from_problem(&clean),
+    };
+    for (i, &ok) in valid.iter().enumerate() {
+        if !ok {
+            fleet.set_connected(i, false);
+        }
+    }
+    (fleet, clean)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +285,43 @@ mod tests {
         let (clean, valid) = p.sanitize();
         assert_eq!(valid, vec![false, false]);
         assert!(clean.requests.iter().all(|r| r.is_valid()));
+    }
+
+    #[test]
+    fn recycled_fleet_matches_a_fresh_build() {
+        let devices = vec![device(0.4, Resolution::HD), device(0.8, Resolution::FHD)];
+        let windows = vec![window(30, 0.5), window(30, 0.7)];
+        let p = gather_problem(
+            &devices,
+            &windows,
+            &[0.3, f64::NAN],
+            10.0,
+            3000.0,
+            100.0,
+            50.0,
+            1.0,
+            &AnxietyCurve::paper_shape(),
+        );
+        let (fresh, clean) = sanitized_fleet(&p, None);
+        // Recycle a buffer previously filled with *different* content.
+        let other = gather_problem(
+            &devices,
+            &vec![window(7, 0.2); 2],
+            &[0.1, 0.1],
+            10.0,
+            3000.0,
+            9.0,
+            9.0,
+            1.0,
+            &AnxietyCurve::paper_shape(),
+        );
+        let (stale, _) = sanitized_fleet(&other, None);
+        let (recycled, clean2) = sanitized_fleet(&p, Some(stale));
+        assert_eq!(fresh, recycled);
+        assert_eq!(clean, clean2);
+        // The corrupt row survived sanitization but is disconnected.
+        assert!(!recycled.connected(1));
+        assert!(recycled.connected(0));
     }
 
     #[test]

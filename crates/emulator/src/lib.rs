@@ -15,6 +15,10 @@
 //! * [`faults`] — deterministic, seeded fault injection: per-slot
 //!   device disconnects, corrupt γ telemetry, edge brownouts, and
 //!   solver-budget cuts, declared in a replayable [`faults::FaultPlan`];
+//! * `pipeline` — the [`lpvs_runtime`] driver: the same slot loop run
+//!   through the staged gather ∥ solve ∥ apply pipeline with
+//!   shard-local Bayes banks (`EmulatorConfig::pipelined`), bit-identical
+//!   to a sequential one-slot-ahead run;
 //! * [`experiment`] — the drivers regenerating the paper's evaluation:
 //!   Fig. 7 (sufficient capacity), Fig. 8 (limited capacity × λ),
 //!   Fig. 9 (time-per-viewer of low-battery users), Fig. 10
@@ -45,6 +49,7 @@ pub mod faults;
 pub mod fit;
 pub mod gather;
 pub mod metrics;
+pub(crate) mod pipeline;
 pub mod qoe;
 pub mod report;
 

@@ -12,6 +12,7 @@
 
 use lpvs_core::scheduler::Degradation;
 use lpvs_obs::ObsSnapshot;
+use lpvs_runtime::RuntimeSummary;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -62,9 +63,17 @@ pub struct EmulationReport {
     pub gave_up: Vec<bool>,
     /// Per-device: was selected for transforming at least once.
     pub ever_selected: Vec<bool>,
+    /// Final per-device γ posterior `(mean, std)` — the truncated
+    /// point estimate and untruncated spread of each device's learned
+    /// power-reduction ratio. Bit-compared between the sequential and
+    /// pipelined slot loops by the determinism suite.
+    pub gamma_posteriors: Vec<(f64, f64)>,
     /// Accumulated scheduler wall-clock time.
     #[serde(skip, default)]
     pub scheduler_runtime: Duration,
+    /// Pipelined-runtime counters (`None` for sequential runs):
+    /// shards, estimator migrations, workers lost, fallback slot.
+    pub runtime: Option<RuntimeSummary>,
     /// Telemetry snapshot taken when the run finished — `None` when no
     /// recorder was enabled. The counters and histograms are cumulative
     /// across the process (the recorder is global), so single-run
@@ -215,7 +224,9 @@ mod tests {
             final_battery: vec![0.1, 0.4, 0.2],
             gave_up: vec![true, false, false],
             ever_selected: vec![true, true, false],
+            gamma_posteriors: vec![(0.31, 0.1); 3],
             scheduler_runtime: Duration::ZERO,
+            runtime: None,
             obs: None,
         }
     }

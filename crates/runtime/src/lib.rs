@@ -1,0 +1,168 @@
+//! # lpvs-runtime — the pipelined slot runtime
+//!
+//! The emulator's slot loop (`lpvs-emulator`, paper Fig. 6) is strictly
+//! sequential: gather → schedule → transform/play, one slot at a time,
+//! with the solve on the critical path of every slot. This crate turns
+//! that loop into a staged pipeline,
+//!
+//! ```text
+//!   gather(t+1)  ∥  solve(t)  ∥  apply+learn(t−1)
+//! ```
+//!
+//! built on plain std threads and `crossbeam` bounded channels:
+//!
+//! * a **hub** (the caller's thread) drives a [`SlotSource`]/[`SlotSink`]
+//!   pair — the Twitch-trace emulator or a synthetic generator — and
+//!   owns the slot clock;
+//! * **persistent shard workers** each own a [`ShardState`]: their
+//!   slice of the fleet plus the shard-local
+//!   [`BayesBank`](lpvs_bayes::BayesBank) of γ estimators. Estimators
+//!   physically migrate between workers alongside cross-shard
+//!   rebalancing, so the steady-state slot path has **no global Bayes
+//!   bank and no cross-shard lock** — shards exchange state only
+//!   through migration messages;
+//! * the gathered slot travels as a **double-buffered columnar
+//!   [`DeviceFleet`]**: two buffers alternate between "being gathered"
+//!   and "being solved", and the hub recycles a buffer only after every
+//!   worker has dropped its handle, so a slow solver stalls gathering
+//!   (bounded-channel backpressure) instead of queueing slots without
+//!   bound.
+//!
+//! ## Semantics: one-slot-ahead, bit-identical
+//!
+//! Overlapping solve(t) with apply(t) means the decision applied in
+//! slot `t` was computed from the state gathered at slot `t − 1` —
+//! exactly the emulator's *one-slot-ahead* mode (paper §VI-B.2). The
+//! pipelined runtime reproduces that mode **bit-identically**: same
+//! `SlotRecord`s, same final γ posteriors (`tests/runtime.rs` pins
+//! this). The ingredients: per-device estimator operations arrive in
+//! slot order over FIFO channels, disjoint banks make cross-device
+//! order irrelevant, and per-shard results are joined through the same
+//! [`FleetScheduler::assemble`](lpvs_edge::fleet::FleetScheduler::assemble)
+//! path as the scoped-thread scheduler.
+//!
+//! ## Graceful degradation
+//!
+//! A shard whose *solver* panics degrades to passthrough for the slot
+//! (the existing fleet ladder). A shard whose *worker* dies — injected
+//! stage faults, or a panic outside the solver — ships its
+//! [`ShardState`] home on the way down; the hub drains the in-flight
+//! slot (dead shards contribute passthrough), merges every bank, and
+//! runs the remaining slots inline through the sequential
+//! [`FleetScheduler`] path ([`RuntimeReport::fell_back`] records the
+//! slot).
+
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod shard;
+
+pub use pipeline::{RuntimeConfig, RuntimeReport, RuntimeSummary, SlotRuntime, StageFaults};
+pub use shard::ShardState;
+
+use lpvs_core::budget::SlotBudget;
+use lpvs_core::fleet::DeviceFleet;
+use lpvs_core::scheduler::Degradation;
+use lpvs_edge::fleet::FleetSchedule;
+use lpvs_survey::curve::AnxietyCurve;
+use serde::{Deserialize, Serialize};
+
+/// Estimator maintenance a source requests at the top of a slot,
+/// before any posterior is read.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BankOps {
+    /// `(device, stale_slots)` staleness inflations — e.g. every
+    /// disconnected device forgets one slot.
+    pub forgets: Vec<(usize, u32)>,
+    /// Devices whose γ posterior the gather step needs, in the order
+    /// the source wants them answered.
+    pub queries: Vec<usize>,
+}
+
+/// One slot's gathered problem, ready to solve. Shared read-only with
+/// every shard worker for the duration of the solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatheredSlot {
+    /// Slot index.
+    pub slot: usize,
+    /// Sanitized columnar population: rows the monolithic path would
+    /// reject are present but marked disconnected.
+    pub fleet: DeviceFleet,
+    /// Global device id of each fleet row (fleet order). Estimator
+    /// migrations and γ routing are keyed on these.
+    pub device_ids: Vec<usize>,
+    /// Edge compute capacity the slot sees (post-brownout).
+    pub compute_capacity: f64,
+    /// Edge storage capacity the slot sees (GB, post-brownout).
+    pub storage_capacity_gb: f64,
+    /// Regularization λ.
+    pub lambda: f64,
+    /// The cohort's anxiety curve.
+    pub curve: AnxietyCurve,
+    /// Per-slot solver budget (node caps, stall deadlines).
+    pub budget: SlotBudget,
+    /// Warm-start selection in fleet order, if the previous slot's
+    /// population matches.
+    pub warm: Option<Vec<bool>>,
+}
+
+/// A completed fleet solve, delivered to [`SlotSink::solved`] once all
+/// shards have reported — one slot after dispatch when pipelined,
+/// immediately when sequential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolvedSlot {
+    /// The slot the decision was computed **for** (= gathered at).
+    pub slot: usize,
+    /// The joined fleet decision: selection in fleet order, per-shard
+    /// reports, rebalance migrations, objective.
+    pub schedule: FleetSchedule,
+    /// The worst degradation rung any shard fell to.
+    pub tier: Degradation,
+}
+
+/// What playback learned during apply: per-device observed
+/// power-reduction ratios, folded into the owning banks at the top of
+/// the next slot (after the gather that used the pre-observation
+/// posterior — the same order as the sequential engine).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlotFeedback {
+    /// `(device, observed_ratio)` in playback order.
+    pub observations: Vec<(usize, f64)>,
+}
+
+/// The producing half of a slot driver: tells the runtime what each
+/// slot needs from the banks, then gathers the slot problem.
+pub trait SlotSource {
+    /// Starts slot `slot`: advances connectivity/faults and returns the
+    /// estimator maintenance due before posteriors are read. `None`
+    /// ends the run (the horizon is exhausted).
+    fn begin_slot(&mut self, slot: usize) -> Option<BankOps>;
+
+    /// Gathers slot `slot` into a solvable problem. `posteriors[i]` is
+    /// the `(mean, std)` answer to `queries[i]` from [`BankOps`].
+    /// `recycled` is a previously-solved fleet buffer to refill in
+    /// place (the double-buffer hand-off); `None` on the first slots.
+    /// Returns `None` for an idle slot (nobody watching — no solve is
+    /// dispatched, but [`SlotSink::apply`] still runs).
+    fn gather(
+        &mut self,
+        slot: usize,
+        posteriors: &[(f64, f64)],
+        recycled: Option<DeviceFleet>,
+    ) -> Option<GatheredSlot>;
+}
+
+/// The consuming half of a slot driver: receives solve results and
+/// plays slots out.
+pub trait SlotSink {
+    /// A solve completed. Called in slot order, always before
+    /// `apply(t)` for every solved slot `< t`; when pipelined, the
+    /// solve for slot `t` arrives during slot `t + 1`. Sinks that stage
+    /// one-slot-ahead decisions should consume stagings with
+    /// `solved.slot < t` at `apply(t)`.
+    fn solved(&mut self, solved: &SolvedSlot);
+
+    /// Plays slot `slot` (transform + playback + accounting) and
+    /// returns what the banks should learn from it.
+    fn apply(&mut self, slot: usize) -> SlotFeedback;
+}

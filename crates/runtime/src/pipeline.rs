@@ -1,0 +1,694 @@
+//! The slot-pipeline hub.
+//!
+//! [`SlotRuntime::run`] drives a [`SlotSource`]/[`SlotSink`] driver
+//! through the staged pipeline. The hub (caller's thread) executes, per
+//! slot `t`:
+//!
+//! ```text
+//!  begin(t)            source advances faults/connectivity; windows are
+//!                      synthesized here, overlapping solve(t−1)
+//!  join(t−1)           block on the shard results of slot t−1
+//!                      (backpressure: a slow solver stalls everything
+//!                      downstream), assemble them through
+//!                      FleetScheduler::assemble, deliver solved(t−1),
+//!                      migrate estimators after the rebalance, recycle
+//!                      the t−1 fleet buffer
+//!  prepare(t)          route observations(t−1) + forgets(t) + γ queries
+//!                      to the owning shard banks (FIFO guarantees they
+//!                      land after solve(t−1))
+//!  gather(t)           source fills the recycled buffer
+//!  dispatch(t)         partition + fan the shared Arc<GatheredSlot> out
+//!  apply(t)            sink plays slot t with the decision solved at
+//!                      t−1 — overlapping solve(t), the pipeline win
+//! ```
+//!
+//! Exactly one solve is in flight at a time and exactly two fleet
+//! buffers circulate (one being gathered, one being solved) — the
+//! double buffer. The hub recovers a buffer via `Arc::try_unwrap`,
+//! which is guaranteed to succeed because every worker drops its handle
+//! *before* announcing its result.
+//!
+//! On worker death the hub drains the in-flight slot (dead shards
+//! contribute passthrough — the same degradation the scoped fleet path
+//! gives a dead shard thread), recovers every bank (dying workers ship
+//! theirs home), merges them, and continues inline through the
+//! sequential [`FleetScheduler`] path.
+
+use crate::shard::{spawn_worker, ShardState, SolveJob, WorkerEvent, WorkerMsg};
+use crate::{BankOps, SlotSink, SlotSource, SolvedSlot};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use lpvs_bayes::{BayesBank, GammaEstimator};
+use lpvs_core::fleet::DeviceFleet;
+use lpvs_core::scheduler::{Degradation, Schedule};
+use lpvs_edge::fleet::{FleetConfig, FleetScheduler, Partitioner};
+use lpvs_edge::server::EdgeServer;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deterministic worker-crash injection: each (slot, shard) pair dies
+/// with probability `rate`, derived by hashing against `seed` so runs
+/// reproduce bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageFaults {
+    /// Per-(slot, shard) death probability in `[0, 1]`.
+    pub rate: f64,
+    /// Hash salt, independent of the population seed.
+    pub seed: u64,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Shard count, partitioner, per-shard scheduler, and rebalance
+    /// bound — shared with the scoped-thread [`FleetScheduler`] so both
+    /// paths solve identically.
+    pub fleet: FleetConfig,
+    /// Optional injected worker crashes (exercises the fallback ladder).
+    pub stage_faults: Option<StageFaults>,
+    /// Bounded capacity of each worker's command channel.
+    pub command_depth: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { fleet: FleetConfig::default(), stage_faults: None, command_depth: 4 }
+    }
+}
+
+/// Serializable run summary (embedded in emulation reports).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RuntimeSummary {
+    /// Whether the staged pipeline ran (false: sequential mode).
+    pub pipelined: bool,
+    /// Shard worker count.
+    pub shards: usize,
+    /// Slots driven.
+    pub slots: usize,
+    /// Slots that dispatched a solve (idle slots excluded).
+    pub solved_slots: usize,
+    /// Estimators physically moved between shard banks.
+    pub estimator_migrations: usize,
+    /// Workers lost to faults or panics.
+    pub workers_lost: usize,
+    /// Slot at which the runtime degraded to the inline sequential
+    /// path, if it did.
+    pub fell_back: Option<usize>,
+}
+
+/// Result of a runtime run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeReport {
+    /// Counters and fallback state.
+    pub summary: RuntimeSummary,
+    /// Final γ estimators, dense by device id — merged back from the
+    /// shard banks.
+    pub estimators: Vec<GammaEstimator>,
+    /// Total wall-clock spent in (dispatch → joined) solves.
+    pub solve_runtime: Duration,
+}
+
+#[derive(Default)]
+struct RunStats {
+    slots: usize,
+    solved_slots: usize,
+    estimator_migrations: usize,
+    fell_back: Option<usize>,
+    solve_runtime: Duration,
+}
+
+/// A dispatched, not-yet-joined solve.
+struct PendingSolve {
+    slot: usize,
+    gathered: Arc<crate::GatheredSlot>,
+    shards: Vec<Vec<usize>>,
+    servers: Vec<EdgeServer>,
+    dispatched_at: Instant,
+}
+
+/// What joining a solve produced.
+struct Collected {
+    solved: SolvedSlot,
+    /// The recovered fleet buffer (recycled into the next gather).
+    buffer: Option<DeviceFleet>,
+    /// Fleet-order → global device id mapping of the joined slot.
+    device_ids: Vec<usize>,
+}
+
+struct WorkerHandle {
+    commands: Option<Sender<WorkerMsg>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    fn send(&self, msg: WorkerMsg) -> Result<(), ()> {
+        match &self.commands {
+            Some(tx) => tx.send(msg).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
+}
+
+/// The worker pool plus the routing state the hub keeps about it.
+struct Hub {
+    workers: Vec<WorkerHandle>,
+    events: Receiver<WorkerEvent>,
+    /// Device → shard whose bank currently owns its estimator. Starts
+    /// as the home partition; updated as migrations follow rebalances.
+    owner: Vec<usize>,
+    /// States recovered from dead workers, pending the merge.
+    lost: Vec<ShardState>,
+    workers_lost: usize,
+}
+
+impl Hub {
+    fn all_alive(&self) -> bool {
+        self.workers.iter().all(|w| w.commands.is_some())
+    }
+}
+
+/// The pipelined slot runtime.
+pub struct SlotRuntime {
+    config: RuntimeConfig,
+    scheduler: FleetScheduler,
+}
+
+impl SlotRuntime {
+    /// Creates a runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet configuration names zero shards.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let scheduler = FleetScheduler::new(config.fleet);
+        Self { config, scheduler }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Home shard of every device under the configured partitioner —
+    /// the initial bank split, before any migration.
+    pub fn home_shards(&self, devices: usize) -> Vec<usize> {
+        let k = self.config.fleet.num_shards;
+        let mut owner = vec![0usize; devices];
+        match self.config.fleet.partitioner {
+            Partitioner::Locality => {
+                let base = devices / k;
+                let extra = devices % k;
+                let mut start = 0;
+                for s in 0..k {
+                    let size = base + usize::from(s < extra);
+                    for o in &mut owner[start..start + size] {
+                        *o = s;
+                    }
+                    start += size;
+                }
+            }
+            Partitioner::Hash => {
+                for (d, o) in owner.iter_mut().enumerate() {
+                    let h = (d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17;
+                    *o = (h % k as u64) as usize;
+                }
+            }
+        }
+        owner
+    }
+
+    /// Runs the driver through the staged pipeline. `estimators[d]` is
+    /// device `d`'s γ estimator; they are split into shard-local banks
+    /// up front and merged back into the report at the end.
+    pub fn run<D: SlotSource + SlotSink>(
+        &self,
+        driver: &mut D,
+        estimators: Vec<GammaEstimator>,
+    ) -> RuntimeReport {
+        let k = self.config.fleet.num_shards;
+        let n = estimators.len();
+        let owner = self.home_shards(n);
+        let banks = BayesBank::from_estimators(estimators).split(k, |d| owner[d]);
+
+        let (event_tx, events) = bounded(2 * k + 2);
+        let workers: Vec<WorkerHandle> = banks
+            .into_iter()
+            .enumerate()
+            .map(|(s, bank)| {
+                let (tx, rx) = bounded(self.config.command_depth.max(2));
+                let faults = self.config.stage_faults.map(|f| (f.rate, f.seed));
+                let thread = spawn_worker(
+                    ShardState { shard: s, bank },
+                    self.config.fleet.scheduler,
+                    faults,
+                    rx,
+                    event_tx.clone(),
+                );
+                WorkerHandle { commands: Some(tx), thread: Some(thread) }
+            })
+            .collect();
+        drop(event_tx);
+        let mut hub = Hub { workers, events, owner, lost: Vec::new(), workers_lost: 0 };
+
+        let mut stats = RunStats::default();
+        let mut in_flight: Option<PendingSolve> = None;
+        let mut feedback: Vec<(usize, f64)> = Vec::new();
+        let mut recycled: Option<DeviceFleet> = None;
+        let mut inline: Option<BayesBank> = None;
+        let mut slot = 0usize;
+
+        while let Some(ops) = driver.begin_slot(slot) {
+            if let Some(bank) = inline.as_mut() {
+                // Sequential fallback: the pipeline is gone, the merged
+                // bank lives here, slots run inline.
+                Self::inline_slot(
+                    &self.scheduler,
+                    driver,
+                    bank,
+                    slot,
+                    &ops,
+                    &mut feedback,
+                    &mut recycled,
+                    &mut stats,
+                );
+                slot += 1;
+                continue;
+            }
+
+            let mut slot_span = lpvs_obs::span!("runtime.slot", "slot" => slot);
+            let mut healthy = true;
+
+            // --- join(t−1) ---------------------------------------------
+            if let Some(pending) = in_flight.take() {
+                if lpvs_obs::enabled() {
+                    lpvs_obs::gauge_set("runtime_queue_depth", hub.events.len() as f64);
+                }
+                let wait = Instant::now();
+                let collected = self.join_solve(&mut hub, pending, &mut stats);
+                if lpvs_obs::enabled() {
+                    lpvs_obs::observe("runtime_solve_wait_seconds", wait.elapsed().as_secs_f64());
+                }
+                slot_span.record("joined_migrations", collected.solved.schedule.migrations as f64);
+                driver.solved(&collected.solved);
+                healthy = hub.all_alive()
+                    && self.migrate_estimators(&mut hub, &collected, &mut stats).is_ok();
+                recycled = collected.buffer;
+            }
+
+            // --- prepare(t) --------------------------------------------
+            // `ops_consumed`: whether banks saw this slot's maintenance,
+            // so the fallback path knows whether to replay it.
+            let mut ops_consumed = false;
+            let posteriors = if healthy {
+                ops_consumed = true;
+                self.prepare(&hub, &ops, std::mem::take(&mut feedback)).ok()
+            } else {
+                None
+            };
+
+            let Some(posteriors) = posteriors else {
+                // --- sequential fallback -------------------------------
+                lpvs_obs::inc("runtime_fallback_total");
+                let mut bank = self.drain_and_merge(&mut hub);
+                if !ops_consumed {
+                    for (d, ratio) in feedback.drain(..) {
+                        bank.observe_or_forget(d, ratio);
+                    }
+                    for &(d, stale) in &ops.forgets {
+                        bank.forget(d, stale);
+                    }
+                }
+                let posteriors: Vec<(f64, f64)> =
+                    ops.queries.iter().map(|&d| bank.posterior(d)).collect();
+                stats.fell_back = Some(slot);
+                Self::inline_gather_solve_apply(
+                    &self.scheduler,
+                    driver,
+                    slot,
+                    &posteriors,
+                    &mut feedback,
+                    &mut recycled,
+                    &mut stats,
+                );
+                inline = Some(bank);
+                slot += 1;
+                continue;
+            };
+
+            // --- gather(t) + dispatch(t) -------------------------------
+            let gather_start = Instant::now();
+            let gathered = driver.gather(slot, &posteriors, recycled.take());
+            if lpvs_obs::enabled() {
+                lpvs_obs::observe("runtime_gather_seconds", gather_start.elapsed().as_secs_f64());
+            }
+            if let Some(g) = gathered {
+                in_flight = Some(self.dispatch(&hub, slot, g));
+            }
+
+            // --- apply(t) — overlaps solve(t) --------------------------
+            let apply_start = Instant::now();
+            feedback = driver.apply(slot).observations;
+            if lpvs_obs::enabled() {
+                lpvs_obs::observe("runtime_apply_seconds", apply_start.elapsed().as_secs_f64());
+                lpvs_obs::inc("runtime_slots_total");
+            }
+            stats.slots += 1;
+            slot += 1;
+        }
+
+        // --- drain -----------------------------------------------------
+        let estimators = if let Some(mut bank) = inline.take() {
+            for (d, ratio) in feedback.drain(..) {
+                bank.observe_or_forget(d, ratio);
+            }
+            bank.into_dense()
+        } else {
+            if let Some(pending) = in_flight.take() {
+                // The horizon ended with a solve in flight: join it so
+                // the sink records its tier (its decision is never
+                // applied — the sequential one-slot-ahead engine stages
+                // its last decision the same way).
+                let collected = self.join_solve(&mut hub, pending, &mut stats);
+                driver.solved(&collected.solved);
+            }
+            // The last slot's observations still belong in the banks —
+            // the sequential engine folds them during its final play.
+            if !feedback.is_empty() {
+                let _ = self.prepare(&hub, &BankOps::default(), std::mem::take(&mut feedback));
+            }
+            self.drain_and_merge(&mut hub).into_dense()
+        };
+
+        RuntimeReport {
+            summary: RuntimeSummary {
+                pipelined: true,
+                shards: k,
+                slots: stats.slots,
+                solved_slots: stats.solved_slots,
+                estimator_migrations: stats.estimator_migrations,
+                workers_lost: hub.workers_lost,
+                fell_back: stats.fell_back,
+            },
+            estimators,
+            solve_runtime: stats.solve_runtime,
+        }
+    }
+
+    /// Runs the driver strictly sequentially — same one-slot-ahead
+    /// delivery order as the pipeline (`solved(t)` lands before
+    /// `apply(t)`, and staging sinks consume solves `< t`), but every
+    /// stage on one thread with one global bank. The baseline the
+    /// pipeline is benchmarked and determinism-tested against.
+    pub fn run_sequential<D: SlotSource + SlotSink>(
+        &self,
+        driver: &mut D,
+        estimators: Vec<GammaEstimator>,
+    ) -> RuntimeReport {
+        let mut bank = BayesBank::from_estimators(estimators);
+        let mut stats = RunStats::default();
+        let mut feedback: Vec<(usize, f64)> = Vec::new();
+        let mut recycled: Option<DeviceFleet> = None;
+        let mut slot = 0usize;
+        while let Some(ops) = driver.begin_slot(slot) {
+            Self::inline_slot(
+                &self.scheduler,
+                driver,
+                &mut bank,
+                slot,
+                &ops,
+                &mut feedback,
+                &mut recycled,
+                &mut stats,
+            );
+            slot += 1;
+        }
+        for (d, ratio) in feedback.drain(..) {
+            bank.observe_or_forget(d, ratio);
+        }
+        RuntimeReport {
+            summary: RuntimeSummary {
+                pipelined: false,
+                shards: self.config.fleet.num_shards,
+                slots: stats.slots,
+                solved_slots: stats.solved_slots,
+                estimator_migrations: 0,
+                workers_lost: 0,
+                fell_back: None,
+            },
+            estimators: bank.into_dense(),
+            solve_runtime: stats.solve_runtime,
+        }
+    }
+
+    /// One inline (non-pipelined) slot: bank maintenance, gather, solve
+    /// through the scoped-thread fleet path, apply.
+    #[allow(clippy::too_many_arguments)]
+    fn inline_slot<D: SlotSource + SlotSink>(
+        scheduler: &FleetScheduler,
+        driver: &mut D,
+        bank: &mut BayesBank,
+        slot: usize,
+        ops: &BankOps,
+        feedback: &mut Vec<(usize, f64)>,
+        recycled: &mut Option<DeviceFleet>,
+        stats: &mut RunStats,
+    ) {
+        for (d, ratio) in feedback.drain(..) {
+            bank.observe_or_forget(d, ratio);
+        }
+        for &(d, stale) in &ops.forgets {
+            bank.forget(d, stale);
+        }
+        let posteriors: Vec<(f64, f64)> = ops.queries.iter().map(|&d| bank.posterior(d)).collect();
+        Self::inline_gather_solve_apply(
+            scheduler, driver, slot, &posteriors, feedback, recycled, stats,
+        );
+    }
+
+    /// The gather → solve → solved → apply tail of an inline slot.
+    fn inline_gather_solve_apply<D: SlotSource + SlotSink>(
+        scheduler: &FleetScheduler,
+        driver: &mut D,
+        slot: usize,
+        posteriors: &[(f64, f64)],
+        feedback: &mut Vec<(usize, f64)>,
+        recycled: &mut Option<DeviceFleet>,
+        stats: &mut RunStats,
+    ) {
+        if let Some(g) = driver.gather(slot, posteriors, recycled.take()) {
+            let server = EdgeServer::new(g.compute_capacity, g.storage_capacity_gb);
+            let schedule =
+                scheduler.schedule(&g.fleet, &server, g.lambda, &g.curve, g.warm.as_deref(), &g.budget);
+            let tier = schedule
+                .shards
+                .iter()
+                .map(|r| r.stats.degradation)
+                .max()
+                .unwrap_or(Degradation::Passthrough);
+            stats.solve_runtime += schedule.runtime;
+            stats.solved_slots += 1;
+            driver.solved(&SolvedSlot { slot, schedule, tier });
+            *recycled = Some(g.fleet);
+        }
+        *feedback = driver.apply(slot).observations;
+        stats.slots += 1;
+    }
+
+    /// Partitions a gathered slot and fans it out to the workers.
+    fn dispatch(&self, hub: &Hub, slot: usize, g: crate::GatheredSlot) -> PendingSolve {
+        let k = hub.workers.len();
+        let gathered = Arc::new(g);
+        let shards = self.scheduler.partition(&gathered.fleet);
+        let server = EdgeServer::new(gathered.compute_capacity, gathered.storage_capacity_gb);
+        let servers = FleetScheduler::split_server(&server, k);
+        // Same guard as the scoped path: warm starts only carry over
+        // when the population is unchanged.
+        let warm = gathered.warm.as_deref().filter(|p| p.len() == gathered.fleet.len());
+        let dispatched_at = Instant::now();
+        for (s, worker) in hub.workers.iter().enumerate() {
+            let job = SolveJob {
+                slot,
+                gathered: Arc::clone(&gathered),
+                indices: shards[s].clone(),
+                compute_capacity: servers[s].compute_capacity(),
+                storage_capacity_gb: servers[s].storage_capacity_gb(),
+                warm: warm.map(|p| shards[s].iter().map(|&i| p[i]).collect()),
+            };
+            // A send failure means the worker died; the join step will
+            // see its Down event and degrade the shard to passthrough.
+            let _ = worker.send(WorkerMsg::Solve(job));
+        }
+        PendingSolve { slot, gathered, shards, servers, dispatched_at }
+    }
+
+    /// Blocks until every shard has reported on `pending`, then joins
+    /// the results through [`FleetScheduler::assemble`] — dead shards
+    /// degrade to passthrough. Never fails: dying workers always ship a
+    /// `Down` event first.
+    fn join_solve(&self, hub: &mut Hub, pending: PendingSolve, stats: &mut RunStats) -> Collected {
+        let k = hub.workers.len();
+        let mut results: Vec<Option<Schedule>> = (0..k).map(|_| None).collect();
+        let mut accounted = vec![false; k];
+        let mut remaining = k;
+        while remaining > 0 {
+            match hub.events.recv() {
+                Ok(WorkerEvent::Solved { shard, slot, schedule }) => {
+                    debug_assert_eq!(slot, pending.slot, "stale solve result");
+                    results[shard] = schedule.map(|b| *b);
+                    if !accounted[shard] {
+                        accounted[shard] = true;
+                        remaining -= 1;
+                    }
+                }
+                Ok(WorkerEvent::Down { state } | WorkerEvent::Finished { state }) => {
+                    let s = state.shard;
+                    hub.workers[s].commands = None;
+                    hub.lost.push(*state);
+                    hub.workers_lost += 1;
+                    if !accounted[s] {
+                        accounted[s] = true;
+                        remaining -= 1;
+                    }
+                }
+                Err(_) => break, // every worker gone; the rest are passthrough
+            }
+        }
+
+        let PendingSolve { slot, gathered, shards, servers, dispatched_at } = pending;
+        let schedule = self.scheduler.assemble(
+            &gathered.fleet,
+            &servers,
+            &shards,
+            results,
+            gathered.lambda,
+            &gathered.curve,
+            dispatched_at,
+        );
+        let tier = schedule
+            .shards
+            .iter()
+            .map(|r| r.stats.degradation)
+            .max()
+            .unwrap_or(Degradation::Passthrough);
+        stats.solve_runtime += schedule.runtime;
+        stats.solved_slots += 1;
+        // Every worker dropped its handle before reporting, so ours is
+        // unique and the buffer comes back for the next gather.
+        let (buffer, device_ids) = match Arc::try_unwrap(gathered) {
+            Ok(g) => (Some(g.fleet), g.device_ids),
+            Err(arc) => (None, arc.device_ids.clone()),
+        };
+        Collected { solved: SolvedSlot { slot, schedule, tier }, buffer, device_ids }
+    }
+
+    /// Moves estimators between shard banks to follow the cross-shard
+    /// rebalance: a device migrated into a foreign shard takes its γ
+    /// state along, keeping γ routing shard-local. Round-trips are
+    /// sequenced through the hub in shard order for determinism.
+    fn migrate_estimators(
+        &self,
+        hub: &mut Hub,
+        collected: &Collected,
+        stats: &mut RunStats,
+    ) -> Result<(), ()> {
+        for report in &collected.solved.schedule.shards {
+            for &fleet_idx in &report.migrated_in {
+                let device = collected.device_ids[fleet_idx];
+                let from = hub.owner[device];
+                let to = report.shard;
+                if from == to {
+                    continue;
+                }
+                let (reply_tx, reply_rx) = bounded(1);
+                hub.workers[from].send(WorkerMsg::MigrateOut { device, reply: reply_tx })?;
+                let estimator = reply_rx.recv().map_err(|_| ())?;
+                hub.workers[to].send(WorkerMsg::MigrateIn { device, estimator })?;
+                hub.owner[device] = to;
+                stats.estimator_migrations += 1;
+                lpvs_obs::inc("runtime_migrations_total");
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes one slot's bank maintenance and γ queries to the owning
+    /// shards and gathers the posterior answers back in query order.
+    /// Per-message order (observations, then forgets, then queries)
+    /// mirrors the sequential engine's per-device operation order.
+    fn prepare(
+        &self,
+        hub: &Hub,
+        ops: &BankOps,
+        observations: Vec<(usize, f64)>,
+    ) -> Result<Vec<(f64, f64)>, ()> {
+        let k = hub.workers.len();
+        let mut per_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+        let mut per_forgets: Vec<Vec<(usize, u32)>> = vec![Vec::new(); k];
+        let mut per_queries: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut query_slots: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (d, ratio) in observations {
+            per_obs[hub.owner[d]].push((d, ratio));
+        }
+        for &(d, stale) in &ops.forgets {
+            per_forgets[hub.owner[d]].push((d, stale));
+        }
+        for (pos, &d) in ops.queries.iter().enumerate() {
+            let s = hub.owner[d];
+            per_queries[s].push(d);
+            query_slots[s].push(pos);
+        }
+
+        // Fan out first so shards work concurrently, then await replies
+        // in shard order.
+        type PosteriorReply = Receiver<Vec<(f64, f64)>>;
+        let mut pending: Vec<(usize, PosteriorReply)> = Vec::new();
+        for s in 0..k {
+            if per_obs[s].is_empty() && per_forgets[s].is_empty() && per_queries[s].is_empty() {
+                continue;
+            }
+            let (reply_tx, reply_rx) = bounded(1);
+            hub.workers[s].send(WorkerMsg::Prepare {
+                observations: std::mem::take(&mut per_obs[s]),
+                forgets: std::mem::take(&mut per_forgets[s]),
+                queries: std::mem::take(&mut per_queries[s]),
+                reply: reply_tx,
+            })?;
+            pending.push((s, reply_rx));
+        }
+        let mut posteriors = vec![(0.0, 0.0); ops.queries.len()];
+        for (s, reply_rx) in pending {
+            let answers = reply_rx.recv().map_err(|_| ())?;
+            for (&pos, answer) in query_slots[s].iter().zip(answers) {
+                posteriors[pos] = answer;
+            }
+        }
+        Ok(posteriors)
+    }
+
+    /// Finishes every live worker, collects every bank (clean exits and
+    /// casualties alike), joins the threads, and merges the banks.
+    fn drain_and_merge(&self, hub: &mut Hub) -> BayesBank {
+        for worker in &mut hub.workers {
+            if let Some(tx) = worker.commands.take() {
+                let _ = tx.send(WorkerMsg::Finish);
+            }
+        }
+        let mut states = std::mem::take(&mut hub.lost);
+        while states.len() < hub.workers.len() {
+            match hub.events.recv() {
+                Ok(WorkerEvent::Finished { state } | WorkerEvent::Down { state }) => {
+                    states.push(*state);
+                }
+                Ok(WorkerEvent::Solved { .. }) => continue,
+                Err(_) => break,
+            }
+        }
+        for worker in &mut hub.workers {
+            if let Some(thread) = worker.thread.take() {
+                let _ = thread.join();
+            }
+        }
+        BayesBank::merge(states.into_iter().map(|s| s.bank))
+    }
+}

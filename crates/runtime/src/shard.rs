@@ -1,0 +1,240 @@
+//! Persistent shard workers and the state they own.
+//!
+//! Each worker thread owns a [`ShardState`] — its shard id plus the
+//! [`BayesBank`] of γ estimators for the devices it is home to — and
+//! serves a FIFO command stream from the hub:
+//!
+//! * [`WorkerMsg::Prepare`] — fold last slot's observations, apply
+//!   staleness forgets, answer posterior queries;
+//! * [`WorkerMsg::Solve`] — run the resilient scheduler on this shard's
+//!   slice of the shared [`GatheredSlot`] (solver panics are contained:
+//!   the shard degrades to passthrough, the worker survives);
+//! * [`WorkerMsg::MigrateOut`]/[`WorkerMsg::MigrateIn`] — move one
+//!   estimator to follow a cross-shard rebalance migration;
+//! * [`WorkerMsg::Finish`] — ship the bank home and exit.
+//!
+//! FIFO ordering is the determinism backbone: a `Prepare` queued behind
+//! a `Solve` is answered only after the solve completed, which is
+//! exactly the synchronization the one-slot-ahead pipeline needs.
+//!
+//! If the worker itself dies — an injected stage fault, or a panic
+//! outside the contained solver — the bank is **not** lost: the worker
+//! ships its [`ShardState`] back to the hub on the way down
+//! ([`WorkerEvent::Down`]), so the hub can merge it and fall back to
+//! the sequential path.
+
+use crate::GatheredSlot;
+use crossbeam::channel::{Receiver, Sender};
+use lpvs_bayes::{BayesBank, GammaEstimator};
+use lpvs_core::scheduler::{LpvsScheduler, Schedule, SchedulerConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Everything a shard worker owns: identity plus its γ bank. Migrated
+/// wholesale when a worker dies or finishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardState {
+    /// Shard index.
+    pub shard: usize,
+    /// γ estimators for the devices this shard is home to.
+    pub bank: BayesBank,
+}
+
+/// One shard's slice of a dispatched solve.
+pub(crate) struct SolveJob {
+    pub slot: usize,
+    /// The shared gathered slot; the worker drops this handle *before*
+    /// announcing its result, so once every shard has reported, the
+    /// hub's handle is unique and the buffer can be recycled.
+    pub gathered: Arc<GatheredSlot>,
+    /// Global fleet indices of this shard's devices.
+    pub indices: Vec<usize>,
+    /// This shard's split of the edge compute capacity.
+    pub compute_capacity: f64,
+    /// This shard's split of the edge storage capacity (GB).
+    pub storage_capacity_gb: f64,
+    /// Warm start for this shard's slice, in slice order.
+    pub warm: Option<Vec<bool>>,
+}
+
+/// Commands the hub sends a worker (FIFO per worker).
+pub(crate) enum WorkerMsg {
+    /// Estimator maintenance + posterior queries for one slot. Order
+    /// inside the message matters: observations (from the *previous*
+    /// slot's playback) are folded before forgets (this slot's
+    /// staleness), matching the sequential engine's per-device order.
+    Prepare {
+        observations: Vec<(usize, f64)>,
+        forgets: Vec<(usize, u32)>,
+        queries: Vec<usize>,
+        reply: Sender<Vec<(f64, f64)>>,
+    },
+    /// Solve this shard's slice of a gathered slot.
+    Solve(SolveJob),
+    /// Hand device `device`'s estimator to the hub (it is moving to
+    /// another shard).
+    MigrateOut { device: usize, reply: Sender<GammaEstimator> },
+    /// Adopt device `device`'s estimator from another shard.
+    MigrateIn { device: usize, estimator: GammaEstimator },
+    /// Ship the bank home ([`WorkerEvent::Finished`]) and exit.
+    Finish,
+}
+
+/// Events workers send the hub on the shared event channel.
+pub(crate) enum WorkerEvent {
+    /// A solve completed. `None` means the solver panicked and the
+    /// shard degrades to passthrough for this slot.
+    Solved { shard: usize, slot: usize, schedule: Option<Box<Schedule>> },
+    /// The worker is exiting abnormally; its state rides along so no
+    /// posterior is lost.
+    Down { state: Box<ShardState> },
+    /// Clean exit after [`WorkerMsg::Finish`].
+    Finished { state: Box<ShardState> },
+}
+
+/// Deterministic per-(seed, slot, shard) stage-fault decision, made
+/// without an RNG stream so worker death reproduces bit-for-bit.
+pub(crate) fn stage_fault_hits(seed: u64, slot: usize, shard: usize, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    // splitmix64 over the (seed, slot, shard) triple.
+    let mut z = seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((shard as u64) << 32);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 11) as f64) / ((1u64 << 53) as f64) < rate
+}
+
+/// Ships the shard state home if the worker unwinds or returns without
+/// a clean [`WorkerMsg::Finish`].
+struct BankCourier {
+    events: Sender<WorkerEvent>,
+    state: Option<Box<ShardState>>,
+}
+
+impl Drop for BankCourier {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let _ = self.events.send(WorkerEvent::Down { state });
+        }
+    }
+}
+
+/// Spawns one persistent shard worker.
+pub(crate) fn spawn_worker(
+    state: ShardState,
+    scheduler: SchedulerConfig,
+    stage_faults: Option<(f64, u64)>,
+    commands: Receiver<WorkerMsg>,
+    events: Sender<WorkerEvent>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let shard = state.shard;
+        let scheduler = LpvsScheduler::new(scheduler);
+        let mut courier = BankCourier { events: events.clone(), state: Some(Box::new(state)) };
+        while let Ok(msg) = commands.recv() {
+            let state = courier.state.as_mut().expect("state is present until Finish");
+            match msg {
+                WorkerMsg::Prepare { observations, forgets, queries, reply } => {
+                    for (d, ratio) in observations {
+                        state.bank.observe_or_forget(d, ratio);
+                    }
+                    for (d, stale) in forgets {
+                        state.bank.forget(d, stale);
+                    }
+                    let posteriors = queries.iter().map(|&d| state.bank.posterior(d)).collect();
+                    if reply.send(posteriors).is_err() {
+                        return; // hub gone; courier ships the bank
+                    }
+                }
+                WorkerMsg::Solve(job) => {
+                    if let Some((rate, seed)) = stage_faults {
+                        if stage_fault_hits(seed, job.slot, shard, rate) {
+                            // Simulated worker crash mid-slot: exit
+                            // without solving. The courier ships the
+                            // bank home and the hub sees a missing
+                            // shard for this slot.
+                            return;
+                        }
+                    }
+                    let slot = job.slot;
+                    let schedule = solve_slice(&scheduler, shard, &job);
+                    // Release the shared buffer before announcing, so
+                    // the hub's handle is unique once all shards report.
+                    drop(job);
+                    let event =
+                        WorkerEvent::Solved { shard, slot, schedule: schedule.map(Box::new) };
+                    if events.send(event).is_err() {
+                        return;
+                    }
+                }
+                WorkerMsg::MigrateOut { device, reply } => {
+                    let est = state
+                        .bank
+                        .take(device)
+                        .expect("migration routed through the ownership map");
+                    if reply.send(est).is_err() {
+                        return;
+                    }
+                }
+                WorkerMsg::MigrateIn { device, estimator } => {
+                    state.bank.insert(device, estimator);
+                }
+                WorkerMsg::Finish => {
+                    let state = courier.state.take().expect("state present at Finish");
+                    let _ = events.send(WorkerEvent::Finished { state });
+                    return;
+                }
+            }
+        }
+        // Command channel disconnected (hub dropped early): the courier
+        // ships the bank on the way out.
+    })
+}
+
+/// Runs the resilient scheduler on one shard's slice. A solver panic is
+/// contained here — the shard reports `None` (→ passthrough) and the
+/// worker stays up, mirroring the scoped-thread fleet path where a dead
+/// shard thread degrades the same way.
+fn solve_slice(scheduler: &LpvsScheduler, shard: usize, job: &SolveJob) -> Option<Schedule> {
+    let _span = lpvs_obs::span!(
+        "runtime.solve", "shard" => shard, "slot" => job.slot, "devices" => job.indices.len()
+    );
+    let problem = job.gathered.fleet.subproblem(
+        &job.indices,
+        job.compute_capacity,
+        job.storage_capacity_gb,
+        job.gathered.lambda,
+        &job.gathered.curve,
+    );
+    catch_unwind(AssertUnwindSafe(|| {
+        scheduler.schedule_resilient(&problem, job.warm.as_deref(), &job.gathered.budget)
+    }))
+    .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_faults_are_deterministic_and_rate_shaped() {
+        for slot in 0..64 {
+            for shard in 0..4 {
+                assert_eq!(
+                    stage_fault_hits(7, slot, shard, 0.3),
+                    stage_fault_hits(7, slot, shard, 0.3)
+                );
+                assert!(!stage_fault_hits(7, slot, shard, 0.0));
+                assert!(stage_fault_hits(7, slot, shard, 1.0));
+            }
+        }
+        let hits = (0..1000)
+            .filter(|&slot| stage_fault_hits(3, slot, 0, 0.1))
+            .count();
+        assert!((50..200).contains(&hits), "10% rate produced {hits}/1000 hits");
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`bayes`] — conjugate Bayesian estimation of power-reduction ratios
 //! * [`edge`] — edge servers, virtual clusters, devices and batteries
 //! * [`core`] — the LPVS scheduler (two-phase heuristic, paper §IV–V)
+//! * [`runtime`] — staged slot pipeline (gather ∥ solve ∥ apply) with
+//!   shard-local Bayes banks and graceful sequential fallback
 //! * [`emulator`] — trace-driven emulation and experiment drivers
 //! * [`obs`] — tracing spans, metrics registry, and telemetry sinks
 
@@ -23,6 +25,7 @@ pub use lpvs_edge as edge;
 pub use lpvs_emulator as emulator;
 pub use lpvs_media as media;
 pub use lpvs_obs as obs;
+pub use lpvs_runtime as runtime;
 pub use lpvs_solver as solver;
 pub use lpvs_survey as survey;
 pub use lpvs_trace as trace;

@@ -1,0 +1,182 @@
+//! Pipelined-runtime invariants.
+//!
+//! The headline claim of `lpvs-runtime` is that overlapping
+//! gather(t+1) ∥ solve(t) ∥ apply(t−1) changes *when* work happens but
+//! not *what* is computed: a pipelined emulation reproduces the
+//! sequential engine's one-slot-ahead mode **bit-for-bit** — every
+//! `SlotRecord`, every Joule, every final γ posterior. The second claim
+//! is that shard-local Bayes banks are pure choreography: splitting the
+//! global bank, migrating estimators between shards, and merging back
+//! preserves every posterior exactly, for any shard count and either
+//! partitioner.
+
+use lpvs::bayes::{BayesBank, GammaEstimator};
+use lpvs::core::baseline::Policy;
+use lpvs::edge::fleet::{FleetConfig, Partitioner};
+use lpvs::emulator::engine::{Emulator, EmulatorConfig};
+use lpvs::emulator::FaultConfig;
+use lpvs::runtime::{RuntimeConfig, SlotRuntime};
+use proptest::prelude::*;
+
+/// Bit-compare everything deterministic about two reports
+/// (`scheduler_runtime` is wall clock; `obs` needs a recorder).
+fn assert_bit_identical(a: &lpvs::emulator::EmulationReport, b: &lpvs::emulator::EmulationReport) {
+    assert_eq!(a.slots, b.slots);
+    assert_eq!(a.display_energy_j, b.display_energy_j);
+    assert_eq!(a.counterfactual_display_j, b.counterfactual_display_j);
+    assert_eq!(a.total_energy_j, b.total_energy_j);
+    assert_eq!(a.watch_minutes, b.watch_minutes);
+    assert_eq!(a.initial_battery, b.initial_battery);
+    assert_eq!(a.final_battery, b.final_battery);
+    assert_eq!(a.gave_up, b.gave_up);
+    assert_eq!(a.ever_selected, b.ever_selected);
+    assert_eq!(a.gamma_posteriors, b.gamma_posteriors);
+}
+
+fn base_config(num_edges: usize) -> EmulatorConfig {
+    EmulatorConfig {
+        devices: 16,
+        slots: 8,
+        seed: 7,
+        one_slot_ahead: true,
+        num_edges,
+        ..EmulatorConfig::default()
+    }
+}
+
+#[test]
+fn pipelined_run_is_bit_identical_to_sequential_one_slot_ahead() {
+    for num_edges in [1usize, 2, 4] {
+        let config = base_config(num_edges);
+        let sequential = Emulator::new(config, Policy::Lpvs).run();
+        let pipelined =
+            Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs).run();
+        assert!(sequential.runtime.is_none());
+        let summary = pipelined.runtime.expect("pipelined run reports a summary");
+        assert!(summary.pipelined);
+        assert_eq!(summary.shards, num_edges);
+        assert_eq!(summary.fell_back, None);
+        assert_eq!(summary.workers_lost, 0);
+        assert_bit_identical(&sequential, &pipelined);
+    }
+}
+
+#[test]
+fn pipelined_run_is_bit_identical_under_telemetry_faults() {
+    // Disconnects, corrupt γ, brownouts, and budget cuts all hit the
+    // same slots in both modes (the plan is seed-derived); the staged
+    // pipeline must absorb every one identically.
+    for num_edges in [2usize, 3] {
+        let config = EmulatorConfig {
+            faults: FaultConfig::uniform(0.2, 11),
+            ..base_config(num_edges)
+        };
+        let sequential = Emulator::new(config, Policy::Lpvs).run();
+        let pipelined =
+            Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs).run();
+        assert_bit_identical(&sequential, &pipelined);
+    }
+}
+
+#[test]
+fn oracle_and_fixed_gamma_modes_pipeline_identically() {
+    use lpvs::emulator::engine::GammaMode;
+    for mode in [GammaMode::Fixed(0.31), GammaMode::Oracle] {
+        let config = EmulatorConfig { gamma_mode: mode, ..base_config(2) };
+        let sequential = Emulator::new(config, Policy::Lpvs).run();
+        let pipelined =
+            Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs).run();
+        assert_bit_identical(&sequential, &pipelined);
+    }
+}
+
+#[test]
+fn stage_faults_trigger_the_sequential_fallback_and_complete() {
+    let config = EmulatorConfig {
+        devices: 16,
+        slots: 12,
+        seed: 7,
+        faults: FaultConfig { stage_fault_rate: 0.25, ..FaultConfig::none() },
+        pipelined: true,
+        num_edges: 2,
+        ..EmulatorConfig::default()
+    };
+    let a = Emulator::new(config, Policy::Lpvs).run();
+    let summary = a.runtime.expect("pipelined run reports a summary");
+    assert!(summary.workers_lost > 0, "a 25% stage-fault rate over 12×2 must kill a worker");
+    let fell_back = summary.fell_back.expect("worker death must trigger the fallback");
+    // The run completes the full horizon regardless.
+    assert_eq!(a.slots.len(), 12);
+    assert!(a.slots.iter().all(|s| s.watching == 0 || s.degradation.is_some()));
+    // Worker death is hash-derived, not sampled: the replay is
+    // bit-identical, fallback slot included.
+    let b = Emulator::new(config, Policy::Lpvs).run();
+    assert_eq!(b.runtime.expect("summary").fell_back, Some(fell_back));
+    assert_bit_identical(&a, &b);
+}
+
+/// A bank with some learning history: posterior (mean, std) must come
+/// through any split/migrate/merge choreography untouched.
+fn learned_estimators(n: usize, observations: &[(usize, f64)]) -> Vec<GammaEstimator> {
+    let mut estimators = vec![GammaEstimator::paper_default(); n];
+    for &(d, ratio) in observations {
+        let est = &mut estimators[d % n];
+        if est.try_observe(ratio).is_err() {
+            est.forget(1);
+        }
+    }
+    estimators
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Satellite invariant: splitting the global bank into shard-local
+    /// banks (either partitioner, 1–4 shards), migrating estimators
+    /// between shards, and merging back preserves every posterior's
+    /// (mean, std) exactly.
+    #[test]
+    fn bank_split_migrate_merge_preserves_posteriors(
+        n in 1usize..40,
+        shards in 1usize..=4,
+        hash_partitioner in any::<bool>(),
+        observations in prop::collection::vec((0usize..40, 0.0f64..0.9), 0..60),
+        moves in prop::collection::vec((0usize..40, 0usize..4), 0..20),
+    ) {
+        let partitioner =
+            if hash_partitioner { Partitioner::Hash } else { Partitioner::Locality };
+        let runtime = SlotRuntime::new(RuntimeConfig {
+            fleet: FleetConfig { num_shards: shards, partitioner, ..FleetConfig::default() },
+            ..RuntimeConfig::default()
+        });
+        let dense = learned_estimators(n, &observations);
+        let reference: Vec<(f64, f64)> =
+            dense.iter().map(|e| (e.expected(), e.uncertainty())).collect();
+
+        let owner = runtime.home_shards(n);
+        prop_assert_eq!(owner.len(), n);
+        for &s in &owner {
+            prop_assert!(s < shards);
+        }
+        let mut banks = BayesBank::from_estimators(dense).split(shards, |d| owner[d]);
+
+        // Migrate estimators between shards the way rebalancing does:
+        // take from the current owner, insert at the destination.
+        let mut owner = owner;
+        for &(d, to) in &moves {
+            let (d, to) = (d % n, to % shards);
+            let est = banks[owner[d]].take(d).expect("owner map routes the take");
+            banks[to].insert(d, est);
+            owner[d] = to;
+        }
+
+        let merged = BayesBank::merge(banks);
+        prop_assert_eq!(merged.len(), n);
+        for (d, &(mean, std)) in reference.iter().enumerate() {
+            let (m, s) = merged.posterior(d);
+            let _ = d;
+            prop_assert_eq!(m, mean);
+            prop_assert_eq!(s, std);
+        }
+    }
+}

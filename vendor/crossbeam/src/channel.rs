@@ -1,0 +1,323 @@
+//! Multi-producer multi-consumer channels, mirroring the
+//! `crossbeam-channel` API surface the workspace uses.
+//!
+//! The stand-in is a `Mutex<VecDeque>` + two `Condvar`s. That is not
+//! the lock-free segmented queue of the real crate, but the semantics
+//! the callers rely on are preserved exactly:
+//!
+//! * **bounded capacity** — `send` on a full channel blocks until a
+//!   receiver makes room (the backpressure the slot pipeline uses to
+//!   stall gathering behind a slow solver);
+//! * **disconnection** — when every `Sender` is dropped, `recv` drains
+//!   the queue and then reports [`RecvError`]; when every `Receiver`
+//!   is dropped, `send` reports [`SendError`] returning the rejected
+//!   message;
+//! * **FIFO per channel** — messages arrive in send order, which the
+//!   runtime's determinism proof leans on for per-worker command
+//!   ordering.
+//!
+//! Zero-capacity rendezvous channels are not implemented; `bounded(0)`
+//! panics rather than silently buffering.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The sending half of a channel could not deliver: every receiver is
+/// gone. The undelivered message is handed back.
+#[derive(PartialEq, Eq, Clone, Copy)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// The receiving half found the channel empty **and** disconnected.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Outcome of a non-blocking receive attempt.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// Channel currently empty; senders still connected.
+    Empty,
+    /// Channel empty and every sender dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// `usize::MAX` encodes "unbounded".
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half; clonable for multi-producer use.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clonable for multi-consumer use.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `capacity` in-flight messages.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (rendezvous channels are not part of
+/// this stand-in).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "the crossbeam stub does not implement rendezvous channels");
+    with_capacity(capacity)
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(usize::MAX)
+}
+
+fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Delivers `message`, blocking while the channel is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError`] returning the message if every receiver is gone.
+    pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(message));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(message);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state).expect("channel lock poisoned");
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock poisoned").senders += 1;
+        Sender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake receivers so they can observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Takes the next message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError`] once the channel is empty and every sender is
+    /// dropped (queued messages are always drained first).
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(message);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.not_empty.wait(state).expect("channel lock poisoned");
+        }
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`TryRecvError::Empty`] when nothing is queued,
+    /// [`TryRecvError::Disconnected`] when additionally every sender is
+    /// gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        if let Some(message) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(message);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently queued (a point-in-time reading,
+    /// used for queue-depth gauges).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("channel lock poisoned").queue.len()
+    }
+
+    /// True when nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().expect("channel lock poisoned").receivers += 1;
+        Receiver { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("channel lock poisoned");
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            // Wake senders so a blocked `send` can fail fast.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let unblocked = std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                tx.send(2).unwrap(); // blocks until the recv below
+                true
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap()
+        });
+        assert!(unblocked);
+    }
+
+    #[test]
+    fn drop_of_all_senders_disconnects_after_drain() {
+        let (tx, rx) = bounded(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn drop_of_all_receivers_fails_send_with_payload() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(SendError(9)));
+    }
+
+    #[test]
+    fn unbounded_never_blocks() {
+        let (tx, rx) = unbounded();
+        for i in 0..10_000 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 10_000);
+        assert_eq!(rx.recv(), Ok(0));
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let (tx, rx) = bounded(8);
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx2.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -1,8 +1,10 @@
 //! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
 //!
-//! The workspace uses exactly one crossbeam facility — scoped threads
-//! for parallel experiment sweeps — which std has provided natively
-//! since Rust 1.63. This stub maps `crossbeam::thread::scope` onto
+//! The workspace uses two crossbeam facilities: scoped threads for
+//! parallel experiment sweeps (std-native since Rust 1.63) and the
+//! MPMC [`channel`]s the slot-pipeline runtime hands buffers over
+//! (reimplemented on `Mutex` + `Condvar`). This stub maps
+//! `crossbeam::thread::scope` onto
 //! [`std::thread::scope`], preserving crossbeam's `Result` return (a
 //! panicking child thread yields `Err(payload)` instead of unwinding
 //! through the caller) and its closure shape (`scope.spawn(|scope| ..)`,
@@ -13,6 +15,8 @@
 //! argument (`move |_| ...`) or nest spawns are source-compatible.
 
 #![warn(missing_docs)]
+
+pub mod channel;
 
 pub mod thread {
     //! Scoped threads.
