@@ -1,0 +1,212 @@
+//! Binary codec for γ estimators and shard banks.
+//!
+//! The checkpoint subsystem of `lpvs-runtime` persists each shard's
+//! [`BayesBank`] across worker deaths and hub restarts. The vendored
+//! `serde` is a no-op, so the encoding is hand-rolled on
+//! [`lpvs_codec`] primitives. Floats travel as raw IEEE-754 bits:
+//! `decode(encode(bank))` reproduces every posterior **bit-exactly**,
+//! which is the property the checkpoint proptests pin — a restored
+//! shard must continue the horizon indistinguishably from one that
+//! never died.
+//!
+//! The payload here is section content only; versioning, checksums,
+//! and corruption handling live in the snapshot container
+//! (`lpvs_runtime::checkpoint`).
+
+use crate::bank::BayesBank;
+use crate::estimator::GammaEstimator;
+use crate::gaussian::Gaussian;
+use lpvs_codec::{CodecError, Reader, Writer};
+
+/// Encoded size of one estimator record (7 scalars, 8 bytes each) —
+/// used to pre-size checkpoint buffers.
+pub const ESTIMATOR_RECORD_BYTES: usize = 7 * 8;
+
+/// Appends one estimator's full state: belief mean/variance,
+/// observation-noise variance, truncation band, observation count, and
+/// the original prior variance (the forgetting ceiling).
+pub fn encode_estimator(w: &mut Writer, est: &GammaEstimator) {
+    let belief = est.belief();
+    let (lo, hi) = est.band();
+    w.put_f64(belief.mean());
+    w.put_f64(belief.variance());
+    w.put_f64(est.observation_variance());
+    w.put_f64(lo);
+    w.put_f64(hi);
+    w.put_usize(est.observations());
+    w.put_f64(est.prior_variance());
+}
+
+/// Decodes one estimator, validating every invariant
+/// [`GammaEstimator::from_parts`] would otherwise panic on — corrupt
+/// bytes come back as [`CodecError::Malformed`], never a panic.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input; [`CodecError::Malformed`]
+/// on non-finite means, non-positive variances, or an inverted band.
+pub fn decode_estimator(r: &mut Reader<'_>) -> Result<GammaEstimator, CodecError> {
+    let mean = r.f64()?;
+    let variance = r.f64()?;
+    let observation_variance = r.f64()?;
+    let lo = r.f64()?;
+    let hi = r.f64()?;
+    let observations = r.usize_()?;
+    let prior_variance = r.f64()?;
+    if !mean.is_finite() || !variance.is_finite() || variance <= 0.0 {
+        return Err(CodecError::Malformed("estimator belief"));
+    }
+    if !observation_variance.is_finite() || observation_variance <= 0.0 {
+        return Err(CodecError::Malformed("estimator observation variance"));
+    }
+    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+        return Err(CodecError::Malformed("estimator band"));
+    }
+    if !prior_variance.is_finite() || prior_variance <= 0.0 {
+        return Err(CodecError::Malformed("estimator prior variance"));
+    }
+    Ok(GammaEstimator::from_parts(
+        Gaussian::new(mean, variance),
+        observation_variance,
+        lo,
+        hi,
+        observations,
+        prior_variance,
+    ))
+}
+
+/// Appends a whole bank: entry count, then `(device, estimator)` pairs
+/// in ascending device order (the bank's own iteration order, so the
+/// encoding is canonical — equal banks encode to equal bytes).
+pub fn encode_bank(w: &mut Writer, bank: &BayesBank) {
+    w.put_usize(bank.len());
+    for d in bank.devices().collect::<Vec<_>>() {
+        w.put_usize(d);
+        encode_estimator(w, bank.get(d).expect("devices() yields owned ids"));
+    }
+}
+
+/// Decodes a bank, enforcing strictly ascending device ids (a
+/// duplicate or out-of-order id means the bytes are not a canonical
+/// encoding).
+///
+/// # Errors
+///
+/// Any [`CodecError`] from [`decode_estimator`], or
+/// [`CodecError::Malformed`] on a non-ascending device id.
+pub fn decode_bank(r: &mut Reader<'_>) -> Result<BayesBank, CodecError> {
+    let n = r.usize_()?;
+    let mut bank = BayesBank::new();
+    let mut previous: Option<usize> = None;
+    for _ in 0..n {
+        let d = r.usize_()?;
+        if previous.is_some_and(|p| p >= d) {
+            return Err(CodecError::Malformed("bank device order"));
+        }
+        previous = Some(d);
+        bank.insert(d, decode_estimator(r)?);
+    }
+    Ok(bank)
+}
+
+/// Encodes a bank into a fresh byte buffer.
+pub fn bank_to_bytes(bank: &BayesBank) -> Vec<u8> {
+    let mut w = Writer::with_capacity(8 + bank.len() * (8 + ESTIMATOR_RECORD_BYTES));
+    encode_bank(&mut w, bank);
+    w.into_bytes()
+}
+
+/// Decodes a bank from a byte buffer, requiring the buffer to contain
+/// exactly one bank.
+///
+/// # Errors
+///
+/// Any [`CodecError`] from [`decode_bank`], or
+/// [`CodecError::TrailingBytes`] if input remains.
+pub fn bank_from_bytes(bytes: &[u8]) -> Result<BayesBank, CodecError> {
+    let mut r = Reader::new(bytes);
+    let bank = decode_bank(&mut r)?;
+    r.expect_end()?;
+    Ok(bank)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn learned_bank(n: usize) -> BayesBank {
+        let mut estimators = vec![GammaEstimator::paper_default(); n];
+        for (i, est) in estimators.iter_mut().enumerate() {
+            for k in 0..i {
+                est.observe(0.15 + 0.02 * (k % 7) as f64);
+            }
+            if i % 3 == 0 {
+                est.forget(2);
+            }
+        }
+        BayesBank::from_estimators(estimators)
+    }
+
+    #[test]
+    fn bank_round_trips_bit_exactly() {
+        let bank = learned_bank(23);
+        let decoded = bank_from_bytes(&bank_to_bytes(&bank)).expect("decode");
+        assert_eq!(decoded, bank);
+        for d in bank.devices() {
+            assert_eq!(decoded.posterior(d), bank.posterior(d));
+            let (a, b) = (decoded.get(d).unwrap(), bank.get(d).unwrap());
+            assert_eq!(a.belief().mean().to_bits(), b.belief().mean().to_bits());
+            assert_eq!(a.belief().variance().to_bits(), b.belief().variance().to_bits());
+            assert_eq!(a.observations(), b.observations());
+            assert_eq!(a.prior_variance().to_bits(), b.prior_variance().to_bits());
+        }
+    }
+
+    #[test]
+    fn sparse_banks_keep_their_ids() {
+        let mut bank = BayesBank::new();
+        for d in [3usize, 17, 404] {
+            let mut est = GammaEstimator::paper_default();
+            est.observe(0.2 + d as f64 * 1e-4);
+            bank.insert(d, est);
+        }
+        let decoded = bank_from_bytes(&bank_to_bytes(&bank)).expect("decode");
+        assert_eq!(decoded, bank);
+        assert_eq!(decoded.devices().collect::<Vec<_>>(), vec![3, 17, 404]);
+    }
+
+    #[test]
+    fn empty_bank_round_trips() {
+        let bank = BayesBank::new();
+        assert_eq!(bank_from_bytes(&bank_to_bytes(&bank)).expect("decode"), bank);
+    }
+
+    #[test]
+    fn corrupt_scalars_are_rejected_not_panicked() {
+        let bank = learned_bank(4);
+        let clean = bank_to_bytes(&bank);
+        // Overwrite the first estimator's belief variance with NaN bits.
+        let mut bytes = clean.clone();
+        let variance_at = 8 + 8 + 8; // count, device id, mean
+        bytes[variance_at..variance_at + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(matches!(bank_from_bytes(&bytes), Err(CodecError::Malformed(_))));
+        // Truncation anywhere is an error, never a partial bank.
+        for cut in [1, 9, clean.len() - 1] {
+            assert!(bank_from_bytes(&clean[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn non_ascending_ids_are_rejected() {
+        let mut w = Writer::new();
+        w.put_usize(2);
+        w.put_usize(5);
+        encode_estimator(&mut w, &GammaEstimator::paper_default());
+        w.put_usize(5);
+        encode_estimator(&mut w, &GammaEstimator::paper_default());
+        assert_eq!(
+            bank_from_bytes(&w.into_bytes()),
+            Err(CodecError::Malformed("bank device order"))
+        );
+    }
+}

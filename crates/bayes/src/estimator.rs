@@ -110,9 +110,55 @@ impl GammaEstimator {
         )
     }
 
+    /// Reassembles an estimator from persisted parts — the decoding
+    /// half of the snapshot codec. Unlike [`GammaEstimator::new`], the
+    /// prior variance is restored verbatim instead of being re-derived
+    /// from the belief, so a checkpointed estimator round-trips
+    /// bit-exactly even after observations have shrunk its belief.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid band, a non-positive observation-noise or
+    /// prior variance, or a non-finite belief (the same invariants
+    /// [`GammaEstimator::new`] enforces).
+    pub fn from_parts(
+        belief: Gaussian,
+        observation_variance: f64,
+        lo: f64,
+        hi: f64,
+        observations: usize,
+        prior_variance: f64,
+    ) -> Self {
+        let _ = TruncatedGaussian::new(belief, lo, hi);
+        assert!(
+            prior_variance.is_finite() && prior_variance > 0.0,
+            "prior variance must be finite and positive"
+        );
+        Self {
+            belief,
+            rule: ConjugateUpdate::new(observation_variance),
+            lo,
+            hi,
+            observations,
+            prior_variance,
+        }
+    }
+
     /// Current Gaussian belief (untruncated).
     pub fn belief(&self) -> Gaussian {
         self.belief
+    }
+
+    /// Observation-noise variance `σ_obs²` of the conjugate update
+    /// rule.
+    pub fn observation_variance(&self) -> f64 {
+        self.rule.observation_variance()
+    }
+
+    /// Variance of the original prior — the ceiling
+    /// [`GammaEstimator::forget`] inflates toward.
+    pub fn prior_variance(&self) -> f64 {
+        self.prior_variance
     }
 
     /// Truncation band `[lo, hi]`.

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod codec;
 pub mod conjugate;
 pub mod estimator;
 pub mod gaussian;

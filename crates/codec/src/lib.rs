@@ -1,0 +1,454 @@
+//! # lpvs-codec — hand-rolled binary codec primitives
+//!
+//! The workspace's vendored `serde` is a no-op stand-in (derives expand
+//! to nothing), so anything that must actually survive a round-trip to
+//! disk — shard checkpoints, the run manifest, the decision log — is
+//! serialized by hand. This crate is the shared substrate those codecs
+//! are built from:
+//!
+//! * [`Writer`]/[`Reader`]: little-endian scalar framing with
+//!   length-prefixed byte strings. Floats travel as raw IEEE-754 bits
+//!   ([`f64::to_bits`]), so a decoded value is **bit-identical** to the
+//!   encoded one — including negative zero and every NaN payload —
+//!   which is what the checkpoint round-trip tests pin.
+//! * [`crc64`]: CRC-64/XZ (ECMA-182 polynomial, reflected), the
+//!   checksum every snapshot header carries. A single flipped bit
+//!   anywhere in the payload is detected, which is how the recovery
+//!   ladder decides a checkpoint generation is unusable.
+//! * [`CodecError`]: the one error type every decoder in the workspace
+//!   returns; corrupt input is a value, never a panic.
+//!
+//! The crate is dependency-free on purpose: `lpvs-bayes` and
+//! `lpvs-core` both encode into it, and it must sit below both in the
+//! crate graph.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Why a decode failed. Every variant means the input bytes are not a
+/// valid encoding; none of them are recoverable by retrying the same
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value it promised.
+    Truncated,
+    /// A leading magic number did not match.
+    BadMagic,
+    /// A version field named a format this build does not speak.
+    BadVersion(u32),
+    /// The payload checksum did not match its header.
+    BadChecksum,
+    /// A structurally valid field carried a semantically invalid value.
+    Malformed(&'static str),
+    /// The input continued past the end of the value.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::BadMagic => write!(f, "bad magic number"),
+            CodecError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            CodecError::BadChecksum => write!(f, "payload checksum mismatch"),
+            CodecError::Malformed(what) => write!(f, "malformed field: {what}"),
+            CodecError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Little-endian byte sink. All scalars are fixed-width; byte strings
+/// and sequences are length-prefixed with a `u64` count.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty writer with `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// A view of the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the on-disk format is
+    /// pointer-width-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Writes an `f64` as its raw IEEE-754 bits — the round-trip is
+    /// bit-identical, NaN payloads and signed zeros included.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (`0`/`1`).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed slice of `f64`s.
+    pub fn put_f64s(&mut self, v: &[f64]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_f64(x);
+        }
+    }
+
+    /// Writes a length-prefixed slice of `usize`s (as `u64`s).
+    pub fn put_usizes(&mut self, v: &[usize]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_usize(x);
+        }
+    }
+
+    /// Writes a length-prefixed slice of bools.
+    pub fn put_bools(&mut self, v: &[bool]) {
+        self.put_usize(v.len());
+        for &x in v {
+            self.put_bool(x);
+        }
+    }
+}
+
+/// Little-endian byte source over a borrowed buffer; the mirror of
+/// [`Writer`]. Every read validates bounds and returns
+/// [`CodecError::Truncated`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte has been consumed — decoders call this
+    /// last so a snapshot with junk appended is rejected, not silently
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] if input remains.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("take(4) returned 4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8) returned 8 bytes")))
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input;
+    /// [`CodecError::Malformed`] if the value exceeds this platform's
+    /// `usize`.
+    pub fn usize_(&mut self) -> Result<usize, CodecError> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Malformed("usize overflow"))
+    }
+
+    /// Reads an `f64` from its raw IEEE-754 bits — bit-identical to the
+    /// value written.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool, rejecting anything but `0`/`1`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input;
+    /// [`CodecError::Malformed`] on any other byte value.
+    pub fn bool_(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("bool byte")),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the prefix promises more bytes than
+    /// remain.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.usize_()?;
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        self.take(n)
+    }
+
+    /// Reads exactly `n` raw bytes with no length prefix — for
+    /// container formats whose header already fixed the payload length.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if fewer than `n` bytes remain.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed slice of `f64`s.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the prefix promises more values
+    /// than remain.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.checked_count(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed slice of `usize`s.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the prefix promises more values
+    /// than remain; [`CodecError::Malformed`] on `usize` overflow.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.checked_count(8)?;
+        (0..n).map(|_| self.usize_()).collect()
+    }
+
+    /// Reads a length-prefixed slice of bools.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the prefix promises more values
+    /// than remain; [`CodecError::Malformed`] on a non-`0`/`1` byte.
+    pub fn bools(&mut self) -> Result<Vec<bool>, CodecError> {
+        let n = self.checked_count(1)?;
+        (0..n).map(|_| self.bool_()).collect()
+    }
+
+    /// Reads a count prefix and bounds it against the bytes actually
+    /// remaining (`width` bytes per element), so a corrupt length can
+    /// never trigger an absurd allocation.
+    fn checked_count(&mut self, width: usize) -> Result<usize, CodecError> {
+        let n = self.usize_()?;
+        match n.checked_mul(width) {
+            Some(total) if total <= self.remaining() => Ok(n),
+            _ => Err(CodecError::Truncated),
+        }
+    }
+}
+
+/// CRC-64/XZ (ECMA-182 polynomial `0x42F0E1EBA9EA3693`, reflected,
+/// init/xorout `!0`) — the checksum every snapshot header carries.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    const TABLE: [u64; 256] = crc64_table();
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = TABLE[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Reflected-polynomial lookup table, built once at compile time.
+const fn crc64_table() -> [u64; 256] {
+    // Reflection of the ECMA-182 polynomial.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip_bit_exactly() {
+        let mut w = Writer::new();
+        w.put_u8(0xAB);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f64(-0.0);
+        w.put_f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        w.put_bool(true);
+        w.put_bytes(b"snapshot");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.usize_().unwrap(), 42);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap().to_bits(), 0x7FF8_0000_0000_1234);
+        assert!(r.bool_().unwrap());
+        assert_eq!(r.bytes().unwrap(), b"snapshot");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn sequences_round_trip() {
+        let mut w = Writer::new();
+        w.put_f64s(&[1.5, f64::INFINITY, -7.25]);
+        w.put_usizes(&[0, 3, 9]);
+        w.put_bools(&[true, false, true]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.f64s().unwrap(), vec![1.5, f64::INFINITY, -7.25]);
+        assert_eq!(r.usizes().unwrap(), vec![0, 3, 9]);
+        assert_eq!(r.bools().unwrap(), vec![true, false, true]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_are_rejected() {
+        let mut w = Writer::new();
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes[..5]).u64(), Err(CodecError::Truncated));
+        let mut r = Reader::new(&bytes);
+        let _ = r.u32().unwrap();
+        assert_eq!(r.expect_end(), Err(CodecError::TrailingBytes));
+        // A count prefix promising more than the buffer holds fails
+        // before allocating.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).f64s(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_bool_bytes_are_malformed() {
+        let bytes = [2u8];
+        assert_eq!(Reader::new(&bytes).bool_(), Err(CodecError::Malformed("bool byte")));
+    }
+
+    #[test]
+    fn crc64_matches_the_xz_check_vector() {
+        // CRC-64/XZ check value for "123456789".
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn crc64_detects_single_bit_flips() {
+        let mut data = b"checkpoint payload".to_vec();
+        let clean = crc64(&data);
+        for i in 0..data.len() {
+            data[i] ^= 0x01;
+            assert_ne!(crc64(&data), clean, "flip at byte {i} undetected");
+            data[i] ^= 0x01;
+        }
+        assert_eq!(crc64(&data), clean);
+    }
+}

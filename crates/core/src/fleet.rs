@@ -262,6 +262,137 @@ impl DeviceFleet {
         problem
     }
 
+    /// Copies the listed rows into a new fleet, in the order given —
+    /// the materialized (owning) counterpart of [`view`](Self::view)
+    /// for non-contiguous shards. Every column value is copied
+    /// bit-exactly, never recomputed, and no validation is re-run, so
+    /// a slice of a sanitized fleet reproduces its rows verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn slice_rows(&self, indices: &[usize]) -> DeviceFleet {
+        let chunks_hint = indices.first().map_or(0, |&i| self.num_chunks(i));
+        let mut out = Self::with_capacity(indices.len(), chunks_hint);
+        for &i in indices {
+            let chunks = self.chunk_range(i);
+            out.power_rates_w.extend_from_slice(&self.power_rates_w[chunks.clone()]);
+            out.chunk_secs.extend_from_slice(&self.chunk_secs[chunks]);
+            out.chunk_offsets.push(out.power_rates_w.len());
+            out.energy_j.push(self.energy_j[i]);
+            out.capacity_j.push(self.capacity_j[i]);
+            out.gamma_mean.push(self.gamma_mean[i]);
+            out.gamma_std.push(self.gamma_std[i]);
+            out.compute_cost.push(self.compute_cost[i]);
+            out.storage_cost_gb.push(self.storage_cost_gb[i]);
+            out.display.push(self.display[i]);
+            out.connected.push(self.connected[i]);
+        }
+        out
+    }
+
+    /// Appends every column to a checkpoint payload, bit-exactly
+    /// (floats travel as raw IEEE-754 bits). The inverse is
+    /// [`decode`](Self::decode); `lpvs-runtime` wraps both in its
+    /// versioned, checksummed snapshot container.
+    pub fn encode(&self, w: &mut lpvs_codec::Writer) {
+        w.put_usizes(&self.chunk_offsets);
+        w.put_f64s(&self.power_rates_w);
+        w.put_f64s(&self.chunk_secs);
+        w.put_f64s(&self.energy_j);
+        w.put_f64s(&self.capacity_j);
+        w.put_f64s(&self.gamma_mean);
+        w.put_f64s(&self.gamma_std);
+        w.put_f64s(&self.compute_cost);
+        w.put_f64s(&self.storage_cost_gb);
+        w.put_usize(self.display.len());
+        for &d in &self.display {
+            w.put_u8(match d {
+                DisplayKind::Lcd => 0,
+                DisplayKind::Oled => 1,
+            });
+        }
+        w.put_bools(&self.connected);
+    }
+
+    /// Decodes a fleet encoded by [`encode`](Self::encode). Rows are
+    /// reconstructed column-for-column without re-running insertion
+    /// validation — a decoded fleet is bit-identical to the encoded
+    /// one, including rows a sanitizer had already marked disconnected.
+    /// Structural invariants (offset monotonicity, column lengths) are
+    /// still enforced so corrupt bytes can never build a fleet whose
+    /// accessors would panic.
+    ///
+    /// # Errors
+    ///
+    /// [`lpvs_codec::CodecError::Truncated`] on short input;
+    /// [`lpvs_codec::CodecError::Malformed`] on inconsistent column
+    /// lengths, non-monotonic chunk offsets, or an unknown display tag.
+    pub fn decode(r: &mut lpvs_codec::Reader<'_>) -> Result<DeviceFleet, lpvs_codec::CodecError> {
+        use lpvs_codec::CodecError;
+        let chunk_offsets = r.usizes()?;
+        let power_rates_w = r.f64s()?;
+        let chunk_secs = r.f64s()?;
+        let energy_j = r.f64s()?;
+        let capacity_j = r.f64s()?;
+        let gamma_mean = r.f64s()?;
+        let gamma_std = r.f64s()?;
+        let compute_cost = r.f64s()?;
+        let storage_cost_gb = r.f64s()?;
+        let display_len = r.usize_()?;
+        if display_len > r.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut display = Vec::with_capacity(display_len);
+        for _ in 0..display_len {
+            display.push(match r.u8()? {
+                0 => DisplayKind::Lcd,
+                1 => DisplayKind::Oled,
+                _ => return Err(CodecError::Malformed("display kind tag")),
+            });
+        }
+        let connected = r.bools()?;
+
+        let n = match chunk_offsets.len().checked_sub(1) {
+            Some(n) if chunk_offsets[0] == 0 => n,
+            _ => return Err(CodecError::Malformed("chunk offsets")),
+        };
+        if chunk_offsets.windows(2).any(|w| w[0] > w[1])
+            || chunk_offsets[n] != power_rates_w.len()
+        {
+            return Err(CodecError::Malformed("chunk offsets"));
+        }
+        if chunk_secs.len() != power_rates_w.len() {
+            return Err(CodecError::Malformed("chunk column lengths"));
+        }
+        let scalar_columns = [
+            energy_j.len(),
+            capacity_j.len(),
+            gamma_mean.len(),
+            gamma_std.len(),
+            compute_cost.len(),
+            storage_cost_gb.len(),
+            display.len(),
+            connected.len(),
+        ];
+        if scalar_columns.iter().any(|&len| len != n) {
+            return Err(CodecError::Malformed("scalar column lengths"));
+        }
+        Ok(DeviceFleet {
+            chunk_offsets,
+            power_rates_w,
+            chunk_secs,
+            energy_j,
+            capacity_j,
+            gamma_mean,
+            gamma_std,
+            compute_cost,
+            storage_cost_gb,
+            display,
+            connected,
+        })
+    }
+
     fn chunk_range(&self, i: usize) -> Range<usize> {
         self.chunk_offsets[i]..self.chunk_offsets[i + 1]
     }
@@ -584,5 +715,62 @@ mod tests {
         let mut bad = request(0);
         bad.gamma = f64::NAN;
         f.push(FleetDevice::from_request(bad));
+    }
+
+    #[test]
+    fn codec_round_trips_every_column_bit_exactly() {
+        for n in [0usize, 1, 13] {
+            let f = fleet(n);
+            let mut w = lpvs_codec::Writer::new();
+            f.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = lpvs_codec::Reader::new(&bytes);
+            let decoded = DeviceFleet::decode(&mut r).expect("decode");
+            r.expect_end().expect("no trailing bytes");
+            assert_eq!(decoded, f);
+            for i in 0..n {
+                assert_eq!(decoded.device(i), f.device(i));
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncation_and_length_lies() {
+        let f = fleet(6);
+        let mut w = lpvs_codec::Writer::new();
+        f.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = lpvs_codec::Reader::new(&bytes[..cut]);
+            assert!(DeviceFleet::decode(&mut r).is_err(), "cut at {cut} accepted");
+        }
+        // A fleet whose scalar columns disagree with the offsets table
+        // must be rejected even when the framing is intact.
+        let mut w = lpvs_codec::Writer::new();
+        w.put_usizes(&[0, 2]); // one device, two chunks…
+        w.put_f64s(&[1.0, 2.0]);
+        w.put_f64s(&[1.0, 2.0]);
+        for _ in 0..6 {
+            w.put_f64s(&[]); // …but zero-length scalar columns
+        }
+        w.put_usize(0);
+        w.put_bools(&[]);
+        let bytes = w.into_bytes();
+        let mut r = lpvs_codec::Reader::new(&bytes);
+        assert!(matches!(
+            DeviceFleet::decode(&mut r),
+            Err(lpvs_codec::CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn slice_rows_copies_rows_verbatim_in_order() {
+        let f = fleet(9);
+        let sliced = f.slice_rows(&[7, 0, 3]);
+        assert_eq!(sliced.len(), 3);
+        for (local, &global) in [7usize, 0, 3].iter().enumerate() {
+            assert_eq!(sliced.device(local), f.device(global));
+        }
+        assert!(f.slice_rows(&[]).is_empty());
     }
 }

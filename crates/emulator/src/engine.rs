@@ -149,6 +149,38 @@ const STALL_FRACTION: f64 = 0.10;
 /// quality budget.
 const BATTERY_SAVER_THRESHOLD: f64 = 0.40;
 
+/// Checkpoint/resume options for the pipelined runtime. Lives outside
+/// [`EmulatorConfig`] (which stays `Copy` for struct-update sweeps)
+/// because it carries a filesystem path; attach it with
+/// [`Emulator::with_checkpoints`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointSpec {
+    /// Directory the checkpoint store lives in.
+    pub dir: std::path::PathBuf,
+    /// Checkpoint every this many slots.
+    pub interval: usize,
+    /// Snapshot generations retained per shard.
+    pub generations: usize,
+    /// Stop the run after this slot completes (a simulated hub crash,
+    /// for resume tests).
+    pub halt_after: Option<usize>,
+    /// Resume from the store's manifest instead of starting at slot 0.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// A spec with the runtime's default interval and generation count.
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            interval: lpvs_runtime::checkpoint::DEFAULT_INTERVAL,
+            generations: lpvs_runtime::checkpoint::DEFAULT_GENERATIONS,
+            halt_after: None,
+            resume: false,
+        }
+    }
+}
+
 /// The LPVS emulator for one virtual cluster.
 pub struct Emulator {
     pub(crate) config: EmulatorConfig,
@@ -163,6 +195,8 @@ pub struct Emulator {
     /// Synthetic per-device channel viewer counts (drives
     /// popularity-boosted prefetch).
     pub(crate) channel_viewers: Vec<u32>,
+    /// Checkpoint/resume options for the pipelined runtime.
+    pub(crate) checkpoints: Option<CheckpointSpec>,
 }
 
 impl Emulator {
@@ -208,7 +242,15 @@ impl Emulator {
                 lpvs_display::spec::Resolution::HD,
             ),
             channel_viewers,
+            checkpoints: None,
         }
+    }
+
+    /// Attaches checkpoint/resume options for the pipelined runtime.
+    /// Ignored by sequential and baseline runs.
+    pub fn with_checkpoints(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoints = Some(spec);
+        self
     }
 
     /// Encoder for a device: aggressive once the user is in

@@ -72,6 +72,17 @@ pub struct FaultConfig {
     /// is a runtime event, not a telemetry event), and sequential runs
     /// ignore it entirely.
     pub stage_fault_rate: f64,
+    /// How many times a stage-faulted (slot, shard) dies *again* after
+    /// the supervisor respawns it: respawn attempt `a` is killed while
+    /// `a <= stage_fault_repeat`. `0` means the first respawn succeeds;
+    /// `u32::MAX` makes every hit unrecoverable, forcing the pipelined
+    /// runtime's sequential fallback. Pipelined runs only.
+    pub stage_fault_repeat: u32,
+    /// Per-written-checkpoint probability that the snapshot file is
+    /// corrupted on disk (one byte flipped), exercising the
+    /// checksum-reject → older-generation rung of the recovery ladder.
+    /// Only read when the pipelined runtime has a checkpoint store.
+    pub checkpoint_corrupt_rate: f64,
 }
 
 impl FaultConfig {
@@ -86,6 +97,8 @@ impl FaultConfig {
             brownout_floor: 0.25,
             budget_cut_rate: 0.0,
             stage_fault_rate: 0.0,
+            stage_fault_repeat: 0,
+            checkpoint_corrupt_rate: 0.0,
         }
     }
 
@@ -107,6 +120,8 @@ impl FaultConfig {
             // telemetry; the sweeps that turn this profile compare
             // sequential runs, so they stay off here.
             stage_fault_rate: 0.0,
+            stage_fault_repeat: 0,
+            checkpoint_corrupt_rate: 0.0,
         }
     }
 

@@ -53,7 +53,7 @@ pub(crate) mod pipeline;
 pub mod qoe;
 pub mod report;
 
-pub use engine::{Emulator, EmulatorConfig};
+pub use engine::{CheckpointSpec, Emulator, EmulatorConfig};
 pub use faults::{FaultConfig, FaultPlan, GammaCorruption, SlotFaults};
 pub use fit::LineFit;
 pub use metrics::{EmulationReport, SlotRecord};

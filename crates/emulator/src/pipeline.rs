@@ -31,8 +31,16 @@ use lpvs_core::baseline::Policy;
 use lpvs_core::scheduler::{Degradation, LpvsScheduler};
 use lpvs_display::stats::FrameStats;
 use lpvs_edge::fleet::{FleetConfig, Partitioner};
+use lpvs_runtime::checkpoint::CheckpointConfig;
 use lpvs_runtime::pipeline::{RuntimeConfig, RuntimeReport, SlotRuntime, StageFaults};
-use lpvs_runtime::{BankOps, GatheredSlot, SlotFeedback, SlotSink, SlotSource, SolvedSlot};
+use lpvs_runtime::{
+    BankOps, GatheredSlot, SlotFeedback, SlotReplay, SlotSink, SlotSource, SolvedSlot,
+};
+
+/// Domain-separation salt for the checkpoint-corruption RNG, so it
+/// never correlates with the stage-fault decisions even under the same
+/// user-facing seed.
+const CORRUPTION_SEED_SALT: u64 = 0xC0DE_C0DE_5EED_D15C;
 
 /// Runs an emulator through the staged pipeline. The γ estimators move
 /// out of the emulator into shard-local banks for the duration of the
@@ -47,7 +55,20 @@ pub(crate) fn run_pipelined(mut emu: Emulator) -> EmulationReport {
     let stage_faults = (emu.config.faults.stage_fault_rate > 0.0).then_some(StageFaults {
         rate: emu.config.faults.stage_fault_rate,
         seed: emu.config.faults.seed,
+        repeat: emu.config.faults.stage_fault_repeat,
     });
+    let spec = emu.checkpoints.take();
+    let checkpoints = spec.as_ref().map(|s| CheckpointConfig {
+        dir: s.dir.clone(),
+        interval: s.interval,
+        generations: s.generations,
+        corruption: (emu.config.faults.checkpoint_corrupt_rate > 0.0).then_some((
+            emu.config.faults.checkpoint_corrupt_rate,
+            emu.config.faults.seed ^ CORRUPTION_SEED_SALT,
+        )),
+    });
+    let halt_after_slot = spec.as_ref().and_then(|s| s.halt_after);
+    let resume = spec.as_ref().is_some_and(|s| s.resume);
     let runtime = SlotRuntime::new(RuntimeConfig {
         // Mirror the sequential sharded path's fleet setup exactly, so
         // the two modes solve identical shard problems.
@@ -58,10 +79,19 @@ pub(crate) fn run_pipelined(mut emu: Emulator) -> EmulationReport {
             ..FleetConfig::default()
         },
         stage_faults,
+        checkpoints,
+        halt_after_slot,
         ..RuntimeConfig::default()
     });
     let mut driver = EmulatorDriver::new(emu);
-    let report = runtime.run(&mut driver, estimators);
+    let report = if resume {
+        // Banks come back from the manifest's snapshot generations; the
+        // fresh estimators (same prior state the original run split)
+        // are superseded and dropped.
+        runtime.resume(&mut driver).expect("resume requires a valid run manifest")
+    } else {
+        runtime.run(&mut driver, estimators)
+    };
     driver.finish(report)
 }
 
@@ -386,5 +416,37 @@ impl SlotSink for EmulatorDriver {
             degradation: self.tiers[slot],
         });
         SlotFeedback { observations }
+    }
+}
+
+impl SlotReplay for EmulatorDriver {
+    fn stage_decision(
+        &mut self,
+        slot: usize,
+        device_ids: &[usize],
+        selected: &[bool],
+        tier: Degradation,
+    ) {
+        // Mirrors `solved` minus the `dispatched` bookkeeping (replayed
+        // slots were never dispatched): stage the decision by device,
+        // record the tier, patch the already-pushed record.
+        let mut by_device = vec![false; self.n];
+        for (j, &d) in device_ids.iter().enumerate() {
+            by_device[d] = selected[j];
+        }
+        self.staged.push((slot, by_device));
+        self.tiers[slot] = Some(tier);
+        if let Some(record) = self.slots.get_mut(slot) {
+            record.degradation = Some(tier);
+        }
+    }
+
+    fn replay_slot(&mut self, slot: usize) {
+        // Faults, windows, playback, accounting — everything except
+        // gather/solve, whose outcome arrives via `stage_decision`. The
+        // feedback is discarded: the restored banks already learned it.
+        if self.begin_slot(slot).is_some() {
+            let _ = self.apply(slot);
+        }
     }
 }

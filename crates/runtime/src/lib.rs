@@ -41,22 +41,40 @@
 //! [`FleetScheduler::assemble`](lpvs_edge::fleet::FleetScheduler::assemble)
 //! path as the scoped-thread scheduler.
 //!
-//! ## Graceful degradation
+//! ## Supervised recovery
 //!
 //! A shard whose *solver* panics degrades to passthrough for the slot
 //! (the existing fleet ladder). A shard whose *worker* dies — injected
-//! stage faults, or a panic outside the solver — ships its
-//! [`ShardState`] home on the way down; the hub drains the in-flight
-//! slot (dead shards contribute passthrough), merges every bank, and
-//! runs the remaining slots inline through the sequential
-//! [`FleetScheduler`] path ([`RuntimeReport::fell_back`] records the
-//! slot).
+//! stage faults, or a panic outside the solver — is **respawned** by
+//! the hub's supervisor with exponential backoff: its bank is restored
+//! from the newest valid checkpoint generation plus a write-ahead
+//! journal replay (or, with no store configured, from the state the
+//! dying worker shipped home), and the in-flight slot is re-dispatched.
+//! Only when a shard's retry budget is exhausted — or every checkpoint
+//! generation fails its checksum — does the hub drain the in-flight
+//! slot, merge every bank, and run the remaining slots inline through
+//! the sequential [`FleetScheduler`] path. The run's
+//! [`RecoveryReport`] accounts for every death, retry, and replayed
+//! slot; `fell_back` records the abandonment slot when the ladder
+//! bottomed out.
+//!
+//! Periodic checkpoint rounds also write a run manifest and decision
+//! log, so a *restarted hub* can [`SlotRuntime::resume`] mid-horizon:
+//! banks come back from the manifest's snapshot generations, logged
+//! decisions are replayed through the [`SlotReplay`] sink, and the
+//! slot loop re-enters where the manifest left off — bit-identical to
+//! a run that never stopped.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod pipeline;
 pub mod shard;
 
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, CheckpointStore, LoggedDecision, RecoveryConfig,
+    RecoveryReport, RecoveryTier, RunManifest, ShardRecovery, ShardSnapshot,
+};
 pub use pipeline::{RuntimeConfig, RuntimeReport, RuntimeSummary, SlotRuntime, StageFaults};
 pub use shard::ShardState;
 
@@ -165,4 +183,27 @@ pub trait SlotSink {
     /// Plays slot `slot` (transform + playback + accounting) and
     /// returns what the banks should learn from it.
     fn apply(&mut self, slot: usize) -> SlotFeedback;
+}
+
+/// Deterministic replay of already-decided slots, for resuming a
+/// halted run mid-horizon: the hub feeds logged decisions back through
+/// the sink and replays each slot *without* re-gathering or re-solving
+/// it, rebuilding the driver's internal state (batteries, churn
+/// baselines, accounting) exactly as the original run left it.
+pub trait SlotReplay {
+    /// Stages a logged decision exactly as [`SlotSink::solved`] would
+    /// have — selection and tier only, no re-assembled schedule.
+    fn stage_decision(
+        &mut self,
+        slot: usize,
+        device_ids: &[usize],
+        selected: &[bool],
+        tier: Degradation,
+    );
+
+    /// Replays slot `slot` end to end (faults, connectivity, playback,
+    /// accounting) using whatever decisions have been staged; any
+    /// feedback the slot produces is discarded — the restored banks
+    /// already contain it.
+    fn replay_slot(&mut self, slot: usize);
 }

@@ -1,4 +1,4 @@
-//! The slot-pipeline hub.
+//! The slot-pipeline hub and its supervisor.
 //!
 //! [`SlotRuntime::run`] drives a [`SlotSource`]/[`SlotSink`] driver
 //! through the staged pipeline. The hub (caller's thread) executes, per
@@ -16,6 +16,11 @@
 //!  prepare(t)          route observations(t−1) + forgets(t) + γ queries
 //!                      to the owning shard banks (FIFO guarantees they
 //!                      land after solve(t−1))
+//!  checkpoint(t)       every `interval` slots: ask each worker to
+//!                      encode its bank (queued between Prepare and
+//!                      Solve, so the snapshot is exactly the
+//!                      post-prepare bank); the hub persists the bytes
+//!                      while joining the next solve
 //!  gather(t)           source fills the recycled buffer
 //!  dispatch(t)         partition + fan the shared Arc<GatheredSlot> out
 //!  apply(t)            sink plays slot t with the decision solved at
@@ -28,14 +33,32 @@
 //! which is guaranteed to succeed because every worker drops its handle
 //! *before* announcing its result.
 //!
-//! On worker death the hub drains the in-flight slot (dead shards
-//! contribute passthrough — the same degradation the scoped fleet path
-//! gives a dead shard thread), recovers every bank (dying workers ship
-//! theirs home), merges them, and continues inline through the
-//! sequential [`FleetScheduler`] path.
+//! ## Supervision
+//!
+//! On worker death the hub walks a recovery ladder instead of
+//! abandoning the pipeline:
+//!
+//! 1. **Respawn** the shard with exponential backoff, restoring its
+//!    bank from the newest valid checkpoint generation plus a replay of
+//!    the hub's write-ahead journal (every bank op sent since that
+//!    snapshot) — or, with no store configured, from the state the
+//!    dying worker shipped home. Deterministic either way: the restored
+//!    bank is bit-identical to the one that died (debug builds assert
+//!    it against the shipped copy).
+//! 2. **Re-dispatch** the in-flight slot to the respawned worker with
+//!    an incremented attempt counter, so injected repeat-faults
+//!    eventually let it through.
+//! 3. Only when the per-shard retry budget is exhausted, or every
+//!    checkpoint generation fails its checksum, does the hub **fall
+//!    back**: drain the in-flight slot (dead shards contribute
+//!    passthrough), merge every bank, and continue inline through the
+//!    sequential [`FleetScheduler`] path.
 
+use crate::checkpoint::{
+    CheckpointStore, JournalOp, LoggedDecision, RecoveryConfig, RecoveryReport, ShardJournal,
+};
 use crate::shard::{spawn_worker, ShardState, SolveJob, WorkerEvent, WorkerMsg};
-use crate::{BankOps, SlotSink, SlotSource, SolvedSlot};
+use crate::{BankOps, CheckpointConfig, CheckpointError, SlotReplay, SlotSink, SlotSource, SolvedSlot};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lpvs_bayes::{BayesBank, GammaEstimator};
 use lpvs_core::fleet::DeviceFleet;
@@ -56,29 +79,58 @@ pub struct StageFaults {
     pub rate: f64,
     /// Hash salt, independent of the population seed.
     pub seed: u64,
+    /// How many respawned attempts of a faulted (slot, shard) die
+    /// again: attempt `a` is killed while `a <= repeat`. `0` means one
+    /// death per hit (the respawn succeeds); `u32::MAX` makes the shard
+    /// unrecoverable, forcing the sequential fallback.
+    pub repeat: u32,
+}
+
+impl StageFaults {
+    /// Single-death faults at `rate`, salted by `seed`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        Self { rate, seed, repeat: 0 }
+    }
 }
 
 /// Runtime configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RuntimeConfig {
     /// Shard count, partitioner, per-shard scheduler, and rebalance
     /// bound — shared with the scoped-thread [`FleetScheduler`] so both
     /// paths solve identically.
     pub fleet: FleetConfig,
-    /// Optional injected worker crashes (exercises the fallback ladder).
+    /// Optional injected worker crashes (exercises the recovery
+    /// ladder).
     pub stage_faults: Option<StageFaults>,
     /// Bounded capacity of each worker's command channel.
     pub command_depth: usize,
+    /// Supervisor retry budget and backoff.
+    pub recovery: RecoveryConfig,
+    /// Periodic shard checkpointing; `None` disables the store (worker
+    /// deaths then restore from the shipped in-flight state).
+    pub checkpoints: Option<CheckpointConfig>,
+    /// Stop the run after this slot completes — a simulated hub crash
+    /// for resume tests (pending checkpoint writes are still drained,
+    /// so the manifest reflects the newest complete round).
+    pub halt_after_slot: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { fleet: FleetConfig::default(), stage_faults: None, command_depth: 4 }
+        Self {
+            fleet: FleetConfig::default(),
+            stage_faults: None,
+            command_depth: 4,
+            recovery: RecoveryConfig::default(),
+            checkpoints: None,
+            halt_after_slot: None,
+        }
     }
 }
 
 /// Serializable run summary (embedded in emulation reports).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RuntimeSummary {
     /// Whether the staged pipeline ran (false: sequential mode).
     pub pipelined: bool,
@@ -90,17 +142,18 @@ pub struct RuntimeSummary {
     pub solved_slots: usize,
     /// Estimators physically moved between shard banks.
     pub estimator_migrations: usize,
-    /// Workers lost to faults or panics.
+    /// Workers lost to faults or panics (respawned or not).
     pub workers_lost: usize,
-    /// Slot at which the runtime degraded to the inline sequential
-    /// path, if it did.
-    pub fell_back: Option<usize>,
+    /// Structured recovery account: per-shard deaths/retries/replays,
+    /// checkpoint counters, and the fallback slot if the ladder
+    /// bottomed out.
+    pub recovery: RecoveryReport,
 }
 
 /// Result of a runtime run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeReport {
-    /// Counters and fallback state.
+    /// Counters and recovery state.
     pub summary: RuntimeSummary,
     /// Final γ estimators, dense by device id — merged back from the
     /// shard banks.
@@ -114,7 +167,6 @@ struct RunStats {
     slots: usize,
     solved_slots: usize,
     estimator_migrations: usize,
-    fell_back: Option<usize>,
     solve_runtime: Duration,
 }
 
@@ -124,6 +176,8 @@ struct PendingSolve {
     gathered: Arc<crate::GatheredSlot>,
     shards: Vec<Vec<usize>>,
     servers: Vec<EdgeServer>,
+    /// Per-shard dispatch attempt for this slot (bumped on respawn).
+    attempts: Vec<u32>,
     dispatched_at: Instant,
 }
 
@@ -154,10 +208,14 @@ impl WorkerHandle {
 struct Hub {
     workers: Vec<WorkerHandle>,
     events: Receiver<WorkerEvent>,
+    /// Kept so the supervisor can wire respawned workers onto the same
+    /// event stream.
+    event_tx: Sender<WorkerEvent>,
     /// Device → shard whose bank currently owns its estimator. Starts
     /// as the home partition; updated as migrations follow rebalances.
     owner: Vec<usize>,
-    /// States recovered from dead workers, pending the merge.
+    /// States recovered from permanently dead workers, pending the
+    /// merge.
     lost: Vec<ShardState>,
     workers_lost: usize,
 }
@@ -165,6 +223,97 @@ struct Hub {
 impl Hub {
     fn all_alive(&self) -> bool {
         self.workers.iter().all(|w| w.commands.is_some())
+    }
+
+    /// Marks a shard permanently dead and keeps its shipped state for
+    /// the merge.
+    fn bury(&mut self, state: ShardState) {
+        let s = state.shard;
+        self.workers[s].commands = None;
+        self.lost.push(state);
+    }
+}
+
+/// Everything the supervisor tracks across a run: the checkpoint
+/// store, the per-shard write-ahead journals, and the recovery
+/// accounting.
+struct Supervisor {
+    store: Option<CheckpointStore>,
+    journals: Vec<ShardJournal>,
+    report: RecoveryReport,
+}
+
+impl Supervisor {
+    fn new(store: Option<CheckpointStore>, shards: usize) -> Self {
+        Self {
+            store,
+            journals: (0..shards).map(|_| ShardJournal::new()).collect(),
+            report: RecoveryReport::new(shards),
+        }
+    }
+
+    /// Journals one shard-bound bank op (no-op without a store — the
+    /// journal only exists to extend snapshots forward in time).
+    fn journal(&mut self, shard: usize, op: JournalOp) {
+        if self.store.is_some() {
+            self.journals[shard].push(op);
+        }
+    }
+
+    /// Persists one worker-encoded snapshot into the pending round.
+    /// `pending` (when its slot matches) contributes the shard's
+    /// in-flight fleet slice. On round completion the journals are
+    /// truncated to the oldest generation still retained.
+    fn persist(
+        &mut self,
+        shard: usize,
+        slot: usize,
+        bank_bytes: &[u8],
+        pending: Option<&PendingSolve>,
+    ) {
+        let Some(store) = self.store.as_mut() else { return };
+        let fleet_ctx = pending.filter(|p| p.slot == slot).map(|p| {
+            let ids: Vec<usize> =
+                p.shards[shard].iter().map(|&i| p.gathered.device_ids[i]).collect();
+            let slice = p.gathered.fleet.slice_rows(&p.shards[shard]);
+            (ids, slice)
+        });
+        let fleet = fleet_ctx.as_ref().map(|(ids, fl)| (ids.as_slice(), fl));
+        match store.persist_shard(shard, slot, bank_bytes, fleet) {
+            Ok(Some(marks)) => {
+                for (journal, mark) in self.journals.iter_mut().zip(marks) {
+                    journal.truncate_to(mark);
+                }
+            }
+            Ok(None) => {}
+            // A failed write just means this generation is missing; the
+            // ladder falls through to an older one.
+            Err(_) => {}
+        }
+    }
+
+    /// Logs a joined decision for hub-restart replay.
+    fn log_decision(&mut self, collected: &Collected) {
+        let Some(store) = self.store.as_mut() else { return };
+        let decision = LoggedDecision {
+            slot: collected.solved.slot,
+            tier: collected.solved.tier,
+            device_ids: collected.device_ids.clone(),
+            selected: collected.solved.schedule.selected.clone(),
+        };
+        let _ = store.log_decision(&decision);
+    }
+
+    /// Folds the store's counters into the report and returns it.
+    fn into_report(self, resumed_at: Option<usize>) -> RecoveryReport {
+        let mut report = self.report;
+        if let Some(store) = self.store.as_ref() {
+            report.checkpoints_written = store.checkpoints_written();
+            report.checkpoints_corrupted = store.checkpoints_corrupted();
+            report.generations_rejected = store.generations_rejected();
+        }
+        report.resumed_at = resumed_at;
+        report
     }
 }
 
@@ -218,6 +367,13 @@ impl SlotRuntime {
         owner
     }
 
+    fn open_store(&self) -> Option<CheckpointStore> {
+        self.config.checkpoints.as_ref().map(|cfg| {
+            CheckpointStore::create(cfg, self.config.fleet.num_shards)
+                .expect("checkpoint store directory must be creatable")
+        })
+    }
+
     /// Runs the driver through the staged pipeline. `estimators[d]` is
     /// device `d`'s γ estimator; they are split into shard-local banks
     /// up front and merged back into the report at the end.
@@ -227,17 +383,103 @@ impl SlotRuntime {
         estimators: Vec<GammaEstimator>,
     ) -> RuntimeReport {
         let k = self.config.fleet.num_shards;
-        let n = estimators.len();
-        let owner = self.home_shards(n);
+        let owner = self.home_shards(estimators.len());
         let banks = BayesBank::from_estimators(estimators).split(k, |d| owner[d]);
+        self.run_from(driver, banks, owner, 0, self.open_store(), None)
+    }
 
-        let (event_tx, events) = bounded(2 * k + 2);
+    /// Resumes a halted run mid-horizon from the checkpoint store's
+    /// manifest: restores each shard's bank from the manifest's
+    /// snapshot generation, replays the logged decisions through the
+    /// driver's [`SlotReplay`] implementation to rebuild its internal
+    /// state, and re-enters the slot loop at the manifest slot. A
+    /// resumed run is bit-identical to one that never stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Manifest`] when no store is configured or no
+    /// manifest exists; any store error from loading snapshots or the
+    /// decision log.
+    pub fn resume<D: SlotSource + SlotSink + SlotReplay>(
+        &self,
+        driver: &mut D,
+    ) -> Result<RuntimeReport, CheckpointError> {
+        let cfg = self
+            .config
+            .checkpoints
+            .as_ref()
+            .ok_or(CheckpointError::Manifest("resume requires a checkpoint store"))?;
+        let k = self.config.fleet.num_shards;
+        let mut store = CheckpointStore::create(cfg, k)?;
+        let manifest = store
+            .read_manifest()?
+            .ok_or(CheckpointError::Manifest("no run manifest to resume from"))?;
+        if manifest.generations.len() != k {
+            return Err(CheckpointError::Manifest("manifest shard count mismatch"));
+        }
+        let restore_start = Instant::now();
+        let mut banks = Vec::with_capacity(k);
+        for (s, &gen) in manifest.generations.iter().enumerate() {
+            banks.push(store.load_generation(s, gen)?.bank);
+        }
+        // The ownership map is implicit in the restored banks: whatever
+        // shard holds a device's estimator owns it.
+        let devices = banks
+            .iter()
+            .flat_map(|b| b.devices())
+            .max()
+            .map_or(0, |d| d + 1);
+        let mut owner = vec![0usize; devices];
+        for (s, bank) in banks.iter().enumerate() {
+            for d in bank.devices() {
+                owner[d] = s;
+            }
+        }
+        // Replay the decided prefix: at original iteration `t` the hub
+        // delivered solved(t−1) before playing slot t, so staging
+        // mirrors that order, and the decision for `slot − 1` is staged
+        // last, ready for the resumed loop's first apply.
+        let decisions = store.read_decisions()?;
+        let slot = manifest.slot;
+        let stage = |driver: &mut D, t: usize| {
+            if let Some(prev) = t.checked_sub(1) {
+                if let Some(d) = decisions.iter().find(|d| d.slot == prev) {
+                    driver.stage_decision(d.slot, &d.device_ids, &d.selected, d.tier);
+                }
+            }
+        };
+        for t in 0..slot {
+            stage(driver, t);
+            driver.replay_slot(t);
+        }
+        stage(driver, slot);
+        if lpvs_obs::enabled() {
+            lpvs_obs::observe("recovery_restore_seconds", restore_start.elapsed().as_secs_f64());
+            lpvs_obs::gauge_set("recovery_restored_slots", slot as f64);
+        }
+        Ok(self.run_from(driver, banks, owner, slot, Some(store), Some(slot)))
+    }
+
+    /// The pipelined slot loop, entered at `start_slot` with per-shard
+    /// `banks` already split and `owner` routing devices to them.
+    fn run_from<D: SlotSource + SlotSink>(
+        &self,
+        driver: &mut D,
+        banks: Vec<BayesBank>,
+        owner: Vec<usize>,
+        start_slot: usize,
+        store: Option<CheckpointStore>,
+        resumed_at: Option<usize>,
+    ) -> RuntimeReport {
+        let k = self.config.fleet.num_shards;
+        let faults = self.config.stage_faults.map(|f| (f.rate, f.seed, f.repeat));
+
+        let (event_tx, events) = bounded(4 * k + 4);
         let workers: Vec<WorkerHandle> = banks
             .into_iter()
             .enumerate()
             .map(|(s, bank)| {
                 let (tx, rx) = bounded(self.config.command_depth.max(2));
-                let faults = self.config.stage_faults.map(|f| (f.rate, f.seed));
                 let thread = spawn_worker(
                     ShardState { shard: s, bank },
                     self.config.fleet.scheduler,
@@ -248,17 +490,26 @@ impl SlotRuntime {
                 WorkerHandle { commands: Some(tx), thread: Some(thread) }
             })
             .collect();
-        drop(event_tx);
-        let mut hub = Hub { workers, events, owner, lost: Vec::new(), workers_lost: 0 };
+        let mut hub = Hub { workers, events, event_tx, owner, lost: Vec::new(), workers_lost: 0 };
+        let mut sup = Supervisor::new(store, k);
+        let interval = self.config.checkpoints.as_ref().map(|c| c.interval);
 
         let mut stats = RunStats::default();
         let mut in_flight: Option<PendingSolve> = None;
         let mut feedback: Vec<(usize, f64)> = Vec::new();
         let mut recycled: Option<DeviceFleet> = None;
         let mut inline: Option<BayesBank> = None;
-        let mut slot = 0usize;
+        let mut slot = start_slot;
+        // On a resume, the restored banks already hold `prepare(slot)`'s
+        // maintenance (the snapshot was taken right after it), so the
+        // first iteration must not re-apply forgets.
+        let mut skip_maintenance = resumed_at.is_some();
 
         while let Some(ops) = driver.begin_slot(slot) {
+            let mut ops = ops;
+            if std::mem::take(&mut skip_maintenance) {
+                ops.forgets.clear();
+            }
             if let Some(bank) = inline.as_mut() {
                 // Sequential fallback: the pipeline is gone, the merged
                 // bank lives here, slots run inline.
@@ -285,14 +536,15 @@ impl SlotRuntime {
                     lpvs_obs::gauge_set("runtime_queue_depth", hub.events.len() as f64);
                 }
                 let wait = Instant::now();
-                let collected = self.join_solve(&mut hub, pending, &mut stats);
+                let collected = self.join_solve(&mut hub, &mut sup, pending, &mut stats);
                 if lpvs_obs::enabled() {
                     lpvs_obs::observe("runtime_solve_wait_seconds", wait.elapsed().as_secs_f64());
                 }
                 slot_span.record("joined_migrations", collected.solved.schedule.migrations as f64);
                 driver.solved(&collected.solved);
+                sup.log_decision(&collected);
                 healthy = hub.all_alive()
-                    && self.migrate_estimators(&mut hub, &collected, &mut stats).is_ok();
+                    && self.migrate_estimators(&mut hub, &mut sup, &collected, &mut stats).is_ok();
                 recycled = collected.buffer;
             }
 
@@ -302,7 +554,14 @@ impl SlotRuntime {
             let mut ops_consumed = false;
             let posteriors = if healthy {
                 ops_consumed = true;
-                self.prepare(&hub, &ops, std::mem::take(&mut feedback)).ok()
+                let observations = std::mem::take(&mut feedback);
+                for &(d, ratio) in &observations {
+                    sup.journal(hub.owner[d], JournalOp::Observe(d, ratio));
+                }
+                for &(d, stale) in &ops.forgets {
+                    sup.journal(hub.owner[d], JournalOp::Forget(d, stale));
+                }
+                self.prepare(&hub, &ops, observations).ok()
             } else {
                 None
             };
@@ -310,7 +569,7 @@ impl SlotRuntime {
             let Some(posteriors) = posteriors else {
                 // --- sequential fallback -------------------------------
                 lpvs_obs::inc("runtime_fallback_total");
-                let mut bank = self.drain_and_merge(&mut hub);
+                let mut bank = self.drain_and_merge(&mut hub, &mut sup);
                 if !ops_consumed {
                     for (d, ratio) in feedback.drain(..) {
                         bank.observe_or_forget(d, ratio);
@@ -321,7 +580,7 @@ impl SlotRuntime {
                 }
                 let posteriors: Vec<(f64, f64)> =
                     ops.queries.iter().map(|&d| bank.posterior(d)).collect();
-                stats.fell_back = Some(slot);
+                sup.report.fell_back = Some(slot);
                 Self::inline_gather_solve_apply(
                     &self.scheduler,
                     driver,
@@ -335,6 +594,13 @@ impl SlotRuntime {
                 slot += 1;
                 continue;
             };
+
+            // --- checkpoint round(t) -----------------------------------
+            if let Some(interval) = interval {
+                if (slot - start_slot).is_multiple_of(interval) {
+                    self.request_checkpoints(&mut hub, &mut sup, slot);
+                }
+            }
 
             // --- gather(t) + dispatch(t) -------------------------------
             let gather_start = Instant::now();
@@ -354,6 +620,12 @@ impl SlotRuntime {
                 lpvs_obs::inc("runtime_slots_total");
             }
             stats.slots += 1;
+            if self.config.halt_after_slot == Some(slot) {
+                // Simulated hub crash: stop driving, but drain cleanly
+                // below so pending checkpoint bytes reach the store and
+                // the manifest names the newest complete round.
+                break;
+            }
             slot += 1;
         }
 
@@ -369,16 +641,20 @@ impl SlotRuntime {
                 // the sink records its tier (its decision is never
                 // applied — the sequential one-slot-ahead engine stages
                 // its last decision the same way).
-                let collected = self.join_solve(&mut hub, pending, &mut stats);
+                let collected = self.join_solve(&mut hub, &mut sup, pending, &mut stats);
                 driver.solved(&collected.solved);
+                sup.log_decision(&collected);
             }
             // The last slot's observations still belong in the banks —
             // the sequential engine folds them during its final play.
             if !feedback.is_empty() {
                 let _ = self.prepare(&hub, &BankOps::default(), std::mem::take(&mut feedback));
             }
-            self.drain_and_merge(&mut hub).into_dense()
+            self.drain_and_merge(&mut hub, &mut sup).into_dense()
         };
+        if let Some(store) = sup.store.as_mut() {
+            let _ = store.flush_decisions();
+        }
 
         RuntimeReport {
             summary: RuntimeSummary {
@@ -388,7 +664,7 @@ impl SlotRuntime {
                 solved_slots: stats.solved_slots,
                 estimator_migrations: stats.estimator_migrations,
                 workers_lost: hub.workers_lost,
-                fell_back: stats.fell_back,
+                recovery: sup.into_report(resumed_at),
             },
             estimators,
             solve_runtime: stats.solve_runtime,
@@ -434,7 +710,7 @@ impl SlotRuntime {
                 solved_slots: stats.solved_slots,
                 estimator_migrations: 0,
                 workers_lost: 0,
-                fell_back: None,
+                recovery: RecoveryReport::default(),
             },
             estimators: bank.into_dense(),
             solve_runtime: stats.solve_runtime,
@@ -495,6 +771,59 @@ impl SlotRuntime {
         stats.slots += 1;
     }
 
+    /// Requests a checkpoint round: drains any checkpoint bytes still
+    /// waiting from an earlier round (idle slots can keep a join from
+    /// running), then asks every live worker to encode its bank. The
+    /// request is queued between `Prepare(slot)` and `Solve(slot)`, so
+    /// the snapshot is exactly the post-prepare bank.
+    fn request_checkpoints(&self, hub: &mut Hub, sup: &mut Supervisor, slot: usize) {
+        loop {
+            match hub.events.try_recv() {
+                Ok(WorkerEvent::Checkpointed { shard, slot: ckpt_slot, bank }) => {
+                    sup.persist(shard, ckpt_slot, &bank, None);
+                }
+                Ok(WorkerEvent::Down { state } | WorkerEvent::Finished { state }) => {
+                    // No solve is outstanding here, so this death has
+                    // nothing to re-dispatch: it is permanent, and the
+                    // next prepare touching the shard triggers the
+                    // fallback.
+                    sup.report.shards[state.shard].deaths += 1;
+                    hub.workers_lost += 1;
+                    hub.bury(*state);
+                }
+                Ok(WorkerEvent::Solved { .. }) | Err(_) => break,
+            }
+        }
+        let marks: Vec<u64> = sup.journals.iter().map(|j| j.mark()).collect();
+        if let Some(store) = sup.store.as_mut() {
+            store.begin_round(slot, marks);
+        }
+        for worker in &hub.workers {
+            let _ = worker.send(WorkerMsg::Checkpoint { slot });
+        }
+    }
+
+    /// Builds shard `s`'s slice of `pending` (first dispatch and
+    /// re-dispatch alike — the attempt counter comes from `pending`).
+    fn shard_job(pending: &PendingSolve, s: usize) -> SolveJob {
+        // Same guard as the scoped path: warm starts only carry over
+        // when the population is unchanged.
+        let warm = pending
+            .gathered
+            .warm
+            .as_deref()
+            .filter(|p| p.len() == pending.gathered.fleet.len());
+        SolveJob {
+            slot: pending.slot,
+            attempt: pending.attempts[s],
+            gathered: Arc::clone(&pending.gathered),
+            indices: pending.shards[s].clone(),
+            compute_capacity: pending.servers[s].compute_capacity(),
+            storage_capacity_gb: pending.servers[s].storage_capacity_gb(),
+            warm: warm.map(|p| pending.shards[s].iter().map(|&i| p[i]).collect()),
+        }
+    }
+
     /// Partitions a gathered slot and fans it out to the workers.
     fn dispatch(&self, hub: &Hub, slot: usize, g: crate::GatheredSlot) -> PendingSolve {
         let k = hub.workers.len();
@@ -502,35 +831,77 @@ impl SlotRuntime {
         let shards = self.scheduler.partition(&gathered.fleet);
         let server = EdgeServer::new(gathered.compute_capacity, gathered.storage_capacity_gb);
         let servers = FleetScheduler::split_server(&server, k);
-        // Same guard as the scoped path: warm starts only carry over
-        // when the population is unchanged.
-        let warm = gathered.warm.as_deref().filter(|p| p.len() == gathered.fleet.len());
         let dispatched_at = Instant::now();
+        let pending =
+            PendingSolve { slot, gathered, shards, servers, attempts: vec![0; k], dispatched_at };
         for (s, worker) in hub.workers.iter().enumerate() {
-            let job = SolveJob {
-                slot,
-                gathered: Arc::clone(&gathered),
-                indices: shards[s].clone(),
-                compute_capacity: servers[s].compute_capacity(),
-                storage_capacity_gb: servers[s].storage_capacity_gb(),
-                warm: warm.map(|p| shards[s].iter().map(|&i| p[i]).collect()),
-            };
             // A send failure means the worker died; the join step will
-            // see its Down event and degrade the shard to passthrough.
-            let _ = worker.send(WorkerMsg::Solve(job));
+            // see its Down event (or its pre-marked dead handle) and
+            // degrade the shard to passthrough.
+            let _ = worker.send(WorkerMsg::Solve(Self::shard_job(&pending, s)));
         }
-        PendingSolve { slot, gathered, shards, servers, dispatched_at }
+        pending
+    }
+
+    /// Restores a dead shard's bank for respawn. With a checkpoint
+    /// store: newest valid generation + journal replay since its mark
+    /// (`None` when every generation fails its checksum — the ladder
+    /// bottoms out). Without one: the state the dying worker shipped
+    /// home.
+    fn restore_bank(
+        &self,
+        sup: &mut Supervisor,
+        shard: usize,
+        pending: &PendingSolve,
+        shipped: &ShardState,
+    ) -> Option<BayesBank> {
+        let started = Instant::now();
+        let bank = if let Some(store) = sup.store.as_mut() {
+            let (generation, snapshot) = store.restore_latest(shard)?;
+            let mut bank = snapshot.bank;
+            sup.journals[shard].replay_onto(&mut bank, generation.mark);
+            // The checkpoint+journal reconstruction must agree with the
+            // state the dying worker shipped home — the property that
+            // makes snapshot-based respawn safe against double-applied
+            // observations.
+            debug_assert_eq!(
+                bank, shipped.bank,
+                "checkpoint+journal replay diverged from the shipped bank"
+            );
+            let rec = &mut sup.report.shards[shard];
+            rec.generation_used = Some(generation.gen);
+            rec.slots_replayed += pending.slot.saturating_sub(generation.slot);
+            bank
+        } else {
+            sup.report.shards[shard].inflight_restores += 1;
+            shipped.bank.clone()
+        };
+        if lpvs_obs::enabled() {
+            lpvs_obs::observe("recovery_restore_seconds", started.elapsed().as_secs_f64());
+        }
+        Some(bank)
     }
 
     /// Blocks until every shard has reported on `pending`, then joins
-    /// the results through [`FleetScheduler::assemble`] — dead shards
-    /// degrade to passthrough. Never fails: dying workers always ship a
-    /// `Down` event first.
-    fn join_solve(&self, hub: &mut Hub, pending: PendingSolve, stats: &mut RunStats) -> Collected {
+    /// the results through [`FleetScheduler::assemble`]. A dying worker
+    /// is respawned from its restored bank and the slot re-dispatched
+    /// to it, until its retry budget runs out — only then does the
+    /// shard degrade to passthrough (and the run to the sequential
+    /// fallback, via the health check after this join). Checkpoint
+    /// bytes arriving on the event stream are persisted along the way.
+    fn join_solve(
+        &self,
+        hub: &mut Hub,
+        sup: &mut Supervisor,
+        mut pending: PendingSolve,
+        stats: &mut RunStats,
+    ) -> Collected {
         let k = hub.workers.len();
         let mut results: Vec<Option<Schedule>> = (0..k).map(|_| None).collect();
-        let mut accounted = vec![false; k];
-        let mut remaining = k;
+        // Shards already buried (e.g. a death noticed while requesting
+        // checkpoints) are passthrough from the start.
+        let mut accounted: Vec<bool> = hub.workers.iter().map(|w| w.commands.is_none()).collect();
+        let mut remaining = accounted.iter().filter(|&&a| !a).count();
         while remaining > 0 {
             match hub.events.recv() {
                 Ok(WorkerEvent::Solved { shard, slot, schedule }) => {
@@ -541,11 +912,64 @@ impl SlotRuntime {
                         remaining -= 1;
                     }
                 }
-                Ok(WorkerEvent::Down { state } | WorkerEvent::Finished { state }) => {
+                Ok(WorkerEvent::Checkpointed { shard, slot, bank }) => {
+                    sup.persist(shard, slot, &bank, Some(&pending));
+                }
+                Ok(WorkerEvent::Down { state }) => {
                     let s = state.shard;
-                    hub.workers[s].commands = None;
-                    hub.lost.push(*state);
                     hub.workers_lost += 1;
+                    sup.report.shards[s].deaths += 1;
+                    lpvs_obs::inc("recovery_deaths_total");
+                    let attempt = pending.attempts[s];
+                    let restored = if accounted[s] || attempt >= self.config.recovery.max_retries {
+                        None
+                    } else {
+                        self.restore_bank(sup, s, &pending, &state)
+                    };
+                    match restored {
+                        Some(bank) => {
+                            // Exponential backoff before the respawn —
+                            // the attempt bound keeps the shift sane.
+                            std::thread::sleep(
+                                self.config.recovery.backoff * (1u32 << attempt.min(10)),
+                            );
+                            if let Some(old) = hub.workers[s].thread.take() {
+                                let _ = old.join();
+                            }
+                            let (tx, rx) = bounded(self.config.command_depth.max(2));
+                            let faults =
+                                self.config.stage_faults.map(|f| (f.rate, f.seed, f.repeat));
+                            let thread = spawn_worker(
+                                ShardState { shard: s, bank },
+                                self.config.fleet.scheduler,
+                                faults,
+                                rx,
+                                hub.event_tx.clone(),
+                            );
+                            hub.workers[s] =
+                                WorkerHandle { commands: Some(tx), thread: Some(thread) };
+                            sup.report.shards[s].retries += 1;
+                            lpvs_obs::inc("recovery_respawns_total");
+                            pending.attempts[s] = attempt + 1;
+                            let _ = hub.workers[s].send(WorkerMsg::Solve(Self::shard_job(&pending, s)));
+                            // Not accounted: the respawned worker's
+                            // Solved event closes this shard out.
+                        }
+                        None => {
+                            // Retry budget exhausted or no valid
+                            // generation: the shard is gone for good.
+                            hub.bury(*state);
+                            if !accounted[s] {
+                                accounted[s] = true;
+                                remaining -= 1;
+                            }
+                        }
+                    }
+                }
+                Ok(WorkerEvent::Finished { state }) => {
+                    let s = state.shard;
+                    hub.workers_lost += 1;
+                    hub.bury(*state);
                     if !accounted[s] {
                         accounted[s] = true;
                         remaining -= 1;
@@ -555,7 +979,7 @@ impl SlotRuntime {
             }
         }
 
-        let PendingSolve { slot, gathered, shards, servers, dispatched_at } = pending;
+        let PendingSolve { slot, gathered, shards, servers, dispatched_at, .. } = pending;
         let schedule = self.scheduler.assemble(
             &gathered.fleet,
             &servers,
@@ -585,10 +1009,12 @@ impl SlotRuntime {
     /// Moves estimators between shard banks to follow the cross-shard
     /// rebalance: a device migrated into a foreign shard takes its γ
     /// state along, keeping γ routing shard-local. Round-trips are
-    /// sequenced through the hub in shard order for determinism.
+    /// sequenced through the hub in shard order for determinism; each
+    /// hop is journaled so snapshots can be replayed forward across it.
     fn migrate_estimators(
         &self,
         hub: &mut Hub,
+        sup: &mut Supervisor,
         collected: &Collected,
         stats: &mut RunStats,
     ) -> Result<(), ()> {
@@ -603,6 +1029,8 @@ impl SlotRuntime {
                 let (reply_tx, reply_rx) = bounded(1);
                 hub.workers[from].send(WorkerMsg::MigrateOut { device, reply: reply_tx })?;
                 let estimator = reply_rx.recv().map_err(|_| ())?;
+                sup.journal(from, JournalOp::Take(device));
+                sup.journal(to, JournalOp::Insert(device, estimator.clone()));
                 hub.workers[to].send(WorkerMsg::MigrateIn { device, estimator })?;
                 hub.owner[device] = to;
                 stats.estimator_migrations += 1;
@@ -668,20 +1096,35 @@ impl SlotRuntime {
 
     /// Finishes every live worker, collects every bank (clean exits and
     /// casualties alike), joins the threads, and merges the banks.
-    fn drain_and_merge(&self, hub: &mut Hub) -> BayesBank {
+    /// Checkpoint bytes still in the event stream are persisted on the
+    /// way — a halted hub flushes its last round here, which is what
+    /// makes `halt_after_slot` + [`SlotRuntime::resume`] seamless.
+    fn drain_and_merge(&self, hub: &mut Hub, sup: &mut Supervisor) -> BayesBank {
         for worker in &mut hub.workers {
             if let Some(tx) = worker.commands.take() {
                 let _ = tx.send(WorkerMsg::Finish);
             }
         }
+        // The hub's own event_tx clone keeps the channel open, so drain
+        // by count, not disconnection.
         let mut states = std::mem::take(&mut hub.lost);
         while states.len() < hub.workers.len() {
             match hub.events.recv() {
                 Ok(WorkerEvent::Finished { state } | WorkerEvent::Down { state }) => {
                     states.push(*state);
                 }
+                Ok(WorkerEvent::Checkpointed { shard, slot, bank }) => {
+                    sup.persist(shard, slot, &bank, None);
+                }
                 Ok(WorkerEvent::Solved { .. }) => continue,
                 Err(_) => break,
+            }
+        }
+        // Late checkpoint bytes can still be queued behind the final
+        // states (a worker checkpoints, then finishes).
+        while let Ok(event) = hub.events.try_recv() {
+            if let WorkerEvent::Checkpointed { shard, slot, bank } = event {
+                sup.persist(shard, slot, &bank, None);
             }
         }
         for worker in &mut hub.workers {

@@ -44,6 +44,10 @@ pub struct ShardState {
 /// One shard's slice of a dispatched solve.
 pub(crate) struct SolveJob {
     pub slot: usize,
+    /// Zero on first dispatch; incremented each time the supervisor
+    /// re-dispatches the slot to a respawned worker. Stage faults only
+    /// kill attempts `<= repeat`, so a bounded retry budget converges.
+    pub attempt: u32,
     /// The shared gathered slot; the worker drops this handle *before*
     /// announcing its result, so once every shard has reported, the
     /// hub's handle is unique and the buffer can be recycled.
@@ -72,6 +76,11 @@ pub(crate) enum WorkerMsg {
     },
     /// Solve this shard's slice of a gathered slot.
     Solve(SolveJob),
+    /// Encode the bank and ship the bytes home
+    /// ([`WorkerEvent::Checkpointed`]); the hub seals and persists
+    /// them. Queued between `Prepare` and `Solve`, so the snapshot
+    /// captures the bank exactly as of `prepare(slot)`.
+    Checkpoint { slot: usize },
     /// Hand device `device`'s estimator to the hub (it is moving to
     /// another shard).
     MigrateOut { device: usize, reply: Sender<GammaEstimator> },
@@ -86,6 +95,9 @@ pub(crate) enum WorkerEvent {
     /// A solve completed. `None` means the solver panicked and the
     /// shard degrades to passthrough for this slot.
     Solved { shard: usize, slot: usize, schedule: Option<Box<Schedule>> },
+    /// The worker's bank, encoded for checkpointing as of
+    /// `prepare(slot)`.
+    Checkpointed { shard: usize, slot: usize, bank: Vec<u8> },
     /// The worker is exiting abnormally; its state rides along so no
     /// posterior is lost.
     Down { state: Box<ShardState> },
@@ -127,7 +139,7 @@ impl Drop for BankCourier {
 pub(crate) fn spawn_worker(
     state: ShardState,
     scheduler: SchedulerConfig,
-    stage_faults: Option<(f64, u64)>,
+    stage_faults: Option<(f64, u64, u32)>,
     commands: Receiver<WorkerMsg>,
     events: Sender<WorkerEvent>,
 ) -> JoinHandle<()> {
@@ -151,12 +163,13 @@ pub(crate) fn spawn_worker(
                     }
                 }
                 WorkerMsg::Solve(job) => {
-                    if let Some((rate, seed)) = stage_faults {
-                        if stage_fault_hits(seed, job.slot, shard, rate) {
+                    if let Some((rate, seed, repeat)) = stage_faults {
+                        if job.attempt <= repeat && stage_fault_hits(seed, job.slot, shard, rate) {
                             // Simulated worker crash mid-slot: exit
                             // without solving. The courier ships the
-                            // bank home and the hub sees a missing
-                            // shard for this slot.
+                            // bank home; the supervisor respawns the
+                            // shard and re-dispatches with attempt+1,
+                            // which dies again while attempt <= repeat.
                             return;
                         }
                     }
@@ -168,6 +181,12 @@ pub(crate) fn spawn_worker(
                     let event =
                         WorkerEvent::Solved { shard, slot, schedule: schedule.map(Box::new) };
                     if events.send(event).is_err() {
+                        return;
+                    }
+                }
+                WorkerMsg::Checkpoint { slot } => {
+                    let bank = lpvs_bayes::codec::bank_to_bytes(&state.bank);
+                    if events.send(WorkerEvent::Checkpointed { shard, slot, bank }).is_err() {
                         return;
                     }
                 }

@@ -1,0 +1,294 @@
+//! Checkpoint/restore and supervised-recovery invariants.
+//!
+//! The snapshot codec must be lossless down to the bit: restoring a
+//! sealed shard snapshot reproduces every fleet column and every γ
+//! posterior exactly, for any shard count and either partitioner. On
+//! top of that, the recovery ladder must be *semantically invisible* —
+//! a pipelined run that loses workers repeatedly, restores them from
+//! (possibly corrupted) checkpoints, or is halted and resumed
+//! mid-horizon still reproduces the sequential engine bit-for-bit.
+
+use lpvs::bayes::codec::bank_to_bytes;
+use lpvs::bayes::{BayesBank, GammaEstimator};
+use lpvs::core::baseline::Policy;
+use lpvs::core::fleet::{DeviceFleet, FleetDevice};
+use lpvs::core::problem::DeviceRequest;
+use lpvs::display::spec::DisplayKind;
+use lpvs::edge::fleet::{FleetConfig, Partitioner};
+use lpvs::emulator::engine::{CheckpointSpec, Emulator, EmulatorConfig};
+use lpvs::emulator::FaultConfig;
+use lpvs::runtime::{
+    CheckpointConfig, CheckpointStore, RuntimeConfig, ShardSnapshot, SlotRuntime,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh scratch directory per test invocation (no tempfile crate).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lpvs-checkpoint-it-{}-{tag}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bit-compare everything deterministic about two reports.
+fn assert_bit_identical(a: &lpvs::emulator::EmulationReport, b: &lpvs::emulator::EmulationReport) {
+    assert_eq!(a.slots, b.slots);
+    assert_eq!(a.display_energy_j, b.display_energy_j);
+    assert_eq!(a.counterfactual_display_j, b.counterfactual_display_j);
+    assert_eq!(a.total_energy_j, b.total_energy_j);
+    assert_eq!(a.watch_minutes, b.watch_minutes);
+    assert_eq!(a.initial_battery, b.initial_battery);
+    assert_eq!(a.final_battery, b.final_battery);
+    assert_eq!(a.gave_up, b.gave_up);
+    assert_eq!(a.ever_selected, b.ever_selected);
+    assert_eq!(a.gamma_posteriors, b.gamma_posteriors);
+}
+
+/// A seeded fleet row with awkward float values in every column.
+fn fleet_row(seed: u64) -> FleetDevice {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE_7B0B);
+    let chunks = rng.gen_range(1..12);
+    let request = DeviceRequest::new(
+        (0..chunks).map(|_| rng.gen_range(0.3..3.0)).collect(),
+        (0..chunks).map(|_| rng.gen_range(1.0..15.0)).collect(),
+        rng.gen_range(0.0..55_440.0),
+        55_440.0,
+        rng.gen_range(0.0..0.95),
+        rng.gen_range(0.1..2.5),
+        rng.gen_range(0.01..0.4),
+    );
+    FleetDevice {
+        request,
+        display: if seed.is_multiple_of(3) { DisplayKind::Oled } else { DisplayKind::Lcd },
+        gamma_std: rng.gen_range(0.0..0.2),
+        connected: seed % 5 != 2,
+    }
+}
+
+/// Estimators with learning history, so posteriors carry non-trivial
+/// state into the snapshot.
+fn learned_estimators(n: usize, observations: &[(usize, f64)]) -> Vec<GammaEstimator> {
+    let mut estimators = vec![GammaEstimator::paper_default(); n];
+    for &(d, ratio) in observations {
+        let est = &mut estimators[d % n];
+        if est.try_observe(ratio).is_err() {
+            est.forget(1);
+        }
+    }
+    estimators
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tentpole invariant: `restore(snapshot(state))` is the identity,
+    /// bit-for-bit — every fleet column and every posterior — across
+    /// 1–4 shards and both partitioners.
+    #[test]
+    fn snapshot_restore_is_bit_exact_for_every_column_and_posterior(
+        n in 1usize..32,
+        shards in 1usize..=4,
+        hash_partitioner in any::<bool>(),
+        seed in any::<u64>(),
+        observations in prop::collection::vec((0usize..32, 0.0f64..0.9), 0..48),
+    ) {
+        let partitioner =
+            if hash_partitioner { Partitioner::Hash } else { Partitioner::Locality };
+        let runtime = SlotRuntime::new(RuntimeConfig {
+            fleet: FleetConfig { num_shards: shards, partitioner, ..FleetConfig::default() },
+            ..RuntimeConfig::default()
+        });
+        let owner = runtime.home_shards(n);
+        let banks =
+            BayesBank::from_estimators(learned_estimators(n, &observations))
+                .split(shards, |d| owner[d]);
+        let mut fleet = DeviceFleet::new();
+        for d in 0..n {
+            fleet.push(fleet_row(seed.wrapping_add(d as u64)));
+        }
+
+        for (s, bank) in banks.iter().enumerate() {
+            let indices: Vec<usize> = (0..n).filter(|&d| owner[d] == s).collect();
+            let slice = fleet.slice_rows(&indices);
+            let bytes =
+                ShardSnapshot::seal(s, 7, &bank_to_bytes(bank), Some((&indices, &slice)));
+            let decoded = ShardSnapshot::decode(&bytes).expect("snapshot decodes");
+            prop_assert_eq!(decoded.shard, s);
+            prop_assert_eq!(decoded.slot, 7);
+
+            // Every posterior, bit for bit.
+            prop_assert_eq!(&decoded.bank, bank);
+            for d in bank.devices() {
+                prop_assert_eq!(decoded.bank.posterior(d), bank.posterior(d));
+            }
+
+            // Every fleet column, bit for bit: the columnar store's
+            // PartialEq is float-exact, and the per-row accessors pin
+            // the columns individually.
+            let restored = decoded.fleet.expect("snapshot carried a fleet slice");
+            prop_assert_eq!(&restored.device_ids, &indices);
+            prop_assert_eq!(&restored.fleet, &slice);
+            for (row, &d) in indices.iter().enumerate() {
+                let original = fleet.device(d);
+                prop_assert_eq!(restored.fleet.device(row), original);
+                prop_assert_eq!(restored.fleet.device_request(row), fleet.device_request(d));
+            }
+        }
+    }
+}
+
+#[test]
+fn a_flipped_byte_is_rejected_and_an_older_generation_restores() {
+    let dir = scratch("corrupt");
+    let config = CheckpointConfig { interval: 1, generations: 3, ..CheckpointConfig::new(&dir) };
+    let mut store = CheckpointStore::create(&config, 1).expect("store");
+
+    let old = BayesBank::from_estimators(learned_estimators(5, &[(0, 0.3), (3, 0.5)]));
+    store.begin_round(0, vec![0]);
+    store.persist_shard(0, 0, &bank_to_bytes(&old), None).expect("persist gen 0");
+    let new = BayesBank::from_estimators(learned_estimators(5, &[(0, 0.3), (3, 0.5), (4, 0.2)]));
+    store.begin_round(1, vec![0]);
+    store.persist_shard(0, 1, &bank_to_bytes(&new), None).expect("persist gen 1");
+
+    // Flip one byte in the newest snapshot file on disk.
+    let newest = std::fs::read_dir(dir.join("shard-0"))
+        .expect("shard dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .max()
+        .expect("snapshot files exist");
+    let mut bytes = std::fs::read(&newest).expect("read snapshot");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("write corrupted snapshot");
+
+    // The checksum rejects the flipped generation; the ladder falls
+    // through to the older one, which restores the older bank exactly.
+    let (generation, snapshot) = store.restore_latest(0).expect("older generation survives");
+    assert_eq!(generation.slot, 0, "restore must fall back to the slot-0 generation");
+    assert_eq!(snapshot.bank, old);
+    assert_eq!(store.generations_rejected(), 1);
+}
+
+/// The emulator config every end-to-end recovery test shares.
+fn recovery_config() -> EmulatorConfig {
+    EmulatorConfig {
+        devices: 16,
+        slots: 12,
+        seed: 7,
+        one_slot_ahead: true,
+        num_edges: 2,
+        ..EmulatorConfig::default()
+    }
+}
+
+#[test]
+fn repeated_worker_deaths_recover_from_checkpoints_without_fallback() {
+    // 25% stage faults with repeat 1: every faulted shard dies, is
+    // respawned from its checkpoint + journal, and dies *again* before
+    // the second respawn sticks. The run must stay pipelined and match
+    // the sequential engine bit for bit.
+    let config = EmulatorConfig {
+        faults: FaultConfig {
+            stage_fault_rate: 0.25,
+            stage_fault_repeat: 1,
+            ..FaultConfig::none()
+        },
+        ..recovery_config()
+    };
+    let sequential = Emulator::new(config, Policy::Lpvs).run();
+    let pipelined = Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs)
+        .with_checkpoints(CheckpointSpec { interval: 2, ..CheckpointSpec::new(scratch("kill")) })
+        .run();
+    let summary = pipelined.runtime.clone().expect("summary");
+    assert!(summary.workers_lost > 0, "25% faults over 12x2 must kill a worker");
+    assert_eq!(summary.recovery.fell_back, None, "recovery must absorb every death");
+    assert!(
+        summary.recovery.shards.iter().any(|s| s.retries >= 2),
+        "repeat faults must force a shard through two respawns"
+    );
+    assert!(summary.recovery.checkpoints_written > 0);
+    assert!(
+        summary.recovery.shards.iter().any(|s| s.generation_used.is_some()),
+        "at least one restore must come from a checkpoint generation"
+    );
+    assert_bit_identical(&sequential, &pipelined);
+}
+
+#[test]
+fn corrupted_checkpoints_do_not_perturb_the_run() {
+    // Half of all written checkpoints are corrupted on disk. Restores
+    // ride the older-generation rung (or, if a shard's whole ladder is
+    // gone, the run falls back) — either way the result is bit-exact.
+    let config = EmulatorConfig {
+        faults: FaultConfig {
+            stage_fault_rate: 0.25,
+            stage_fault_repeat: 1,
+            checkpoint_corrupt_rate: 0.5,
+            ..FaultConfig::none()
+        },
+        ..recovery_config()
+    };
+    let sequential = Emulator::new(config, Policy::Lpvs).run();
+    let pipelined = Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs)
+        .with_checkpoints(CheckpointSpec {
+            interval: 2,
+            ..CheckpointSpec::new(scratch("corrupt-run"))
+        })
+        .run();
+    let summary = pipelined.runtime.clone().expect("summary");
+    assert!(summary.workers_lost > 0);
+    assert!(
+        summary.recovery.checkpoints_corrupted > 0,
+        "a 50% corruption rate over {} checkpoints must corrupt one",
+        summary.recovery.checkpoints_written
+    );
+    assert_bit_identical(&sequential, &pipelined);
+}
+
+#[test]
+fn a_halted_run_resumes_mid_horizon_bit_identically() {
+    // Halt the hub after slot 5 (manifest lands at the newest complete
+    // round), then resume from the same store: the stitched run must be
+    // bit-identical to one that never stopped — and to the sequential
+    // engine — including under telemetry faults.
+    let config = EmulatorConfig {
+        faults: FaultConfig::uniform(0.2, 11),
+        pipelined: true,
+        ..recovery_config()
+    };
+    let sequential =
+        Emulator::new(EmulatorConfig { pipelined: false, ..config }, Policy::Lpvs).run();
+    let uninterrupted = Emulator::new(config, Policy::Lpvs).run();
+    assert_bit_identical(&sequential, &uninterrupted);
+
+    let dir = scratch("resume");
+    let halted = Emulator::new(config, Policy::Lpvs)
+        .with_checkpoints(CheckpointSpec {
+            interval: 2,
+            halt_after: Some(5),
+            ..CheckpointSpec::new(dir.clone())
+        })
+        .run();
+    assert_eq!(halted.slots.len(), 6, "the halted run stops after slot 5");
+
+    let resumed = Emulator::new(config, Policy::Lpvs)
+        .with_checkpoints(CheckpointSpec {
+            interval: 2,
+            resume: true,
+            ..CheckpointSpec::new(dir)
+        })
+        .run();
+    let summary = resumed.runtime.clone().expect("summary");
+    let at = summary.recovery.resumed_at.expect("resumed run records its entry slot");
+    assert!(at <= 5 && at.is_multiple_of(2), "resume enters at the newest complete round, got {at}");
+    assert_eq!(resumed.slots.len(), 12, "the resumed run completes the horizon");
+    assert_bit_identical(&uninterrupted, &resumed);
+}

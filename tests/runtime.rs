@@ -52,10 +52,10 @@ fn pipelined_run_is_bit_identical_to_sequential_one_slot_ahead() {
         let pipelined =
             Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs).run();
         assert!(sequential.runtime.is_none());
-        let summary = pipelined.runtime.expect("pipelined run reports a summary");
+        let summary = pipelined.runtime.clone().expect("pipelined run reports a summary");
         assert!(summary.pipelined);
         assert_eq!(summary.shards, num_edges);
-        assert_eq!(summary.fell_back, None);
+        assert_eq!(summary.recovery.fell_back, None);
         assert_eq!(summary.workers_lost, 0);
         assert_bit_identical(&sequential, &pipelined);
     }
@@ -91,27 +91,63 @@ fn oracle_and_fixed_gamma_modes_pipeline_identically() {
 }
 
 #[test]
-fn stage_faults_trigger_the_sequential_fallback_and_complete() {
+fn stage_faults_are_absorbed_by_supervised_recovery() {
+    // Worker deaths no longer abandon the pipeline: the supervisor
+    // respawns each dead shard from its restored bank and re-dispatches
+    // the slot, so the run stays pipelined end to end and remains
+    // bit-identical to the sequential engine.
     let config = EmulatorConfig {
         devices: 16,
         slots: 12,
         seed: 7,
+        one_slot_ahead: true,
         faults: FaultConfig { stage_fault_rate: 0.25, ..FaultConfig::none() },
+        num_edges: 2,
+        ..EmulatorConfig::default()
+    };
+    let sequential = Emulator::new(config, Policy::Lpvs).run();
+    let pipelined =
+        Emulator::new(EmulatorConfig { pipelined: true, ..config }, Policy::Lpvs).run();
+    let summary = pipelined.runtime.clone().expect("pipelined run reports a summary");
+    assert!(summary.workers_lost > 0, "a 25% stage-fault rate over 12×2 must kill a worker");
+    assert_eq!(summary.recovery.fell_back, None, "recovery must absorb every death");
+    assert_eq!(summary.recovery.total_deaths() as usize, summary.workers_lost);
+    assert!(summary.recovery.shards.iter().any(|s| s.retries > 0));
+    assert_eq!(pipelined.slots.len(), 12);
+    assert_bit_identical(&sequential, &pipelined);
+}
+
+#[test]
+fn unrecoverable_stage_faults_bottom_out_in_the_sequential_fallback() {
+    // With `stage_fault_repeat` at its maximum, every respawned attempt
+    // of a faulted (slot, shard) dies again, so the retry budget runs
+    // out and the hub degrades to the inline sequential engine — the
+    // bottom rung of the ladder — and still completes the horizon.
+    let config = EmulatorConfig {
+        devices: 16,
+        slots: 12,
+        seed: 7,
+        faults: FaultConfig {
+            stage_fault_rate: 0.25,
+            stage_fault_repeat: u32::MAX,
+            ..FaultConfig::none()
+        },
         pipelined: true,
         num_edges: 2,
         ..EmulatorConfig::default()
     };
     let a = Emulator::new(config, Policy::Lpvs).run();
-    let summary = a.runtime.expect("pipelined run reports a summary");
+    let summary = a.runtime.clone().expect("pipelined run reports a summary");
     assert!(summary.workers_lost > 0, "a 25% stage-fault rate over 12×2 must kill a worker");
-    let fell_back = summary.fell_back.expect("worker death must trigger the fallback");
+    let fell_back =
+        summary.recovery.fell_back.expect("an unrecoverable shard must trigger the fallback");
     // The run completes the full horizon regardless.
     assert_eq!(a.slots.len(), 12);
     assert!(a.slots.iter().all(|s| s.watching == 0 || s.degradation.is_some()));
     // Worker death is hash-derived, not sampled: the replay is
     // bit-identical, fallback slot included.
     let b = Emulator::new(config, Policy::Lpvs).run();
-    assert_eq!(b.runtime.expect("summary").fell_back, Some(fell_back));
+    assert_eq!(b.runtime.clone().expect("summary").recovery.fell_back, Some(fell_back));
     assert_bit_identical(&a, &b);
 }
 
