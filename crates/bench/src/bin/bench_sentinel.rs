@@ -1,0 +1,110 @@
+//! `bench-sentinel` — the bench regression gate.
+//!
+//! Reads the committed baseline manifest (`bench_baselines.json`) and
+//! compares every guarded metric in the committed `BENCH_*.json`
+//! artifacts against its band. Exits nonzero on any regression, so CI
+//! can gate on it.
+//!
+//! ```text
+//! cargo run --release -p lpvs-bench --bin bench-sentinel
+//! cargo run --release -p lpvs-bench --bin bench-sentinel -- --selftest
+//! cargo run --release -p lpvs-bench --bin bench-sentinel -- \
+//!     --manifest bench_baselines.json --dir .
+//! ```
+//!
+//! `--selftest` proves the sentinel bites: for every entry it doctors
+//! the value past the threshold and asserts the check fails, then
+//! asserts the committed baseline itself passes.
+
+use lpvs_bench::sentinel::{check, parse_manifest, run, Verdict};
+use lpvs_obs::json::Json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut manifest = PathBuf::from("bench_baselines.json");
+    let mut dir = PathBuf::from(".");
+    let mut selftest = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--manifest" => manifest = args.next().expect("--manifest takes a path").into(),
+            "--dir" => dir = args.next().expect("--dir takes a directory").into(),
+            "--selftest" => selftest = true,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let text = match std::fs::read_to_string(&manifest) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("bench-sentinel: cannot read {}: {err}", manifest.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match Json::parse(&text).map_err(|e| e.to_string()).and_then(|doc| parse_manifest(&doc)) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("bench-sentinel: bad manifest {}: {err}", manifest.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("bench-sentinel: manifest has no entries — nothing guarded");
+        return ExitCode::FAILURE;
+    }
+
+    if selftest {
+        // Doctor each metric past its band and demand a failure; a
+        // sentinel that cannot fail is not guarding anything.
+        for entry in &entries {
+            let doctored = entry.doctored();
+            if entry.passes(doctored) {
+                eprintln!(
+                    "selftest FAIL: doctored {}:{} = {doctored} slipped past the band",
+                    entry.file, entry.path
+                );
+                return ExitCode::FAILURE;
+            }
+            if !entry.passes(entry.baseline) {
+                eprintln!(
+                    "selftest FAIL: committed baseline {}:{} fails its own band",
+                    entry.file, entry.path
+                );
+                return ExitCode::FAILURE;
+            }
+            // End-to-end: a doctored document must produce a failing
+            // verdict through the same path the real check takes.
+            let doc = Json::obj([("doctored", Json::Num(doctored))]);
+            let entry_on_doc = lpvs_bench::sentinel::BaselineEntry {
+                path: "doctored".into(),
+                ..entry.clone()
+            };
+            let verdict = check(&entry_on_doc, &doc);
+            if verdict.pass {
+                eprintln!("selftest FAIL: {verdict}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("bench-sentinel selftest: {} entries, every doctored value caught", entries.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let verdicts: Vec<Verdict> = run(&entries, &dir);
+    let mut failed = 0usize;
+    for v in &verdicts {
+        println!("{v}");
+        if !v.pass {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!("bench-sentinel: {failed}/{} metrics regressed", verdicts.len());
+        return ExitCode::FAILURE;
+    }
+    println!("bench-sentinel: {} metrics within their bands", verdicts.len());
+    ExitCode::SUCCESS
+}

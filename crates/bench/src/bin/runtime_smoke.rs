@@ -7,6 +7,10 @@
 //! control run pins the healthy path, and a faulted replay pins
 //! determinism: worker death and checkpoint corruption are both
 //! hash-derived, so the whole recovery story reproduces exactly.
+//!
+//! Leaves telemetry behind for CI artifacts: `obs_trace.json` (the
+//! faulted run's Perfetto-loadable trace) and `obs_flight.jsonl` (one
+//! blackbox flight recording per worker death).
 
 use lpvs_core::baseline::Policy;
 use lpvs_emulator::engine::{CheckpointSpec, Emulator, EmulatorConfig};
@@ -77,9 +81,15 @@ fn main() {
         ..config
     };
     let spec = |dir| CheckpointSpec { interval: 2, ..CheckpointSpec::new(dir) };
+    // Trace the faulted run only: reset so the control and sequential
+    // runs' spans don't dilute the artifact.
+    let recorder = lpvs_obs::init();
+    recorder.reset();
     let faulted = Emulator::new(faulted_config, Policy::Lpvs)
         .with_checkpoints(spec(scratch_dir("faulted")))
         .run();
+    lpvs_obs::set_enabled(false);
+    let span_events = recorder.drain_events();
     let summary = faulted.runtime.clone().expect("faulted run reports a runtime summary");
     assert!(summary.workers_lost > 0, "10% stage faults over {slots}x2 must kill a worker");
     assert_eq!(
@@ -133,5 +143,18 @@ fn main() {
     assert_eq!(replay.gamma_posteriors, faulted.gamma_posteriors);
     assert_eq!(replay.display_energy_j, faulted.display_energy_j);
     println!("replay: recovery report and results reproduce bit-for-bit");
+
+    // CI artifacts: the faulted run's causal trace and the blackbox
+    // recordings its worker deaths left behind.
+    assert!(!summary.recovery.flight.is_empty(), "deaths must leave flight recordings");
+    std::fs::write("obs_trace.json", lpvs_obs::sink::events_to_chrome_trace(&span_events))
+        .expect("write obs_trace.json");
+    std::fs::write("obs_flight.jsonl", lpvs_runtime::flight_to_jsonl(&summary.recovery.flight))
+        .expect("write obs_flight.jsonl");
+    println!(
+        "wrote obs_trace.json ({} spans) and obs_flight.jsonl ({} recordings)",
+        span_events.len(),
+        summary.recovery.flight.len(),
+    );
     println!("runtime smoke OK");
 }

@@ -17,6 +17,7 @@
 //! | `fig9_tpv` | Fig. 9 time-per-viewer of low-battery users |
 //! | `fig10_overhead` | Fig. 10 scheduler runtime scaling |
 //! | `fleet_scaling` | sharded vs monolithic slot latency at 10k/100k devices |
+//! | `bench-sentinel` | compares `BENCH_*.json` against `bench_baselines.json` |
 //! | `ablation_phase2` | Phase-2 on/off (quality) |
 //! | `ablation_bayes` | learned vs fixed vs oracle γ (quality) |
 //! | `ablation_policies` | LPVS vs the §III-C baselines (quality) |
@@ -27,6 +28,8 @@
 //! | bench `ablation_compacting` | compacted vs chunk-level feasibility |
 
 #![warn(missing_docs)]
+
+pub mod sentinel;
 
 use lpvs_display::stats::FrameStats;
 use lpvs_media::content::{ContentModel, Genre};

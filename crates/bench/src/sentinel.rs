@@ -1,0 +1,307 @@
+//! The bench regression sentinel.
+//!
+//! Compares each committed `BENCH_*.json` against a committed baseline
+//! manifest (`bench_baselines.json` at the repository root) and reports
+//! any metric that regressed past its threshold. A metric regresses
+//! when it moved in its bad direction by more than
+//! `|baseline| * tolerance_pct / 100 + slack_abs` — the relative term
+//! scales with the metric, the absolute slack keeps near-zero and
+//! negative baselines (e.g. a *negative* checkpoint overhead) from
+//! collapsing to a zero-width band.
+//!
+//! The manifest is data, not code: adding a guarded metric is one JSON
+//! entry naming the file, a dotted path into it (`rows[3].secs`,
+//! `obs_overhead.overhead_pct`), the bad direction, and the band.
+
+use lpvs_obs::json::Json;
+use std::fmt;
+use std::path::Path;
+
+/// Which way a metric is allowed to move freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Lower is better: regression when the value *rises* past the
+    /// threshold (runtimes, overheads, latencies).
+    Lower,
+    /// Higher is better: regression when the value *falls* below the
+    /// threshold (speedups, savings, fit quality).
+    Higher,
+}
+
+impl Direction {
+    fn parse(tag: &str) -> Result<Self, String> {
+        match tag {
+            "lower" => Ok(Direction::Lower),
+            "higher" => Ok(Direction::Higher),
+            other => Err(format!("unknown direction {other:?} (expected \"lower\"/\"higher\")")),
+        }
+    }
+}
+
+/// One guarded metric from the baseline manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineEntry {
+    /// Bench artifact the metric lives in, relative to the check dir.
+    pub file: String,
+    /// Dotted path into the artifact: object keys separated by `.`,
+    /// array elements as `[idx]` (e.g. `rows[3].secs`).
+    pub path: String,
+    /// The direction the metric is allowed to improve in.
+    pub direction: Direction,
+    /// Committed reference value.
+    pub baseline: f64,
+    /// Allowed relative drift, in percent of `|baseline|`.
+    pub tolerance_pct: f64,
+    /// Allowed absolute drift, added on top of the relative band.
+    pub slack_abs: f64,
+}
+
+impl BaselineEntry {
+    /// The value past which the metric counts as regressed.
+    pub fn threshold(&self) -> f64 {
+        let margin = self.baseline.abs() * self.tolerance_pct / 100.0 + self.slack_abs;
+        match self.direction {
+            Direction::Lower => self.baseline + margin,
+            Direction::Higher => self.baseline - margin,
+        }
+    }
+
+    /// Whether `value` is within the allowed band.
+    pub fn passes(&self, value: f64) -> bool {
+        if !value.is_finite() {
+            return false;
+        }
+        match self.direction {
+            Direction::Lower => value <= self.threshold(),
+            Direction::Higher => value >= self.threshold(),
+        }
+    }
+
+    /// A value guaranteed to fail this entry — used by `--selftest` to
+    /// prove the sentinel actually bites.
+    pub fn doctored(&self) -> f64 {
+        let past = self.baseline.abs() * self.tolerance_pct / 100.0 + self.slack_abs + 1.0;
+        match self.direction {
+            Direction::Lower => self.baseline + 2.0 * past,
+            Direction::Higher => self.baseline - 2.0 * past,
+        }
+    }
+}
+
+/// Outcome of checking one manifest entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// The entry that was checked.
+    pub entry: BaselineEntry,
+    /// The value found in the artifact, if it could be read.
+    pub value: Option<f64>,
+    /// Whether the metric is within its band. Missing files/paths fail:
+    /// a sentinel that silently skips is no sentinel.
+    pub pass: bool,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = if self.pass { "ok  " } else { "FAIL" };
+        let arrow = match self.entry.direction {
+            Direction::Lower => "<=",
+            Direction::Higher => ">=",
+        };
+        match self.value {
+            Some(v) => write!(
+                f,
+                "{state} {}:{} = {v:.6} (need {arrow} {:.6}, baseline {:.6})",
+                self.entry.file,
+                self.entry.path,
+                self.entry.threshold(),
+                self.entry.baseline,
+            ),
+            None => write!(f, "{state} {}:{} = <missing>", self.entry.file, self.entry.path),
+        }
+    }
+}
+
+/// Resolves a dotted path (`rows[3].secs`) into a JSON document.
+pub fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    let mut cur = doc;
+    for segment in path.split('.') {
+        let (key, indices) = match segment.find('[') {
+            Some(open) => (&segment[..open], &segment[open..]),
+            None => (segment, ""),
+        };
+        if !key.is_empty() {
+            cur = cur.get(key)?;
+        }
+        let mut rest = indices;
+        while let Some(stripped) = rest.strip_prefix('[') {
+            let close = stripped.find(']')?;
+            let idx: usize = stripped[..close].parse().ok()?;
+            cur = cur.as_arr()?.get(idx)?;
+            rest = &stripped[close + 1..];
+        }
+    }
+    Some(cur)
+}
+
+/// Parses the baseline manifest (`{"entries": [...]}`).
+pub fn parse_manifest(doc: &Json) -> Result<Vec<BaselineEntry>, String> {
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("manifest has no \"entries\" array")?;
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        let field = |k: &str| e.get(k).ok_or_else(|| format!("entry {i} missing \"{k}\""));
+        let num = |k: &str| {
+            field(k)?.as_f64().ok_or_else(|| format!("entry {i} field \"{k}\" is not a number"))
+        };
+        out.push(BaselineEntry {
+            file: field("file")?
+                .as_str()
+                .ok_or_else(|| format!("entry {i} field \"file\" is not a string"))?
+                .to_owned(),
+            path: field("path")?
+                .as_str()
+                .ok_or_else(|| format!("entry {i} field \"path\" is not a string"))?
+                .to_owned(),
+            direction: Direction::parse(
+                field("direction")?
+                    .as_str()
+                    .ok_or_else(|| format!("entry {i} field \"direction\" is not a string"))?,
+            )?,
+            baseline: num("baseline")?,
+            tolerance_pct: num("tolerance_pct")?,
+            slack_abs: num("slack_abs")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Checks one entry against an already-parsed artifact document.
+pub fn check(entry: &BaselineEntry, doc: &Json) -> Verdict {
+    let value = lookup(doc, &entry.path).and_then(Json::as_f64);
+    let pass = value.is_some_and(|v| entry.passes(v));
+    Verdict { entry: entry.clone(), value, pass }
+}
+
+/// Checks every manifest entry against the artifacts in `dir`. Files
+/// are parsed once each; unreadable files fail their entries.
+pub fn run(entries: &[BaselineEntry], dir: &Path) -> Vec<Verdict> {
+    let mut docs: Vec<(String, Option<Json>)> = Vec::new();
+    entries
+        .iter()
+        .map(|entry| {
+            let doc = match docs.iter().find(|(name, _)| *name == entry.file) {
+                Some((_, doc)) => doc.clone(),
+                None => {
+                    let doc = std::fs::read_to_string(dir.join(&entry.file))
+                        .ok()
+                        .and_then(|text| Json::parse(&text).ok());
+                    docs.push((entry.file.clone(), doc.clone()));
+                    doc
+                }
+            };
+            match doc {
+                Some(doc) => check(entry, &doc),
+                None => Verdict { entry: entry.clone(), value: None, pass: false },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Json {
+        Json::parse(
+            r#"{"rows":[{"secs":1.5,"saved":10.0},{"secs":3.25,"saved":20.0}],
+                "nested":{"overhead_pct":-19.17},"speedup":3.5}"#,
+        )
+        .unwrap()
+    }
+
+    fn entry(path: &str, direction: Direction, baseline: f64, tol: f64, slack: f64) -> BaselineEntry {
+        BaselineEntry {
+            file: "BENCH_test.json".into(),
+            path: path.into(),
+            direction,
+            baseline,
+            tolerance_pct: tol,
+            slack_abs: slack,
+        }
+    }
+
+    #[test]
+    fn lookup_resolves_dots_and_indices() {
+        let d = doc();
+        assert_eq!(lookup(&d, "rows[1].secs").and_then(Json::as_f64), Some(3.25));
+        assert_eq!(lookup(&d, "nested.overhead_pct").and_then(Json::as_f64), Some(-19.17));
+        assert_eq!(lookup(&d, "speedup").and_then(Json::as_f64), Some(3.5));
+        assert!(lookup(&d, "rows[9].secs").is_none());
+        assert!(lookup(&d, "rows[1].missing").is_none());
+    }
+
+    #[test]
+    fn lower_is_better_band() {
+        let e = entry("rows[1].secs", Direction::Lower, 3.25, 20.0, 0.1);
+        // threshold = 3.25 + 0.65 + 0.1 = 4.0
+        assert!((e.threshold() - 4.0).abs() < 1e-12);
+        assert!(e.passes(3.9));
+        assert!(e.passes(1.0)); // improvements always pass
+        assert!(!e.passes(4.1));
+        assert!(!e.passes(f64::NAN));
+    }
+
+    #[test]
+    fn higher_is_better_band() {
+        let e = entry("speedup", Direction::Higher, 3.5, 20.0, 0.0);
+        assert!(e.passes(3.0));
+        assert!(e.passes(9.0));
+        assert!(!e.passes(2.7));
+    }
+
+    #[test]
+    fn negative_baseline_keeps_a_usable_band_via_slack() {
+        // A negative overhead (checkpointing *speeds up* the run) must
+        // still allow crossing to slightly positive before failing.
+        let e = entry("nested.overhead_pct", Direction::Lower, -19.17, 0.0, 25.0);
+        assert!(e.passes(5.0));
+        assert!(!e.passes(6.5));
+    }
+
+    #[test]
+    fn doctored_values_always_fail() {
+        for e in [
+            entry("rows[1].secs", Direction::Lower, 3.25, 20.0, 0.1),
+            entry("speedup", Direction::Higher, 3.5, 20.0, 0.0),
+            entry("nested.overhead_pct", Direction::Lower, -19.17, 0.0, 25.0),
+        ] {
+            assert!(!e.passes(e.doctored()), "doctored value slipped past {e:?}");
+            assert!(e.passes(e.baseline), "baseline itself must pass {e:?}");
+        }
+    }
+
+    #[test]
+    fn check_flags_missing_paths() {
+        let e = entry("rows[1].gone", Direction::Lower, 1.0, 10.0, 0.0);
+        let v = check(&e, &doc());
+        assert!(!v.pass);
+        assert_eq!(v.value, None);
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let text = r#"{"entries":[
+            {"file":"BENCH_a.json","path":"rows[0].secs","direction":"lower",
+             "baseline":1.5,"tolerance_pct":50.0,"slack_abs":0.5}
+        ]}"#;
+        let entries = parse_manifest(&Json::parse(text).unwrap()).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].direction, Direction::Lower);
+        assert_eq!(entries[0].path, "rows[0].secs");
+        let bad = r#"{"entries":[{"file":"x","path":"y","direction":"sideways",
+             "baseline":0,"tolerance_pct":0,"slack_abs":0}]}"#;
+        assert!(parse_manifest(&Json::parse(bad).unwrap()).is_err());
+    }
+}

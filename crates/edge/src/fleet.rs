@@ -239,6 +239,10 @@ impl FleetScheduler {
         let start = Instant::now();
         let mut fleet_span =
             lpvs_obs::span!("fleet.slot", "devices" => fleet.len(), "shards" => servers.len());
+        // Captured before the scoped threads spawn: implicit parentage
+        // never crosses threads, so each shard span is handed the slot
+        // context explicitly and joins this trace instead of orphaning.
+        let slot_ctx = fleet_span.context();
 
         let shards = self.partition(fleet);
         // A warm start only applies when the population is unchanged.
@@ -272,8 +276,8 @@ impl FleetScheduler {
                 .map(|(s, (problem, warm))| {
                     let scheduler = &scheduler;
                     scope.spawn(move |_| {
-                        let _span = lpvs_obs::span!(
-                            "fleet.shard", "shard" => s, "devices" => problem.len()
+                        let _span = lpvs_obs::span_in!(
+                            slot_ctx, "fleet.shard", "shard" => s, "devices" => problem.len()
                         );
                         scheduler.schedule_resilient(problem, warm.as_deref(), budget)
                     })

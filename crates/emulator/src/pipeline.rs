@@ -230,6 +230,9 @@ impl SlotSource for EmulatorDriver {
     ) -> Option<GatheredSlot> {
         let scratch = self.scratch.take().expect("gather follows begin_slot");
         debug_assert_eq!(scratch.slot, slot, "gather out of step with begin_slot");
+        let _span = lpvs_obs::span!(
+            "emu.gather", "slot" => slot, "devices" => scratch.watching.len()
+        );
         if scratch.watching.is_empty() {
             self.scratch = Some(scratch);
             return None;
@@ -354,6 +357,9 @@ impl SlotSink for EmulatorDriver {
     fn apply(&mut self, slot: usize) -> SlotFeedback {
         let scratch = self.scratch.take().expect("apply follows begin_slot");
         debug_assert_eq!(scratch.slot, slot, "apply out of step with begin_slot");
+        let _span = lpvs_obs::span!(
+            "emu.apply", "slot" => slot, "devices" => scratch.watching.len()
+        );
         // One-slot-ahead: decisions solved before this slot come into
         // force now (the latest wins; earlier ones lapsed unapplied
         // while nobody watched).

@@ -36,17 +36,21 @@
 //! lpvs_obs::set_enabled(false);
 //! ```
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod sink;
 pub mod span;
 
+pub use flight::{FlightEvent, FlightKind, FlightRing};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SeriesKey,
 };
 pub use recorder::{NoopRecorder, ObsSnapshot, Record, Recorder};
-pub use span::{current_thread_id, span_metric_name, SpanEvent, SpanGuard};
+pub use span::{
+    current_context, current_thread_id, span_metric_name, SpanContext, SpanEvent, SpanGuard,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -121,6 +125,22 @@ pub fn start_span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// Opens a span parented under a [`SpanContext`] handed off from
+/// another thread; prefer the [`span_in!`] macro. With `parent: None`
+/// (the context was captured while recording was off, or outside any
+/// span) this is [`start_span`]. Returns an inert guard when recording
+/// is disabled.
+#[inline]
+pub fn start_span_with(name: &'static str, parent: Option<SpanContext>) -> SpanGuard {
+    if !enabled() {
+        SpanGuard::noop()
+    } else if let Some(ctx) = parent {
+        SpanGuard::open_in(name, ctx)
+    } else {
+        SpanGuard::open(name)
+    }
+}
+
 /// Increments counter `name` by 1 (no-op when disabled).
 #[inline]
 pub fn inc(name: &str) {
@@ -153,6 +173,45 @@ pub fn observe(name: &str, value: f64) {
     if enabled() {
         if let Some(registry) = global().registry() {
             registry.histogram(name).record(value);
+        }
+    }
+}
+
+/// Increments the counter series `name{labels}` by 1 (no-op when
+/// disabled). Labels must be low-cardinality (`shard`, `tier`,
+/// `stage`) — never per-device values.
+#[inline]
+pub fn inc_labeled(name: &str, labels: &[(&str, &str)]) {
+    add_labeled(name, labels, 1);
+}
+
+/// Adds `n` to the counter series `name{labels}` (no-op when disabled).
+#[inline]
+pub fn add_labeled(name: &str, labels: &[(&str, &str)], n: u64) {
+    if enabled() {
+        if let Some(registry) = global().registry() {
+            registry.counter_labeled(name, labels).add(n);
+        }
+    }
+}
+
+/// Sets the gauge series `name{labels}` (no-op when disabled).
+#[inline]
+pub fn gauge_set_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if enabled() {
+        if let Some(registry) = global().registry() {
+            registry.gauge_labeled(name, labels).set(value);
+        }
+    }
+}
+
+/// Records `value` into the histogram series `name{labels}` (no-op
+/// when disabled).
+#[inline]
+pub fn observe_labeled(name: &str, labels: &[(&str, &str)], value: f64) {
+    if enabled() {
+        if let Some(registry) = global().registry() {
+            registry.histogram_labeled(name, labels).record(value);
         }
     }
 }
@@ -264,9 +323,76 @@ mod tests {
             let worker = events.iter().find(|e| e.name == "test.worker").unwrap();
             let main2 = events.iter().find(|e| e.name == "test.main2").unwrap();
             assert_ne!(worker.thread, main2.thread);
-            // The worker thread has no enclosing span: parentage never
-            // leaks across threads.
+            // Parentage never leaks across threads *implicitly*: a bare
+            // span on a fresh thread roots its own trace. Handoff is
+            // explicit — see context_handoff_parents_across_threads.
             assert_eq!(worker.parent, None);
+            assert_ne!(worker.trace, main2.trace);
+        });
+    }
+
+    #[test]
+    fn context_handoff_parents_across_threads() {
+        with_clean_recorder(|recorder| {
+            {
+                let slot = span!("test.slot");
+                let ctx = slot.context();
+                assert!(ctx.is_some(), "recording is on, context must exist");
+                std::thread::spawn(move || {
+                    let mut solve = span_in!(ctx, "test.solve", "shard" => 1);
+                    solve.record("devices", 4.0);
+                    // Children on the worker thread nest under the
+                    // handed-off span as usual.
+                    drop(span!("test.solve.inner"));
+                })
+                .join()
+                .unwrap();
+            }
+            let events = recorder.events();
+            let slot = events.iter().find(|e| e.name == "test.slot").unwrap();
+            let solve = events.iter().find(|e| e.name == "test.solve").unwrap();
+            let inner = events.iter().find(|e| e.name == "test.solve.inner").unwrap();
+            assert_eq!(solve.parent, Some(slot.id));
+            assert_eq!(solve.trace, slot.trace);
+            assert_ne!(solve.thread, slot.thread);
+            assert_eq!(inner.parent, Some(solve.id));
+            assert_eq!(inner.trace, slot.trace);
+            assert_eq!(solve.field("shard"), Some(1.0));
+        });
+    }
+
+    #[test]
+    fn handoff_degrades_gracefully_when_disabled() {
+        with_clean_recorder(|recorder| {
+            set_enabled(false);
+            let ghost = span!("test.ghost");
+            assert_eq!(ghost.context(), None);
+            // A None context (captured while off) opens a root span
+            // once recording is back on.
+            set_enabled(true);
+            drop(span_in!(None, "test.rooted"));
+            let events = recorder.events();
+            let rooted = events.iter().find(|e| e.name == "test.rooted").unwrap();
+            assert_eq!(rooted.parent, None);
+        });
+    }
+
+    #[test]
+    fn current_context_tracks_the_innermost_span() {
+        with_clean_recorder(|_recorder| {
+            assert_eq!(current_context(), None);
+            let outer = span!("test.outer");
+            assert_eq!(current_context(), outer.context());
+            {
+                let inner = span!("test.inner");
+                assert_eq!(current_context(), inner.context());
+                assert_eq!(
+                    current_context().map(|c| c.trace),
+                    outer.context().map(|c| c.trace),
+                    "nested spans share the root's trace"
+                );
+            }
+            assert_eq!(current_context(), outer.context());
         });
     }
 

@@ -9,8 +9,78 @@
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Identity of one metric series: a name plus a (possibly empty) set
+/// of low-cardinality labels, sorted by label key.
+///
+/// Labels follow Prometheus conventions — a handful of bounded-value
+/// dimensions (`shard`, `tier`, `stage`), never per-device ids. The
+/// same name may carry different label sets; each combination is its
+/// own series with its own instrument.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Metric name (`[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by key (so equal label sets compare equal
+    /// regardless of call-site order).
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// An unlabeled series.
+    pub fn plain(name: &str) -> Self {
+        Self { name: name.to_owned(), labels: Vec::new() }
+    }
+
+    /// A labeled series; the pairs are sorted by key on construction.
+    pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect();
+        labels.sort();
+        Self { name: name.to_owned(), labels }
+    }
+
+    /// Escapes a label value per the Prometheus text exposition rules:
+    /// backslash, double quote, and newline become `\\`, `\"`, `\n`.
+    pub fn escape_label_value(value: &str) -> String {
+        let mut out = String::with_capacity(value.len());
+        for c in value.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Renders the label block — `{k="v",…}`, with escaped values and
+    /// `extra` pairs appended (for the histogram `le` bound) — or an
+    /// empty string when there are no labels at all.
+    pub fn label_block(&self, extra: &[(&str, &str)]) -> String {
+        if self.labels.is_empty() && extra.is_empty() {
+            return String::new();
+        }
+        let mut parts = Vec::with_capacity(self.labels.len() + extra.len());
+        for (k, v) in &self.labels {
+            parts.push(format!("{k}=\"{}\"", Self::escape_label_value(v)));
+        }
+        for (k, v) in extra {
+            parts.push(format!("{k}=\"{}\"", Self::escape_label_value(v)));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+impl fmt::Display for SeriesKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.name, self.label_block(&[]))
+    }
+}
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -282,9 +352,9 @@ impl HistogramSnapshot {
 /// → `sched_phase1_seconds`).
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
-    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
-    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    counters: Mutex<BTreeMap<SeriesKey, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<SeriesKey, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<SeriesKey, Arc<Histogram>>>,
 }
 
 impl MetricsRegistry {
@@ -293,30 +363,62 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// The counter registered under `name`, creating it on first use.
+    /// The unlabeled counter registered under `name`, creating it on
+    /// first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut map = self.counters.lock();
-        map.entry(name.to_owned()).or_default().clone()
+        self.counter_for(SeriesKey::plain(name))
     }
 
-    /// The gauge registered under `name`, creating it on first use.
+    /// The counter series `name{labels}`, creating it on first use.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter_for(SeriesKey::with_labels(name, labels))
+    }
+
+    /// The counter registered under an explicit [`SeriesKey`].
+    pub fn counter_for(&self, key: SeriesKey) -> Arc<Counter> {
+        self.counters.lock().entry(key).or_default().clone()
+    }
+
+    /// The unlabeled gauge registered under `name`, creating it on
+    /// first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut map = self.gauges.lock();
-        map.entry(name.to_owned()).or_default().clone()
+        self.gauge_for(SeriesKey::plain(name))
     }
 
-    /// The histogram registered under `name` (default bounds),
-    /// creating it on first use.
+    /// The gauge series `name{labels}`, creating it on first use.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_for(SeriesKey::with_labels(name, labels))
+    }
+
+    /// The gauge registered under an explicit [`SeriesKey`].
+    pub fn gauge_for(&self, key: SeriesKey) -> Arc<Gauge> {
+        self.gauges.lock().entry(key).or_default().clone()
+    }
+
+    /// The unlabeled histogram registered under `name` (default
+    /// bounds), creating it on first use.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_for(SeriesKey::plain(name))
+    }
+
+    /// The histogram series `name{labels}` (default bounds), creating
+    /// it on first use.
+    pub fn histogram_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histogram_for(SeriesKey::with_labels(name, labels))
+    }
+
+    /// The histogram registered under an explicit [`SeriesKey`]
+    /// (default bounds).
+    pub fn histogram_for(&self, key: SeriesKey) -> Arc<Histogram> {
         let mut map = self.histograms.lock();
-        map.entry(name.to_owned()).or_insert_with(|| Arc::new(Histogram::latency())).clone()
+        map.entry(key).or_insert_with(|| Arc::new(Histogram::latency())).clone()
     }
 
     /// The histogram registered under `name` with explicit bounds
     /// (applied only on first registration).
     pub fn histogram_with(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
         let mut map = self.histograms.lock();
-        map.entry(name.to_owned())
+        map.entry(SeriesKey::plain(name))
             .or_insert_with(|| Arc::new(Histogram::with_bounds(bounds.to_vec())))
             .clone()
     }
@@ -353,50 +455,87 @@ impl MetricsRegistry {
     }
 }
 
-/// Plain-data copy of a [`MetricsRegistry`], sorted by name.
+/// Plain-data copy of a [`MetricsRegistry`], sorted by series key
+/// (name first, then labels).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
-    /// Counter values by name.
-    pub counters: Vec<(String, u64)>,
-    /// Gauge values by name.
-    pub gauges: Vec<(String, f64)>,
-    /// Histogram snapshots by name.
-    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Counter values by series.
+    pub counters: Vec<(SeriesKey, u64)>,
+    /// Gauge values by series.
+    pub gauges: Vec<(SeriesKey, f64)>,
+    /// Histogram snapshots by series.
+    pub histograms: Vec<(SeriesKey, HistogramSnapshot)>,
 }
 
 impl MetricsSnapshot {
-    /// Counter value by name.
+    /// Unlabeled counter value by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
-        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.counter_labeled(name, &[])
     }
 
-    /// Gauge value by name.
+    /// Counter value of the series `name{labels}`.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let key = SeriesKey::with_labels(name, labels);
+        self.counters.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Unlabeled gauge value by name.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.gauge_labeled(name, &[])
     }
 
-    /// Histogram snapshot by name.
+    /// Gauge value of the series `name{labels}`.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let key = SeriesKey::with_labels(name, labels);
+        self.gauges.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// Unlabeled histogram snapshot by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
-        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+        self.histogram_labeled(name, &[])
+    }
+
+    /// Histogram snapshot of the series `name{labels}`.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        let key = SeriesKey::with_labels(name, labels);
+        self.histograms.iter().find(|(k, _)| *k == key).map(|(_, h)| h)
+    }
+
+    /// Folds every labeled series of histogram `name` (including the
+    /// unlabeled one) into one merged snapshot — the aggregate view
+    /// after a label fan-out. `None` when no series matches.
+    pub fn histogram_across_labels(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, h)| h)
+            .fold(None, |acc: Option<HistogramSnapshot>, h| match acc {
+                Some(m) => Some(m.merged(h)),
+                None => Some(h.clone()),
+            })
     }
 
     /// Merges two snapshots: counters and histogram buckets add,
-    /// gauges take the other side's value (last write wins). Metrics
+    /// gauges take the other side's value (last write wins). Series
     /// present on only one side carry over unchanged.
     pub fn merged(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
-        let mut counters: BTreeMap<String, u64> = self.counters.iter().cloned().collect();
-        for (name, v) in &other.counters {
-            *counters.entry(name.clone()).or_insert(0) += v;
+        let mut counters: BTreeMap<SeriesKey, u64> = self.counters.iter().cloned().collect();
+        for (key, v) in &other.counters {
+            *counters.entry(key.clone()).or_insert(0) += v;
         }
-        let mut gauges: BTreeMap<String, f64> = self.gauges.iter().cloned().collect();
-        for (name, v) in &other.gauges {
-            gauges.insert(name.clone(), *v);
+        let mut gauges: BTreeMap<SeriesKey, f64> = self.gauges.iter().cloned().collect();
+        for (key, v) in &other.gauges {
+            gauges.insert(key.clone(), *v);
         }
-        let mut histograms: BTreeMap<String, HistogramSnapshot> =
+        let mut histograms: BTreeMap<SeriesKey, HistogramSnapshot> =
             self.histograms.iter().cloned().collect();
-        for (name, h) in &other.histograms {
+        for (key, h) in &other.histograms {
             histograms
-                .entry(name.clone())
+                .entry(key.clone())
                 .and_modify(|mine| *mine = mine.merged(h))
                 .or_insert_with(|| h.clone());
         }
@@ -423,6 +562,64 @@ mod tests {
         assert_eq!(snap.counter("requests_total"), Some(5));
         assert_eq!(snap.gauge("capacity"), Some(12.5));
         assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("slots_total", &[("shard", "0")]).add(2);
+        reg.counter_labeled("slots_total", &[("shard", "1")]).add(5);
+        reg.counter("slots_total").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_labeled("slots_total", &[("shard", "0")]), Some(2));
+        assert_eq!(snap.counter_labeled("slots_total", &[("shard", "1")]), Some(5));
+        assert_eq!(snap.counter("slots_total"), Some(1));
+        // Label order at the call site does not matter.
+        reg.counter_labeled("ops_total", &[("stage", "solve"), ("shard", "3")]).inc();
+        reg.counter_labeled("ops_total", &[("shard", "3"), ("stage", "solve")]).inc();
+        assert_eq!(
+            reg.snapshot()
+                .counter_labeled("ops_total", &[("stage", "solve"), ("shard", "3")]),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn series_key_display_and_escaping() {
+        let key = SeriesKey::with_labels("lat_seconds", &[("tier", "exact"), ("shard", "0")]);
+        assert_eq!(key.to_string(), "lat_seconds{shard=\"0\",tier=\"exact\"}");
+        assert_eq!(SeriesKey::plain("x_total").to_string(), "x_total");
+        assert_eq!(
+            SeriesKey::escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd"
+        );
+    }
+
+    #[test]
+    fn histogram_across_labels_merges_the_fan_out() {
+        let reg = MetricsRegistry::new();
+        reg.histogram_labeled("solve_seconds", &[("shard", "0")]).record(0.1);
+        reg.histogram_labeled("solve_seconds", &[("shard", "1")]).record(0.3);
+        reg.histogram("solve_seconds").record(0.2);
+        let snap = reg.snapshot();
+        let merged = snap.histogram_across_labels("solve_seconds").unwrap();
+        assert_eq!(merged.count, 3);
+        assert!((merged.sum - 0.6).abs() < 1e-12);
+        assert_eq!(merged.min, Some(0.1));
+        assert_eq!(merged.max, Some(0.3));
+        assert!(snap.histogram_across_labels("missing").is_none());
+    }
+
+    #[test]
+    fn merged_snapshots_keep_labeled_series_apart() {
+        let a = MetricsRegistry::new();
+        a.counter_labeled("deaths_total", &[("shard", "0")]).add(1);
+        let b = MetricsRegistry::new();
+        b.counter_labeled("deaths_total", &[("shard", "0")]).add(2);
+        b.counter_labeled("deaths_total", &[("shard", "1")]).add(7);
+        let m = a.snapshot().merged(&b.snapshot());
+        assert_eq!(m.counter_labeled("deaths_total", &[("shard", "0")]), Some(3));
+        assert_eq!(m.counter_labeled("deaths_total", &[("shard", "1")]), Some(7));
     }
 
     #[test]

@@ -7,10 +7,14 @@
 //! collecting [`Recorder`]; [`set_enabled`](crate::set_enabled) toggles
 //! collection without losing what was already gathered.
 
+use crate::flight::{FlightKind, FlightRing};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::span::{span_metric_name, SpanEvent};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+
+/// Capacity of the recorder's own blackbox ring (span-end edges).
+const RECORDER_FLIGHT_CAPACITY: usize = 256;
 
 /// Destination for completed spans and home of the metrics registry.
 ///
@@ -44,17 +48,35 @@ impl Record for NoopRecorder {
 
 /// A thread-safe collecting recorder: spans into a vector, durations
 /// into per-span-name latency histograms, metrics into a
-/// [`MetricsRegistry`].
-#[derive(Debug, Default)]
+/// [`MetricsRegistry`], and span-end edges into a process-wide
+/// blackbox [`FlightRing`].
+#[derive(Debug)]
 pub struct Recorder {
     events: Mutex<Vec<SpanEvent>>,
     metrics: MetricsRegistry,
+    flight: FlightRing,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self {
+            events: Mutex::default(),
+            metrics: MetricsRegistry::default(),
+            flight: FlightRing::new(RECORDER_FLIGHT_CAPACITY),
+        }
+    }
 }
 
 impl Recorder {
     /// An empty recorder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The recorder's own blackbox: the last few hundred span-end
+    /// edges, retained even after [`Self::drain_events`].
+    pub fn flight(&self) -> &FlightRing {
+        &self.flight
     }
 
     /// Copy of the span events collected so far.
@@ -85,10 +107,12 @@ impl Recorder {
         }
     }
 
-    /// Clears events and metrics (fresh start between runs).
+    /// Clears events, metrics, and the blackbox (fresh start between
+    /// runs).
     pub fn reset(&self) {
         self.events.lock().clear();
         self.metrics.reset();
+        self.flight.reset();
     }
 }
 
@@ -101,6 +125,11 @@ impl Record for Recorder {
         self.metrics
             .histogram(&span_metric_name(&event.name))
             .record(event.duration_us as f64 / 1e6);
+        // Span names are &'static at every call site, but they arrive
+        // here as owned strings; the blackbox keeps a generic edge
+        // label and carries the ids in the numeric attachments.
+        self.flight
+            .push(FlightKind::SpanEnd, "span", event.trace as f64, event.duration_us as f64);
         self.events.lock().push(event);
     }
 
@@ -126,6 +155,7 @@ mod tests {
     fn event(name: &str, duration_us: u64) -> SpanEvent {
         SpanEvent {
             name: name.into(),
+            trace: 1,
             id: 1,
             parent: None,
             thread: 1,
@@ -157,8 +187,11 @@ mod tests {
         r.metrics().counter("c").inc();
         assert_eq!(r.drain_events().len(), 1);
         assert_eq!(r.event_count(), 0);
+        // The blackbox survives the drain but not the reset.
+        assert_eq!(r.flight().depth(), 1);
         r.reset();
         assert!(r.snapshot().metrics.counters.is_empty());
+        assert_eq!(r.flight().depth(), 0);
     }
 
     #[test]

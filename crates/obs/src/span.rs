@@ -7,20 +7,50 @@
 //! [`SpanEvent`] to the installed recorder — which also folds the
 //! duration into the span's latency histogram (`sched.phase1` →
 //! `sched_phase1_seconds`).
+//!
+//! ## Causality
+//!
+//! Every span belongs to a **trace**: a root span (no enclosing span)
+//! mints a fresh trace id, and children inherit it through the
+//! thread-local stack. Parentage never leaks across threads
+//! *implicitly* — a bare [`crate::span!`] on a new thread starts a new
+//! trace — but it can be handed off *deliberately*: capture a
+//! [`SpanContext`] with [`SpanGuard::context`] or [`current_context`],
+//! ship it across the channel hop, and open the remote span with
+//! [`crate::start_span_with`]. That is how shard-worker solve spans
+//! stay children of the hub's slot span.
 
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// A portable reference to an open span: the pair of ids a child span
+/// needs to attach to it from another thread.
+///
+/// Capture one with [`SpanGuard::context`] (or [`current_context`]),
+/// send it across a channel, and open the remote child with
+/// [`crate::start_span_with`]. `Copy`, 16 bytes, freely shippable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Trace id shared by every span descended from the same root.
+    pub trace: u64,
+    /// Id of the span that will become the remote child's parent.
+    pub span: u64,
+}
+
 /// One completed span, as collected by the recorder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpanEvent {
     /// Span name from the taxonomy (dot-separated, e.g. `sched.phase1`).
     pub name: String,
+    /// Trace id: shared by every span causally descended from the same
+    /// root span, across threads.
+    pub trace: u64,
     /// Process-unique span id.
     pub id: u64,
-    /// Id of the enclosing span on the same thread, if any.
+    /// Id of the enclosing span (same thread, or handed off across
+    /// threads via [`SpanContext`]), if any.
     pub parent: Option<u64>,
     /// Small dense id of the recording thread.
     pub thread: u64,
@@ -65,11 +95,14 @@ pub fn span_metric_name(span_name: &str) -> String {
 }
 
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    // Each entry is the (span id, trace id) of an open span on this
+    // thread; children read their parent and trace from the top.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Dense id of the current thread (for span attribution).
@@ -77,9 +110,23 @@ pub fn current_thread_id() -> u64 {
     THREAD_ID.with(|id| *id)
 }
 
+/// The context of the innermost span open on this thread, if any.
+///
+/// Capture it before spawning (or before sending work over a channel)
+/// to parent remote spans under the current one.
+pub fn current_context() -> Option<SpanContext> {
+    SPAN_STACK.with(|stack| {
+        stack
+            .borrow()
+            .last()
+            .map(|&(span, trace)| SpanContext { trace, span })
+    })
+}
+
 #[derive(Debug)]
 struct ActiveSpan {
     name: &'static str,
+    trace: u64,
     id: u64,
     parent: Option<u64>,
     start: Instant,
@@ -103,17 +150,40 @@ impl SpanGuard {
 
     pub(crate) fn open(name: &'static str) -> Self {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-        let parent = SPAN_STACK.with(|stack| {
+        let (parent, trace) = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let parent = stack.last().copied();
-            stack.push(id);
-            parent
+            let (parent, trace) = match stack.last().copied() {
+                Some((parent, trace)) => (Some(parent), trace),
+                // Root span: mint a fresh trace.
+                None => (None, NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)),
+            };
+            stack.push((id, trace));
+            (parent, trace)
         });
         Self {
             inner: Some(ActiveSpan {
                 name,
+                trace,
                 id,
                 parent,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Opens a span parented under `ctx` — the deliberate cross-thread
+    /// handoff. The new span joins `ctx`'s trace, and spans opened
+    /// below it on this thread nest under it as usual.
+    pub(crate) fn open_in(name: &'static str, ctx: SpanContext) -> Self {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((id, ctx.trace)));
+        Self {
+            inner: Some(ActiveSpan {
+                name,
+                trace: ctx.trace,
+                id,
+                parent: Some(ctx.span),
                 start: Instant::now(),
                 fields: Vec::new(),
             }),
@@ -123,6 +193,17 @@ impl SpanGuard {
     /// Whether this guard will emit an event.
     pub fn is_recording(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The context other threads need to parent their spans under this
+    /// one. `None` when the guard is inert (recording disabled) — pass
+    /// it through [`crate::start_span_with`], which degrades to a root
+    /// span on the receiving side.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.inner.as_ref().map(|active| SpanContext {
+            trace: active.trace,
+            span: active.id,
+        })
     }
 
     /// Attaches a numeric field to the span (no-op when inert).
@@ -142,7 +223,7 @@ impl Drop for SpanGuard {
             // The guard discipline (RAII, one thread) makes this span
             // the top of the stack; truncate defensively in case a
             // nested guard leaked across a panic boundary.
-            if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+            if let Some(pos) = stack.iter().rposition(|&(id, _)| id == active.id) {
                 stack.truncate(pos);
             }
         });
@@ -153,6 +234,7 @@ impl Drop for SpanGuard {
             .min(u64::MAX as u128) as u64;
         let event = SpanEvent {
             name: active.name.to_owned(),
+            trace: active.trace,
             id: active.id,
             parent: active.parent,
             thread: current_thread_id(),
@@ -180,6 +262,23 @@ macro_rules! span {
     }};
 }
 
+/// Opens a span parented under a shipped [`SpanContext`]:
+/// `span_in!(ctx, "runtime.solve", "shard" => s)`. `ctx` is an
+/// `Option<SpanContext>` — `None` (recording was off when the context
+/// was captured, or there was no enclosing span) opens an ordinary
+/// root span instead, so call sites never need to branch.
+#[macro_export]
+macro_rules! span_in {
+    ($ctx:expr, $name:expr) => {
+        $crate::start_span_with($name, $ctx)
+    };
+    ($ctx:expr, $name:expr, $($key:literal => $value:expr),+ $(,)?) => {{
+        let mut guard = $crate::start_span_with($name, $ctx);
+        $(guard.record($key, ($value) as f64);)+
+        guard
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,6 +294,7 @@ mod tests {
     fn event_accessors() {
         let e = SpanEvent {
             name: "a".into(),
+            trace: 1,
             id: 1,
             parent: None,
             thread: 1,
@@ -211,6 +311,7 @@ mod tests {
     fn containment_requires_same_thread() {
         let outer = SpanEvent {
             name: "outer".into(),
+            trace: 1,
             id: 1,
             parent: None,
             thread: 1,
@@ -220,6 +321,7 @@ mod tests {
         };
         let inner = SpanEvent {
             name: "inner".into(),
+            trace: 1,
             id: 2,
             parent: Some(1),
             thread: 1,

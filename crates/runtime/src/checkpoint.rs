@@ -812,6 +812,95 @@ pub struct ShardRecovery {
     pub inflight_restores: u32,
 }
 
+/// Why the supervisor snapshotted a shard's blackbox ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FlightReason {
+    /// The shard worker died (stage fault or panic outside the
+    /// contained solver).
+    #[default]
+    WorkerDeath,
+    /// The run degraded to the inline sequential path.
+    Fallback,
+    /// A restore rejected checkpoint generations (checksum/decode) on
+    /// the way to a bank.
+    CorruptCheckpoint,
+}
+
+impl FlightReason {
+    /// Stable lowercase tag for JSONL export.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FlightReason::WorkerDeath => "worker_death",
+            FlightReason::Fallback => "fallback",
+            FlightReason::CorruptCheckpoint => "corrupt_checkpoint",
+        }
+    }
+}
+
+/// One snapshot of a shard worker's blackbox [`FlightRing`]
+/// (`lpvs_obs::FlightRing`), taken by the supervisor at the moment it
+/// learned something went wrong. The events are the last things the
+/// worker did before dying — a solve begin with no matching end, the
+/// last checkpoint it sealed, and so on.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlightRecording {
+    /// Shard whose ring was snapshotted.
+    pub shard: usize,
+    /// Slot the hub was driving when the snapshot was taken.
+    pub slot: usize,
+    /// What prompted the snapshot (defaults to a death for
+    /// `Default::default()` scaffolding).
+    pub reason: FlightReason,
+    /// The ring's surviving events, oldest first.
+    pub events: Vec<lpvs_obs::FlightEvent>,
+}
+
+/// Replay determinism: two runs over the same driver must produce equal
+/// [`RecoveryReport`]s, but `FlightEvent::at_us` is wall-clock.
+/// Equality therefore covers everything *except* timestamps.
+impl PartialEq for FlightRecording {
+    fn eq(&self, other: &Self) -> bool {
+        self.shard == other.shard
+            && self.slot == other.slot
+            && self.reason == other.reason
+            && self.events.len() == other.events.len()
+            && self
+                .events
+                .iter()
+                .zip(&other.events)
+                .all(|(x, y)| {
+                    x.seq == y.seq
+                        && x.kind == y.kind
+                        && x.label == y.label
+                        && x.a.to_bits() == y.a.to_bits()
+                        && x.b.to_bits() == y.b.to_bits()
+                })
+    }
+}
+
+impl FlightRecording {
+    /// This recording as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> lpvs_obs::json::Json {
+        use lpvs_obs::json::Json;
+        Json::obj([
+            ("shard", Json::Num(self.shard as f64)),
+            ("slot", Json::Num(self.slot as f64)),
+            ("reason", Json::Str(self.reason.tag().into())),
+            ("events", Json::Arr(self.events.iter().map(|e| e.to_json()).collect())),
+        ])
+    }
+}
+
+/// Renders flight recordings as JSONL, one recording per line.
+pub fn flight_to_jsonl(recordings: &[FlightRecording]) -> String {
+    let mut out = String::new();
+    for rec in recordings {
+        out.push_str(&rec.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
 /// Structured recovery account of a run — replaces the old
 /// `fell_back: Option<usize>` summary field.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -829,6 +918,9 @@ pub struct RecoveryReport {
     /// Slot the runtime degraded to the inline sequential path, if it
     /// did.
     pub fell_back: Option<usize>,
+    /// Blackbox snapshots taken on deaths, fallbacks, and corrupt
+    /// restores (capped; timestamps are excluded from equality).
+    pub flight: Vec<FlightRecording>,
 }
 
 impl RecoveryReport {

@@ -72,8 +72,9 @@ pub mod pipeline;
 pub mod shard;
 
 pub use checkpoint::{
-    CheckpointConfig, CheckpointError, CheckpointStore, LoggedDecision, RecoveryConfig,
-    RecoveryReport, RecoveryTier, RunManifest, ShardRecovery, ShardSnapshot,
+    flight_to_jsonl, CheckpointConfig, CheckpointError, CheckpointStore, FlightReason,
+    FlightRecording, LoggedDecision, RecoveryConfig, RecoveryReport, RecoveryTier, RunManifest,
+    ShardRecovery, ShardSnapshot,
 };
 pub use pipeline::{RuntimeConfig, RuntimeReport, RuntimeSummary, SlotRuntime, StageFaults};
 pub use shard::ShardState;

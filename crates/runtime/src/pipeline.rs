@@ -55,12 +55,14 @@
 //!    sequential [`FleetScheduler`] path.
 
 use crate::checkpoint::{
-    CheckpointStore, JournalOp, LoggedDecision, RecoveryConfig, RecoveryReport, ShardJournal,
+    CheckpointStore, FlightReason, FlightRecording, JournalOp, LoggedDecision, RecoveryConfig,
+    RecoveryReport, ShardJournal,
 };
 use crate::shard::{spawn_worker, ShardState, SolveJob, WorkerEvent, WorkerMsg};
 use crate::{BankOps, CheckpointConfig, CheckpointError, SlotReplay, SlotSink, SlotSource, SolvedSlot};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use lpvs_bayes::{BayesBank, GammaEstimator};
+use lpvs_obs::{FlightRing, SpanContext};
 use lpvs_core::fleet::DeviceFleet;
 use lpvs_core::scheduler::{Degradation, Schedule};
 use lpvs_edge::fleet::{FleetConfig, FleetScheduler, Partitioner};
@@ -179,6 +181,9 @@ struct PendingSolve {
     /// Per-shard dispatch attempt for this slot (bumped on respawn).
     attempts: Vec<u32>,
     dispatched_at: Instant,
+    /// The slot span's context, shipped with every (re-)dispatch so
+    /// worker-side solve spans join the slot's trace.
+    ctx: Option<SpanContext>,
 }
 
 /// What joining a solve produced.
@@ -218,6 +223,10 @@ struct Hub {
     /// merge.
     lost: Vec<ShardState>,
     workers_lost: usize,
+    /// Per-shard blackbox rings. Each worker pushes its last few
+    /// actions here; the ring survives respawns (the replacement worker
+    /// writes into the same ring), so a recording spans the death.
+    rings: Vec<Arc<FlightRing>>,
 }
 
 impl Hub {
@@ -243,6 +252,10 @@ struct Supervisor {
     report: RecoveryReport,
 }
 
+/// Cap on blackbox recordings kept in one report — enough for every
+/// death in a stormy run, bounded against unrecoverable repeat-faults.
+const MAX_FLIGHT_RECORDINGS: usize = 32;
+
 impl Supervisor {
     fn new(store: Option<CheckpointStore>, shards: usize) -> Self {
         Self {
@@ -250,6 +263,31 @@ impl Supervisor {
             journals: (0..shards).map(|_| ShardJournal::new()).collect(),
             report: RecoveryReport::new(shards),
         }
+    }
+
+    /// Snapshots one shard's blackbox ring into the report.
+    fn record_flight(
+        &mut self,
+        rings: &[Arc<FlightRing>],
+        shard: usize,
+        slot: usize,
+        reason: FlightReason,
+    ) {
+        if self.report.flight.len() >= MAX_FLIGHT_RECORDINGS {
+            return;
+        }
+        self.report.flight.push(FlightRecording {
+            shard,
+            slot,
+            reason,
+            events: rings[shard].snapshot(),
+        });
+        // Two shards can die in the same slot, and the hub observes
+        // their Down messages in arrival order — which is racy. Keep
+        // the report sorted by a deterministic key (stable, so a
+        // death followed by a corrupt restore on the same shard keeps
+        // its causal order) so replays compare equal.
+        self.report.flight.sort_by_key(|r| (r.slot, r.shard));
     }
 
     /// Journals one shard-bound bank op (no-op without a store — the
@@ -475,6 +513,8 @@ impl SlotRuntime {
         let faults = self.config.stage_faults.map(|f| (f.rate, f.seed, f.repeat));
 
         let (event_tx, events) = bounded(4 * k + 4);
+        let rings: Vec<Arc<FlightRing>> =
+            (0..k).map(|_| Arc::new(FlightRing::with_default_capacity())).collect();
         let workers: Vec<WorkerHandle> = banks
             .into_iter()
             .enumerate()
@@ -484,13 +524,15 @@ impl SlotRuntime {
                     ShardState { shard: s, bank },
                     self.config.fleet.scheduler,
                     faults,
+                    Arc::clone(&rings[s]),
                     rx,
                     event_tx.clone(),
                 );
                 WorkerHandle { commands: Some(tx), thread: Some(thread) }
             })
             .collect();
-        let mut hub = Hub { workers, events, event_tx, owner, lost: Vec::new(), workers_lost: 0 };
+        let mut hub =
+            Hub { workers, events, event_tx, owner, lost: Vec::new(), workers_lost: 0, rings };
         let mut sup = Supervisor::new(store, k);
         let interval = self.config.checkpoints.as_ref().map(|c| c.interval);
 
@@ -528,6 +570,10 @@ impl SlotRuntime {
             }
 
             let mut slot_span = lpvs_obs::span!("runtime.slot", "slot" => slot);
+            // Captured once per slot; every channel hop out of the hub
+            // (prepare, dispatch, re-dispatch) carries this context so
+            // worker-side spans join the slot's trace.
+            let slot_ctx = slot_span.context();
             let mut healthy = true;
 
             // --- join(t−1) ---------------------------------------------
@@ -538,7 +584,9 @@ impl SlotRuntime {
                 let wait = Instant::now();
                 let collected = self.join_solve(&mut hub, &mut sup, pending, &mut stats);
                 if lpvs_obs::enabled() {
-                    lpvs_obs::observe("runtime_solve_wait_seconds", wait.elapsed().as_secs_f64());
+                    let waited = wait.elapsed().as_secs_f64();
+                    lpvs_obs::observe("runtime_solve_wait_seconds", waited);
+                    lpvs_obs::observe_labeled("runtime_stage_seconds", &[("stage", "join")], waited);
                 }
                 slot_span.record("joined_migrations", collected.solved.schedule.migrations as f64);
                 driver.solved(&collected.solved);
@@ -561,7 +609,7 @@ impl SlotRuntime {
                 for &(d, stale) in &ops.forgets {
                     sup.journal(hub.owner[d], JournalOp::Forget(d, stale));
                 }
-                self.prepare(&hub, &ops, observations).ok()
+                self.prepare(&hub, &ops, observations, slot_ctx).ok()
             } else {
                 None
             };
@@ -570,6 +618,13 @@ impl SlotRuntime {
                 // --- sequential fallback -------------------------------
                 lpvs_obs::inc("runtime_fallback_total");
                 let mut bank = self.drain_and_merge(&mut hub, &mut sup);
+                // Snapshot every shard's blackbox after the drain —
+                // workers are quiescent, so the recording is the
+                // deterministic tail of what each did before the
+                // pipeline gave up (replay runs compare reports).
+                for s in 0..k {
+                    sup.record_flight(&hub.rings, s, slot, FlightReason::Fallback);
+                }
                 if !ops_consumed {
                     for (d, ratio) in feedback.drain(..) {
                         bank.observe_or_forget(d, ratio);
@@ -606,17 +661,25 @@ impl SlotRuntime {
             let gather_start = Instant::now();
             let gathered = driver.gather(slot, &posteriors, recycled.take());
             if lpvs_obs::enabled() {
-                lpvs_obs::observe("runtime_gather_seconds", gather_start.elapsed().as_secs_f64());
+                let gathered_in = gather_start.elapsed().as_secs_f64();
+                lpvs_obs::observe("runtime_gather_seconds", gathered_in);
+                lpvs_obs::observe_labeled(
+                    "runtime_stage_seconds",
+                    &[("stage", "gather")],
+                    gathered_in,
+                );
             }
             if let Some(g) = gathered {
-                in_flight = Some(self.dispatch(&hub, slot, g));
+                in_flight = Some(self.dispatch(&hub, slot, g, slot_ctx));
             }
 
             // --- apply(t) — overlaps solve(t) --------------------------
             let apply_start = Instant::now();
             feedback = driver.apply(slot).observations;
             if lpvs_obs::enabled() {
-                lpvs_obs::observe("runtime_apply_seconds", apply_start.elapsed().as_secs_f64());
+                let applied_in = apply_start.elapsed().as_secs_f64();
+                lpvs_obs::observe("runtime_apply_seconds", applied_in);
+                lpvs_obs::observe_labeled("runtime_stage_seconds", &[("stage", "apply")], applied_in);
                 lpvs_obs::inc("runtime_slots_total");
             }
             stats.slots += 1;
@@ -647,8 +710,17 @@ impl SlotRuntime {
             }
             // The last slot's observations still belong in the banks —
             // the sequential engine folds them during its final play.
+            // Root a span for them so the worker-side prepare spans
+            // stay parented (no orphans anywhere in the runtime).
             if !feedback.is_empty() {
-                let _ = self.prepare(&hub, &BankOps::default(), std::mem::take(&mut feedback));
+                let tail_span =
+                    lpvs_obs::span!("runtime.tail", "observations" => feedback.len());
+                let _ = self.prepare(
+                    &hub,
+                    &BankOps::default(),
+                    std::mem::take(&mut feedback),
+                    tail_span.context(),
+                );
             }
             self.drain_and_merge(&mut hub, &mut sup).into_dense()
         };
@@ -788,6 +860,7 @@ impl SlotRuntime {
                     // next prepare touching the shard triggers the
                     // fallback.
                     sup.report.shards[state.shard].deaths += 1;
+                    sup.record_flight(&hub.rings, state.shard, slot, FlightReason::WorkerDeath);
                     hub.workers_lost += 1;
                     hub.bury(*state);
                 }
@@ -821,19 +894,33 @@ impl SlotRuntime {
             compute_capacity: pending.servers[s].compute_capacity(),
             storage_capacity_gb: pending.servers[s].storage_capacity_gb(),
             warm: warm.map(|p| pending.shards[s].iter().map(|&i| p[i]).collect()),
+            ctx: pending.ctx,
         }
     }
 
     /// Partitions a gathered slot and fans it out to the workers.
-    fn dispatch(&self, hub: &Hub, slot: usize, g: crate::GatheredSlot) -> PendingSolve {
+    fn dispatch(
+        &self,
+        hub: &Hub,
+        slot: usize,
+        g: crate::GatheredSlot,
+        ctx: Option<SpanContext>,
+    ) -> PendingSolve {
         let k = hub.workers.len();
         let gathered = Arc::new(g);
         let shards = self.scheduler.partition(&gathered.fleet);
         let server = EdgeServer::new(gathered.compute_capacity, gathered.storage_capacity_gb);
         let servers = FleetScheduler::split_server(&server, k);
         let dispatched_at = Instant::now();
-        let pending =
-            PendingSolve { slot, gathered, shards, servers, attempts: vec![0; k], dispatched_at };
+        let pending = PendingSolve {
+            slot,
+            gathered,
+            shards,
+            servers,
+            attempts: vec![0; k],
+            dispatched_at,
+            ctx,
+        };
         for (s, worker) in hub.workers.iter().enumerate() {
             // A send failure means the worker died; the join step will
             // see its Down event (or its pre-marked dead handle) and
@@ -851,13 +938,24 @@ impl SlotRuntime {
     fn restore_bank(
         &self,
         sup: &mut Supervisor,
+        rings: &[Arc<FlightRing>],
         shard: usize,
         pending: &PendingSolve,
         shipped: &ShardState,
     ) -> Option<BayesBank> {
         let started = Instant::now();
         let bank = if let Some(store) = sup.store.as_mut() {
-            let (generation, snapshot) = store.restore_latest(shard)?;
+            // `restore_latest` walks generations newest-first, skipping
+            // any that fail checksum/decode. If it skipped (or ran out
+            // of) generations, that is corruption worth a blackbox
+            // snapshot, whether or not an older generation saved us.
+            let rejected_before = store.generations_rejected();
+            let restored = store.restore_latest(shard);
+            let hit_corruption = store.generations_rejected() > rejected_before;
+            if hit_corruption {
+                sup.record_flight(rings, shard, pending.slot, FlightReason::CorruptCheckpoint);
+            }
+            let (generation, snapshot) = restored?;
             let mut bank = snapshot.bank;
             sup.journals[shard].replay_onto(&mut bank, generation.mark);
             // The checkpoint+journal reconstruction must agree with the
@@ -920,11 +1018,21 @@ impl SlotRuntime {
                     hub.workers_lost += 1;
                     sup.report.shards[s].deaths += 1;
                     lpvs_obs::inc("recovery_deaths_total");
+                    if lpvs_obs::enabled() {
+                        lpvs_obs::inc_labeled(
+                            "runtime_worker_deaths_total",
+                            &[("shard", &s.to_string())],
+                        );
+                    }
+                    // Blackbox first, before restore/respawn push new
+                    // events into the ring: the recording holds what
+                    // the worker did right up to its death.
+                    sup.record_flight(&hub.rings, s, pending.slot, FlightReason::WorkerDeath);
                     let attempt = pending.attempts[s];
                     let restored = if accounted[s] || attempt >= self.config.recovery.max_retries {
                         None
                     } else {
-                        self.restore_bank(sup, s, &pending, &state)
+                        self.restore_bank(sup, &hub.rings, s, &pending, &state)
                     };
                     match restored {
                         Some(bank) => {
@@ -943,6 +1051,7 @@ impl SlotRuntime {
                                 ShardState { shard: s, bank },
                                 self.config.fleet.scheduler,
                                 faults,
+                                Arc::clone(&hub.rings[s]),
                                 rx,
                                 hub.event_tx.clone(),
                             );
@@ -1049,6 +1158,7 @@ impl SlotRuntime {
         hub: &Hub,
         ops: &BankOps,
         observations: Vec<(usize, f64)>,
+        ctx: Option<SpanContext>,
     ) -> Result<Vec<(f64, f64)>, ()> {
         let k = hub.workers.len();
         let mut per_obs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
@@ -1081,6 +1191,7 @@ impl SlotRuntime {
                 forgets: std::mem::take(&mut per_forgets[s]),
                 queries: std::mem::take(&mut per_queries[s]),
                 reply: reply_tx,
+                ctx,
             })?;
             pending.push((s, reply_rx));
         }

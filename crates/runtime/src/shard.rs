@@ -27,6 +27,7 @@ use crate::GatheredSlot;
 use crossbeam::channel::{Receiver, Sender};
 use lpvs_bayes::{BayesBank, GammaEstimator};
 use lpvs_core::scheduler::{LpvsScheduler, Schedule, SchedulerConfig};
+use lpvs_obs::{FlightKind, FlightRing, SpanContext};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -60,6 +61,9 @@ pub(crate) struct SolveJob {
     pub storage_capacity_gb: f64,
     /// Warm start for this shard's slice, in slice order.
     pub warm: Option<Vec<bool>>,
+    /// The hub's `runtime.slot` span context, handed across the
+    /// channel so the worker's solve span joins the slot's trace.
+    pub ctx: Option<SpanContext>,
 }
 
 /// Commands the hub sends a worker (FIFO per worker).
@@ -73,6 +77,9 @@ pub(crate) enum WorkerMsg {
         forgets: Vec<(usize, u32)>,
         queries: Vec<usize>,
         reply: Sender<Vec<(f64, f64)>>,
+        /// Slot-span context for causal attribution of the worker-side
+        /// maintenance span.
+        ctx: Option<SpanContext>,
     },
     /// Solve this shard's slice of a gathered slot.
     Solve(SolveJob),
@@ -140,6 +147,7 @@ pub(crate) fn spawn_worker(
     state: ShardState,
     scheduler: SchedulerConfig,
     stage_faults: Option<(f64, u64, u32)>,
+    ring: Arc<FlightRing>,
     commands: Receiver<WorkerMsg>,
     events: Sender<WorkerEvent>,
 ) -> JoinHandle<()> {
@@ -150,7 +158,19 @@ pub(crate) fn spawn_worker(
         while let Ok(msg) = commands.recv() {
             let state = courier.state.as_mut().expect("state is present until Finish");
             match msg {
-                WorkerMsg::Prepare { observations, forgets, queries, reply } => {
+                WorkerMsg::Prepare { observations, forgets, queries, reply, ctx } => {
+                    let _span = lpvs_obs::span_in!(
+                        ctx, "runtime.prepare",
+                        "shard" => shard,
+                        "observations" => observations.len(),
+                        "forgets" => forgets.len()
+                    );
+                    ring.push(
+                        FlightKind::BankOp,
+                        "prepare",
+                        observations.len() as f64,
+                        forgets.len() as f64,
+                    );
                     for (d, ratio) in observations {
                         state.bank.observe_or_forget(d, ratio);
                     }
@@ -163,6 +183,12 @@ pub(crate) fn spawn_worker(
                     }
                 }
                 WorkerMsg::Solve(job) => {
+                    ring.push(
+                        FlightKind::SpanBegin,
+                        "solve",
+                        job.slot as f64,
+                        job.indices.len() as f64,
+                    );
                     if let Some((rate, seed, repeat)) = stage_faults {
                         if job.attempt <= repeat && stage_fault_hits(seed, job.slot, shard, rate) {
                             // Simulated worker crash mid-slot: exit
@@ -170,6 +196,15 @@ pub(crate) fn spawn_worker(
                             // bank home; the supervisor respawns the
                             // shard and re-dispatches with attempt+1,
                             // which dies again while attempt <= repeat.
+                            // The last ring entry is the solve begin
+                            // with no matching end — exactly what a
+                            // blackbox should show after a crash.
+                            ring.push(
+                                FlightKind::Death,
+                                "stage_fault",
+                                job.slot as f64,
+                                job.attempt as f64,
+                            );
                             return;
                         }
                     }
@@ -178,6 +213,12 @@ pub(crate) fn spawn_worker(
                     // Release the shared buffer before announcing, so
                     // the hub's handle is unique once all shards report.
                     drop(job);
+                    ring.push(
+                        FlightKind::SpanEnd,
+                        "solve",
+                        slot as f64,
+                        if schedule.is_some() { 1.0 } else { 0.0 },
+                    );
                     let event =
                         WorkerEvent::Solved { shard, slot, schedule: schedule.map(Box::new) };
                     if events.send(event).is_err() {
@@ -186,6 +227,7 @@ pub(crate) fn spawn_worker(
                 }
                 WorkerMsg::Checkpoint { slot } => {
                     let bank = lpvs_bayes::codec::bank_to_bytes(&state.bank);
+                    ring.push(FlightKind::CheckpointSeal, "seal", slot as f64, bank.len() as f64);
                     if events.send(WorkerEvent::Checkpointed { shard, slot, bank }).is_err() {
                         return;
                     }
@@ -195,11 +237,13 @@ pub(crate) fn spawn_worker(
                         .bank
                         .take(device)
                         .expect("migration routed through the ownership map");
+                    ring.push(FlightKind::Migrate, "out", device as f64, 0.0);
                     if reply.send(est).is_err() {
                         return;
                     }
                 }
                 WorkerMsg::MigrateIn { device, estimator } => {
+                    ring.push(FlightKind::Migrate, "in", device as f64, 0.0);
                     state.bank.insert(device, estimator);
                 }
                 WorkerMsg::Finish => {
@@ -219,9 +263,14 @@ pub(crate) fn spawn_worker(
 /// worker stays up, mirroring the scoped-thread fleet path where a dead
 /// shard thread degrades the same way.
 fn solve_slice(scheduler: &LpvsScheduler, shard: usize, job: &SolveJob) -> Option<Schedule> {
-    let _span = lpvs_obs::span!(
-        "runtime.solve", "shard" => shard, "slot" => job.slot, "devices" => job.indices.len()
+    // Parented on the hub's slot span via the shipped context, so the
+    // solve shows up under its slot's trace instead of as an orphan
+    // root on the worker thread.
+    let mut span = lpvs_obs::span_in!(
+        job.ctx, "runtime.solve",
+        "shard" => shard, "slot" => job.slot, "devices" => job.indices.len()
     );
+    let started = std::time::Instant::now();
     let problem = job.gathered.fleet.subproblem(
         &job.indices,
         job.compute_capacity,
@@ -229,10 +278,19 @@ fn solve_slice(scheduler: &LpvsScheduler, shard: usize, job: &SolveJob) -> Optio
         job.gathered.lambda,
         &job.gathered.curve,
     );
-    catch_unwind(AssertUnwindSafe(|| {
+    let schedule = catch_unwind(AssertUnwindSafe(|| {
         scheduler.schedule_resilient(&problem, job.warm.as_deref(), &job.gathered.budget)
     }))
-    .ok()
+    .ok();
+    span.record("ok", if schedule.is_some() { 1.0 } else { 0.0 });
+    if lpvs_obs::enabled() {
+        lpvs_obs::observe_labeled(
+            "runtime_stage_seconds",
+            &[("stage", "solve"), ("shard", &shard.to_string())],
+            started.elapsed().as_secs_f64(),
+        );
+    }
+    schedule
 }
 
 #[cfg(test)]

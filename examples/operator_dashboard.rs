@@ -1,21 +1,26 @@
 //! Operator's view of one scheduling slot: who got the transform and
 //! why, what the edge capacity went to, what each stream's power
-//! profile looks like — and the slot's telemetry (span tree, metrics
-//! in Prometheus exposition, JSONL span export).
+//! profile looks like — and the slot's telemetry (a Perfetto-loadable
+//! Chrome trace, metrics in Prometheus exposition, JSONL span export,
+//! and the blackbox flight-recorder depth).
 //!
 //! Run with: `cargo run --example operator_dashboard`
 //!
-//! Writes `obs_events.jsonl` and `obs_metrics.prom` to the current
+//! Writes `obs_trace.json` (open it at <https://ui.perfetto.dev>),
+//! `obs_events.jsonl`, and `obs_metrics.prom` to the current
 //! directory.
 
 use lpvs::core::explain::{explain, Reason};
+use lpvs::core::fleet::DeviceFleet;
 use lpvs::core::problem::{DeviceRequest, SlotProblem};
 use lpvs::core::scheduler::LpvsScheduler;
 use lpvs::display::profile::PowerProfile;
 use lpvs::display::spec::{DisplayKind, DisplaySpec, Resolution};
+use lpvs::edge::fleet::FleetScheduler;
+use lpvs::edge::server::EdgeServer;
 use lpvs::edge::slot::SlotBudget;
 use lpvs::media::content::{ContentModel, Genre};
-use lpvs::obs::{sink, SpanEvent};
+use lpvs::obs::sink;
 use lpvs::survey::curve::AnxietyCurve;
 
 fn main() {
@@ -100,48 +105,60 @@ fn main() {
         schedule.stats.runtime
     );
 
+    // Drive the same fleet through the 2-shard scoped-thread scheduler
+    // so the trace shows the cross-thread handoff: each `fleet.shard`
+    // span runs on a worker thread yet is parented under `fleet.slot`.
+    let device_fleet = DeviceFleet::from_problem(&problem);
+    let server = EdgeServer::new(6.0, 2.0);
+    let fleet_schedule = FleetScheduler::with_shards(2).schedule(
+        &device_fleet,
+        &server,
+        1.0,
+        &curve,
+        None,
+        &SlotBudget::unbounded(),
+    );
+    println!(
+        "\n2-shard fleet pass: {:.0} J saved across {} shards",
+        fleet_schedule.shards.iter().map(|s| s.stats.energy_saved_j).sum::<f64>(),
+        fleet_schedule.shards.len(),
+    );
+
     // --- Telemetry ---------------------------------------------------
     lpvs::obs::set_enabled(false);
     let events = recorder.events();
-    println!("\nspan tree (μs):");
-    print_span_tree(&events, None, 1);
+    let threads: std::collections::BTreeSet<u64> = events.iter().map(|e| e.thread).collect();
+    let traces: std::collections::BTreeSet<u64> = events.iter().map(|e| e.trace).collect();
+    let orphans = events
+        .iter()
+        .filter(|e| e.parent.is_none() && events.iter().any(|r| r.id != e.id && r.trace == e.trace))
+        .count();
+    println!(
+        "\ntrace: {} spans over {} threads in {} traces ({} roots with children)",
+        events.len(),
+        threads.len(),
+        traces.len(),
+        orphans,
+    );
+    println!(
+        "flight recorder: {}/{} blackbox events retained",
+        recorder.flight().depth(),
+        recorder.flight().capacity(),
+    );
 
     let metrics = recorder.metrics().snapshot();
     println!("\nmetrics (Prometheus exposition):");
     print!("{}", sink::render_prometheus(&metrics));
 
+    std::fs::write("obs_trace.json", sink::events_to_chrome_trace(&events))
+        .expect("write obs_trace.json");
     std::fs::write("obs_events.jsonl", sink::events_to_jsonl(&events))
         .expect("write obs_events.jsonl");
     std::fs::write("obs_metrics.prom", sink::render_prometheus(&metrics))
         .expect("write obs_metrics.prom");
-    println!("\nwrote obs_events.jsonl ({} spans) and obs_metrics.prom", events.len());
-}
-
-/// Prints spans nested under `parent`, in start order.
-fn print_span_tree(events: &[SpanEvent], parent: Option<u64>, depth: usize) {
-    let mut children: Vec<&SpanEvent> =
-        events.iter().filter(|e| e.parent == parent).collect();
-    children.sort_by_key(|e| e.start_us);
-    for span in children {
-        println!(
-            "{:indent$}{} — {} μs{}",
-            "",
-            span.name,
-            span.duration_us,
-            if span.fields.is_empty() {
-                String::new()
-            } else {
-                format!(
-                    "  [{}]",
-                    span.fields
-                        .iter()
-                        .map(|(k, v)| format!("{k}={v}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            },
-            indent = depth * 2
-        );
-        print_span_tree(events, Some(span.id), depth + 1);
-    }
+    println!(
+        "\nwrote obs_trace.json ({} spans — open at https://ui.perfetto.dev), \
+         obs_events.jsonl, obs_metrics.prom",
+        events.len()
+    );
 }

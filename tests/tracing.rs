@@ -1,0 +1,245 @@
+//! Causal-tracing and flight-recorder invariants, end to end.
+//!
+//! Three guarantees from the observability layer:
+//!
+//! 1. **No orphan spans** — shard work spawned on other threads
+//!    (crossbeam scoped threads in the fleet path, persistent workers
+//!    in the runtime path) is parented under its slot's span via the
+//!    explicit [`SpanContext`](lpvs::obs::SpanContext) handoff, never
+//!    left as a root on a foreign thread.
+//! 2. **Perfetto export** — a pipelined 2-shard run renders to valid
+//!    Chrome trace-event JSON in which every solve span carries shard
+//!    attribution and its slot's trace id.
+//! 3. **Blackbox on death** — a killed worker leaves a
+//!    [`FlightRecording`](lpvs::runtime::FlightRecording) in the
+//!    recovery report whose last event is the death itself, and the
+//!    recording reproduces bit-for-bit on replay.
+//!
+//! Lives in its own integration-test binary because the process-global
+//! recorder is shared; tests serialize on a local mutex.
+
+use lpvs::core::baseline::Policy;
+use lpvs::core::fleet::DeviceFleet;
+use lpvs::core::problem::{DeviceRequest, SlotProblem};
+use lpvs::edge::fleet::FleetScheduler;
+use lpvs::edge::server::EdgeServer;
+use lpvs::edge::slot::SlotBudget;
+use lpvs::emulator::engine::{Emulator, EmulatorConfig};
+use lpvs::emulator::faults::FaultConfig;
+use lpvs::obs::json::Json;
+use lpvs::obs::sink::events_to_chrome_trace;
+use lpvs::obs::SpanEvent;
+use lpvs::runtime::FlightReason;
+use lpvs::survey::curve::AnxietyCurve;
+use std::sync::Mutex;
+
+/// Serializes tests that drive the process-global recorder. Poisoning
+/// is irrelevant — the guard carries no data — so recover from it
+/// rather than cascading one test's failure into the others.
+static RECORDER: Mutex<()> = Mutex::new(());
+
+fn serialize() -> std::sync::MutexGuard<'static, ()> {
+    RECORDER.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn tiny_fleet(devices: usize) -> DeviceFleet {
+    let curve = AnxietyCurve::paper_shape();
+    let mut problem = SlotProblem::new(8.0, 4.0, 1.0, curve);
+    for i in 0..devices {
+        problem.push(DeviceRequest::new(
+            vec![1.1 + 0.05 * (i % 7) as f64; 12],
+            vec![10.0; 12],
+            4_000.0 + 300.0 * i as f64,
+            55_440.0,
+            0.31,
+            2.0,
+            0.11,
+        ));
+    }
+    DeviceFleet::from_problem(&problem)
+}
+
+fn drained_events() -> Vec<SpanEvent> {
+    lpvs::obs::installed().expect("recorder installed").drain_events()
+}
+
+#[test]
+fn scoped_shard_spans_are_never_orphans() {
+    let _guard = serialize();
+    let recorder = lpvs::obs::init();
+    recorder.reset();
+
+    let fleet = tiny_fleet(12);
+    let server = EdgeServer::new(8.0, 4.0);
+    let curve = AnxietyCurve::paper_shape();
+    FleetScheduler::with_shards(2).schedule(
+        &fleet,
+        &server,
+        1.0,
+        &curve,
+        None,
+        &SlotBudget::unbounded(),
+    );
+    lpvs::obs::set_enabled(false);
+    let events = drained_events();
+
+    let slot = events.iter().find(|e| e.name == "fleet.slot").expect("fleet.slot span");
+    let shards: Vec<&SpanEvent> = events.iter().filter(|e| e.name == "fleet.shard").collect();
+    assert_eq!(shards.len(), 2, "one fleet.shard span per shard");
+    for shard in &shards {
+        assert_eq!(
+            shard.parent,
+            Some(slot.id),
+            "fleet.shard must be parented under fleet.slot across the scoped-thread hop"
+        );
+        assert_eq!(shard.trace, slot.trace, "shard spans join the slot's trace");
+        assert_ne!(shard.thread, slot.thread, "shard spans run on worker threads");
+        assert!(
+            shard.fields.iter().any(|(k, _)| k == "shard"),
+            "shard spans carry shard attribution"
+        );
+    }
+    // The regression this pins: no span in the slot's trace is a
+    // parentless root except the slot span itself.
+    let orphans = events
+        .iter()
+        .filter(|e| e.trace == slot.trace && e.parent.is_none() && e.id != slot.id)
+        .count();
+    assert_eq!(orphans, 0, "no orphan spans in the slot's trace");
+}
+
+#[test]
+fn pipelined_run_exports_causally_linked_chrome_trace() {
+    let _guard = serialize();
+    let recorder = lpvs::obs::init();
+    recorder.reset();
+
+    let config = EmulatorConfig {
+        devices: 16,
+        slots: 6,
+        seed: 7,
+        one_slot_ahead: true,
+        pipelined: true,
+        num_edges: 2,
+        ..EmulatorConfig::default()
+    };
+    Emulator::new(config, Policy::Lpvs).run();
+    lpvs::obs::set_enabled(false);
+    let events = drained_events();
+
+    // Every worker-side solve span is a child inside its slot's trace,
+    // with shard attribution, on a thread other than the hub's.
+    let slots: Vec<&SpanEvent> = events.iter().filter(|e| e.name == "runtime.slot").collect();
+    let solves: Vec<&SpanEvent> = events.iter().filter(|e| e.name == "runtime.solve").collect();
+    assert!(!slots.is_empty() && !solves.is_empty(), "run must emit slot and solve spans");
+    for solve in &solves {
+        let slot = slots
+            .iter()
+            .find(|s| Some(s.id) == solve.parent)
+            .expect("solve span parented under a runtime.slot span");
+        assert_eq!(solve.trace, slot.trace, "solve joins its slot's trace");
+        assert_ne!(solve.thread, slot.thread, "solves run on shard workers");
+        let shard = solve
+            .fields
+            .iter()
+            .find(|(k, _)| k == "shard")
+            .map(|&(_, v)| v)
+            .expect("solve spans carry shard attribution");
+        assert!(shard == 0.0 || shard == 1.0, "shard id in range");
+    }
+    // Worker-side prepare spans ride the same handoff.
+    assert!(
+        events.iter().filter(|e| e.name == "runtime.prepare").all(|p| p.parent.is_some()),
+        "prepare spans must not be orphans"
+    );
+
+    // The Chrome trace export is valid JSON with thread metadata and
+    // one complete event per span, args carrying the causal ids.
+    let trace = events_to_chrome_trace(&events);
+    let doc = Json::parse(&trace).expect("obs_trace.json must be valid JSON");
+    let items = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    let metadata = items
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+        .count();
+    let complete: Vec<&Json> =
+        items.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+    assert!(metadata >= 3, "hub + two worker threads named in metadata");
+    assert_eq!(complete.len(), events.len(), "one X event per span");
+    for x in &complete {
+        assert!(x.get("ts").is_some() && x.get("dur").is_some());
+        assert!(x.get("args").and_then(|a| a.get("trace")).is_some());
+    }
+    let solve_events: Vec<&&Json> = complete
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("runtime.solve"))
+        .collect();
+    assert_eq!(solve_events.len(), solves.len());
+    for x in &solve_events {
+        let args = x.get("args").expect("args");
+        assert!(args.get("parent").is_some(), "exported solve events keep their parent link");
+        assert!(args.get("shard").is_some(), "exported solve events keep shard attribution");
+    }
+}
+
+#[test]
+fn killed_worker_leaves_a_flight_recording() {
+    let _guard = serialize();
+    // Deliberately no recorder setup: the blackbox rides the worker
+    // channels, not the global recorder, so it must work even with
+    // telemetry disabled.
+    lpvs::obs::set_enabled(false);
+
+    let config = EmulatorConfig {
+        devices: 16,
+        slots: 12,
+        seed: 7,
+        one_slot_ahead: true,
+        pipelined: true,
+        faults: FaultConfig { stage_fault_rate: 0.25, ..FaultConfig::none() },
+        num_edges: 2,
+        ..EmulatorConfig::default()
+    };
+    let report = Emulator::new(config, Policy::Lpvs).run();
+    let summary = report.runtime.clone().expect("pipelined run reports a summary");
+    assert!(summary.workers_lost > 0, "25% stage faults over 12×2 must kill a worker");
+
+    let recovery = &summary.recovery;
+    assert_eq!(
+        recovery.flight.len(),
+        recovery.total_deaths() as usize,
+        "one blackbox recording per death"
+    );
+    for rec in &recovery.flight {
+        assert_eq!(rec.reason, FlightReason::WorkerDeath);
+        assert!(rec.shard < 2, "recordings carry shard attribution");
+        let last = rec.events.last().expect("a dying worker leaves events behind");
+        assert_eq!(last.kind, lpvs::obs::FlightKind::Death, "last event is the death itself");
+        assert_eq!(last.label, "stage_fault");
+        // The death interrupts a solve: its begin edge is in the ring
+        // with no matching end after it.
+        let begin = rec
+            .events
+            .iter()
+            .rposition(|e| e.kind == lpvs::obs::FlightKind::SpanBegin && e.label == "solve")
+            .expect("the interrupted solve's begin edge survives in the ring");
+        assert!(
+            !rec.events[begin..]
+                .iter()
+                .any(|e| e.kind == lpvs::obs::FlightKind::SpanEnd && e.label == "solve"),
+            "the interrupted solve must have no end edge"
+        );
+    }
+    // JSONL export is one valid JSON object per recording.
+    let jsonl = lpvs::runtime::flight_to_jsonl(&recovery.flight);
+    assert_eq!(jsonl.lines().count(), recovery.flight.len());
+    for line in jsonl.lines() {
+        let doc = Json::parse(line).expect("flight JSONL line parses");
+        assert!(doc.get("reason").is_some() && doc.get("events").is_some());
+    }
+
+    // Deaths are hash-derived and timestamps are excluded from
+    // equality, so the whole blackbox story replays bit-for-bit.
+    let replay = Emulator::new(config, Policy::Lpvs).run();
+    assert_eq!(replay.runtime.expect("summary").recovery, summary.recovery);
+}
