@@ -73,7 +73,7 @@ fn restore_latency_ms(devices: usize) -> f64 {
     }
     let bank = BayesBank::from_estimators(estimators);
     store.begin_round(0, vec![0]);
-    store.persist_shard(0, 0, &bank_to_bytes(&bank), None).expect("persist");
+    store.persist_shard(0, 0, &bank_to_bytes(&bank), None, None).expect("persist");
     let iterations = 20;
     let t = Instant::now();
     for _ in 0..iterations {

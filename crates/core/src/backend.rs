@@ -26,6 +26,22 @@ use crate::problem::SlotProblem;
 use crate::scheduler::Degradation;
 use lpvs_solver::{BinaryProgram, Relation, Sense, SolverError};
 
+/// The previous slot's Phase-1 selection, offered to a backend as a
+/// starting point.
+///
+/// Every ladder tier honours the same contract: the hint is advisory —
+/// a backend first drops rows that are no longer transform-feasible,
+/// then adopts the cleaned hint only if it is capacity-feasible and at
+/// least ties the backend's own answer, and reports the outcome in
+/// [`Phase1Result::warm_start_used`]. A hint of the wrong length is
+/// ignored entirely. Hints therefore never make a selection worse, and
+/// never make an infeasible selection possible.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmStart<'a> {
+    /// Per-device selection aligned with the problem's request order.
+    pub selected: &'a [bool],
+}
+
 /// A Phase-1 solver behind the scheduler's degradation ladder.
 ///
 /// Implementations must be pure given their inputs: the scheduler's
@@ -38,8 +54,7 @@ pub trait SolverBackend: Send + Sync {
     fn rung(&self) -> Degradation;
 
     /// Solves Phase-1 for `problem`, optionally warm-started with the
-    /// previous slot's selection. A hint of the wrong length must be
-    /// ignored, not treated as an error.
+    /// previous slot's selection (see [`WarmStart`] for the contract).
     ///
     /// # Errors
     ///
@@ -50,8 +65,17 @@ pub trait SolverBackend: Send + Sync {
         &self,
         problem: &SlotProblem,
         config: &Phase1Config,
-        warm: Option<&[bool]>,
+        warm: Option<WarmStart<'_>>,
     ) -> Result<Phase1Result, SolverError>;
+}
+
+/// Bumps the delta warm-start hit/miss counters for an offered hint.
+fn record_warm_outcome(used: bool) {
+    if used {
+        lpvs_obs::inc("delta_warm_start_hit_total");
+    } else {
+        lpvs_obs::inc("delta_warm_start_miss_total");
+    }
 }
 
 /// Per-device inputs shared by every backend: savings coefficients,
@@ -104,6 +128,23 @@ impl CompactedInputs {
             .map(|(s, &x)| if x { *s } else { 0.0 })
             .sum()
     }
+
+    /// Masks out devices whose transform became energy-infeasible since
+    /// the hint was computed. Returns `None` for a wrong-length hint.
+    fn cleaned_hint(&self, hint: &[bool]) -> Option<Vec<bool>> {
+        if hint.len() != self.feasible.len() {
+            return None;
+        }
+        Some(hint.iter().zip(&self.feasible).map(|(&h, &f)| h && f).collect())
+    }
+
+    /// Whether a selection fits both capacity rows.
+    fn fits(&self, problem: &SlotProblem, x: &[bool]) -> bool {
+        let used = |costs: &[f64]| -> f64 {
+            costs.iter().zip(x).map(|(c, &v)| if v { *c } else { 0.0 }).sum()
+        };
+        used(&self.g) <= problem.compute_capacity && used(&self.h) <= problem.storage_capacity_gb
+    }
 }
 
 /// The empty-problem result every backend returns for zero devices.
@@ -114,6 +155,7 @@ fn empty_result() -> Phase1Result {
         infeasible_devices: 0,
         nodes: 0,
         pivots: 0,
+        warm_start_used: false,
     }
 }
 
@@ -135,7 +177,7 @@ impl SolverBackend for ExactBackend {
         &self,
         problem: &SlotProblem,
         config: &Phase1Config,
-        warm: Option<&[bool]>,
+        warm: Option<WarmStart<'_>>,
     ) -> Result<Phase1Result, SolverError> {
         let n = problem.len();
         if n == 0 {
@@ -146,17 +188,14 @@ impl SolverBackend for ExactBackend {
         ilp.set_node_limit(config.node_limit);
         ilp.set_relative_gap(config.relative_gap);
         let mut search = lpvs_solver::BranchBound::new(&ilp);
-        if let Some(hint) = warm {
-            if hint.len() == n {
-                // Clear decisions that became energy-infeasible since
-                // the hint was computed, then offer it.
-                let cleaned: Vec<bool> = hint
-                    .iter()
-                    .zip(&inputs.feasible)
-                    .map(|(&h, &f)| h && f)
-                    .collect();
-                search.warm_start(cleaned);
+        let mut warm_used = false;
+        if let Some(w) = warm {
+            // Clear decisions that became energy-infeasible since the
+            // hint was computed, then offer it as the incumbent.
+            if let Some(cleaned) = inputs.cleaned_hint(w.selected) {
+                warm_used = search.warm_start(cleaned);
             }
+            record_warm_outcome(warm_used);
         }
         let solution = search.solve()?;
         Ok(Phase1Result {
@@ -165,6 +204,7 @@ impl SolverBackend for ExactBackend {
             pivots: solution.stats.simplex_iterations,
             selected: solution.x,
             infeasible_devices: inputs.infeasible_devices,
+            warm_start_used: warm_used,
         })
     }
 }
@@ -191,7 +231,7 @@ impl SolverBackend for LagrangianBackend {
         &self,
         problem: &SlotProblem,
         _config: &Phase1Config,
-        _warm: Option<&[bool]>,
+        warm: Option<WarmStart<'_>>,
     ) -> Result<Phase1Result, SolverError> {
         if problem.is_empty() {
             return Ok(empty_result());
@@ -199,13 +239,16 @@ impl SolverBackend for LagrangianBackend {
         let inputs = CompactedInputs::gather(problem);
         let ilp = inputs.to_program(problem)?;
         let solution = lpvs_solver::lagrangian_knapsack(&ilp, LAGRANGIAN_ITERATIONS)?;
-        Ok(Phase1Result {
+        let mut result = Phase1Result {
             energy_saved_j: inputs.energy_saved_j(&solution.x),
             infeasible_devices: inputs.infeasible_devices,
             nodes: 0,
             pivots: solution.iterations,
             selected: solution.x,
-        })
+            warm_start_used: false,
+        };
+        adopt_hint_if_better(&mut result, &inputs, problem, warm);
+        Ok(result)
     }
 }
 
@@ -227,7 +270,7 @@ impl SolverBackend for GreedyBackend {
         &self,
         problem: &SlotProblem,
         _config: &Phase1Config,
-        _warm: Option<&[bool]>,
+        warm: Option<WarmStart<'_>>,
     ) -> Result<Phase1Result, SolverError> {
         if problem.is_empty() {
             return Ok(empty_result());
@@ -243,14 +286,43 @@ impl SolverBackend for GreedyBackend {
             (inputs.h.as_slice(), problem.storage_capacity_gb),
         ];
         let selected = lpvs_solver::greedy_multi_knapsack(&inputs.savings, &rows, &fixings).x;
-        Ok(Phase1Result {
+        let mut result = Phase1Result {
             energy_saved_j: inputs.energy_saved_j(&selected),
             infeasible_devices: inputs.infeasible_devices,
             nodes: 0,
             pivots: 0,
             selected,
-        })
+            warm_start_used: false,
+        };
+        adopt_hint_if_better(&mut result, &inputs, problem, warm);
+        Ok(result)
     }
+}
+
+/// Heuristic-tier warm-start adoption: the cleaned hint replaces the
+/// backend's own selection only when it is capacity-feasible and saves
+/// strictly more energy. Determinism is preserved — the outcome depends
+/// only on (problem, hint), never on timing.
+fn adopt_hint_if_better(
+    result: &mut Phase1Result,
+    inputs: &CompactedInputs,
+    problem: &SlotProblem,
+    warm: Option<WarmStart<'_>>,
+) {
+    let Some(w) = warm else { return };
+    let mut used = false;
+    if let Some(cleaned) = inputs.cleaned_hint(w.selected) {
+        if inputs.fits(problem, &cleaned) {
+            let hint_saving = inputs.energy_saved_j(&cleaned);
+            if hint_saving > result.energy_saved_j {
+                result.energy_saved_j = hint_saving;
+                result.selected = cleaned;
+                used = true;
+            }
+        }
+    }
+    result.warm_start_used = used;
+    record_warm_outcome(used);
 }
 
 /// The backend implementing a configured [`Phase1Solver`] choice.

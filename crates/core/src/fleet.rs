@@ -23,6 +23,20 @@
 //! *posterior spread* (from `lpvs_survey::gamma::GammaEstimator`), the
 //! panel kind, and connectivity (disconnected devices stay in the fleet
 //! so indices remain stable, but are never scheduled).
+//!
+//! ## Dirty bits and epochs
+//!
+//! Between 5-minute slots most devices barely change, so the fleet
+//! tracks a per-device **dirty bit**: set whenever a mutator changes a
+//! row's battery, γ posterior, display, or connectivity, and cleared
+//! *en masse* by [`DeviceFleet::clear_dirty`], which also bumps the
+//! fleet's **epoch** counter. The set of dirty rows at any instant is
+//! the [`DirtyFrontier`] — the delta a slot scheduler needs to re-solve
+//! while reusing the previous decision for clean rows. Dirty state is
+//! *advisory* (it never affects row values, equality, or the binary
+//! codec — a decoded or freshly built fleet is all-dirty) but its
+//! contract is load-bearing for delta solving: a clean bit promises the
+//! row is bit-identical to what it was when the bit was last cleared.
 
 use crate::compact::{compact_device, CompactedDevice};
 use crate::problem::{DeviceRequest, SlotProblem};
@@ -59,7 +73,7 @@ impl FleetDevice {
 /// offsets array (`chunk_offsets[i]..chunk_offsets[i+1]` indexes device
 /// `i`'s chunks). All rows are validated on insertion, so every
 /// accessor may assume [`DeviceRequest::is_valid`] invariants.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceFleet {
     /// Chunk-range offsets: `n + 1` entries, `chunk_offsets[0] == 0`.
     chunk_offsets: Vec<usize>,
@@ -83,6 +97,70 @@ pub struct DeviceFleet {
     display: Vec<DisplayKind>,
     /// Connectivity flag.
     connected: Vec<bool>,
+    /// Per-device dirty bit: the row changed since the last
+    /// [`clear_dirty`](Self::clear_dirty). Advisory — excluded from
+    /// equality and the binary codec. New rows are born dirty.
+    dirty: Vec<bool>,
+    /// Monotone generation counter, bumped by each
+    /// [`clear_dirty`](Self::clear_dirty). Lets consumers that copied
+    /// a [`DirtyFrontier`] (or a [`FleetView`]) detect staleness.
+    epoch: u64,
+}
+
+/// Telemetry equality: two fleets are equal when every *row* is equal.
+/// Dirty bits and the epoch are bookkeeping about *how* the fleet got
+/// here, not *what* it holds — a decoded fleet (all-dirty) still
+/// compares equal to the fleet it was encoded from.
+impl PartialEq for DeviceFleet {
+    fn eq(&self, other: &Self) -> bool {
+        self.chunk_offsets == other.chunk_offsets
+            && self.power_rates_w == other.power_rates_w
+            && self.chunk_secs == other.chunk_secs
+            && self.energy_j == other.energy_j
+            && self.capacity_j == other.capacity_j
+            && self.gamma_mean == other.gamma_mean
+            && self.gamma_std == other.gamma_std
+            && self.compute_cost == other.compute_cost
+            && self.storage_cost_gb == other.storage_cost_gb
+            && self.display == other.display
+            && self.connected == other.connected
+    }
+}
+
+/// The set of dirty rows of a fleet at one instant, captured together
+/// with the epoch it was read at. `indices` are ascending global fleet
+/// indices; `total` is the fleet size, so consumers can reason about
+/// the dirty *fraction* without holding the fleet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirtyFrontier {
+    /// Epoch the frontier was captured at (the fleet's epoch *before*
+    /// the next [`DeviceFleet::clear_dirty`]).
+    pub epoch: u64,
+    /// Ascending fleet indices of every dirty row.
+    pub indices: Vec<usize>,
+    /// Fleet size at capture time.
+    pub total: usize,
+}
+
+impl DirtyFrontier {
+    /// Number of dirty rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when no row is dirty.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Dirty rows as a fraction of the fleet (0 for an empty fleet).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.indices.len() as f64 / self.total as f64
+        }
+    }
 }
 
 impl DeviceFleet {
@@ -108,6 +186,8 @@ impl DeviceFleet {
             storage_cost_gb: Vec::with_capacity(devices),
             display: Vec::with_capacity(devices),
             connected: Vec::with_capacity(devices),
+            dirty: Vec::with_capacity(devices),
+            epoch: 0,
         }
     }
 
@@ -145,6 +225,7 @@ impl DeviceFleet {
         self.storage_cost_gb.push(request.storage_cost_gb);
         self.display.push(display);
         self.connected.push(connected);
+        self.dirty.push(true);
         self.len() - 1
     }
 
@@ -186,6 +267,7 @@ impl DeviceFleet {
         self.storage_cost_gb.clear();
         self.display.clear();
         self.connected.clear();
+        self.dirty.clear();
     }
 
     /// Refills this fleet in place from a slot problem — the recycling
@@ -237,7 +319,7 @@ impl DeviceFleet {
     pub fn view(&self, range: Range<usize>) -> FleetView<'_> {
         assert!(range.end <= self.len(), "view range exceeds fleet");
         assert!(range.start <= range.end, "view range is inverted");
-        FleetView { fleet: self, range }
+        FleetView { epoch: self.epoch, fleet: self, range }
     }
 
     /// Builds a [`SlotProblem`] from an arbitrary index list — the hash
@@ -287,6 +369,7 @@ impl DeviceFleet {
             out.storage_cost_gb.push(self.storage_cost_gb[i]);
             out.display.push(self.display[i]);
             out.connected.push(self.connected[i]);
+            out.dirty.push(true);
         }
         out
     }
@@ -379,6 +462,11 @@ impl DeviceFleet {
             return Err(CodecError::Malformed("scalar column lengths"));
         }
         Ok(DeviceFleet {
+            // Dirty state is not persisted: a decoded fleet is
+            // all-dirty at epoch 0, so no delta consumer can reuse
+            // warm state across a codec boundary by accident.
+            dirty: vec![true; n],
+            epoch: 0,
             chunk_offsets,
             power_rates_w,
             chunk_secs,
@@ -448,9 +536,107 @@ impl DeviceFleet {
         self.connected[i]
     }
 
-    /// Marks row `i` connected/disconnected.
+    /// Marks row `i` connected/disconnected. A change dirties the row.
     pub fn set_connected(&mut self, i: usize, connected: bool) {
-        self.connected[i] = connected;
+        if self.connected[i] != connected {
+            self.connected[i] = connected;
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Updates row `i`'s reported remaining energy (J). A bit-level
+    /// change dirties the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is not a finite nonnegative number.
+    pub fn set_energy_j(&mut self, i: usize, energy_j: f64) {
+        assert!(
+            energy_j.is_finite() && energy_j >= 0.0,
+            "energy must be a finite nonnegative number"
+        );
+        if self.energy_j[i].to_bits() != energy_j.to_bits() {
+            self.energy_j[i] = energy_j;
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Updates row `i`'s γ posterior `(mean, std)`. A bit-level change
+    /// to either moment dirties the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mean is outside `[0, 1)` or the spread is not a
+    /// finite nonnegative number — the same invariants insertion
+    /// enforces.
+    pub fn set_gamma(&mut self, i: usize, mean: f64, std: f64) {
+        assert!((0.0..1.0).contains(&mean), "gamma mean must lie in [0, 1)");
+        assert!(
+            std.is_finite() && std >= 0.0,
+            "gamma spread must be a finite nonnegative number"
+        );
+        if self.gamma_mean[i].to_bits() != mean.to_bits()
+            || self.gamma_std[i].to_bits() != std.to_bits()
+        {
+            self.gamma_mean[i] = mean;
+            self.gamma_std[i] = std;
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Updates row `i`'s panel technology. A change dirties the row.
+    pub fn set_display(&mut self, i: usize, display: DisplayKind) {
+        if self.display[i] != display {
+            self.display[i] = display;
+            self.dirty[i] = true;
+        }
+    }
+
+    /// Whether row `i` changed since the last
+    /// [`clear_dirty`](Self::clear_dirty).
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Explicitly dirties row `i` — for mutations made outside the
+    /// tracking mutators (a caller that patched a row via
+    /// interior knowledge must tell the fleet).
+    pub fn mark_dirty(&mut self, i: usize) {
+        self.dirty[i] = true;
+    }
+
+    /// Dirties every row — the forced cold-solve reset.
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = true);
+    }
+
+    /// Clears every dirty bit and bumps the epoch. Call exactly once
+    /// per consumed frontier (the gather step, after
+    /// [`dirty_frontier`](Self::dirty_frontier) captured the delta).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.epoch += 1;
+    }
+
+    /// The fleet's current epoch (count of
+    /// [`clear_dirty`](Self::clear_dirty) calls).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of dirty rows.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Captures the current [`DirtyFrontier`]: ascending indices of
+    /// every dirty row, stamped with the current epoch.
+    pub fn dirty_frontier(&self) -> DirtyFrontier {
+        DirtyFrontier {
+            epoch: self.epoch,
+            indices: (0..self.len()).filter(|&i| self.dirty[i]).collect(),
+            total: self.len(),
+        }
     }
 
     /// Battery fraction of row `i`, clamped to `[0, 1]` like
@@ -520,11 +706,22 @@ impl DeviceFleet {
 /// Zero-copy view of a contiguous fleet range — one locality shard.
 #[derive(Debug, Clone)]
 pub struct FleetView<'a> {
+    /// Fleet epoch at view creation, so consumers that stashed a
+    /// frontier can compare against [`DeviceFleet::epoch`] later.
+    epoch: u64,
     fleet: &'a DeviceFleet,
     range: Range<usize>,
 }
 
 impl<'a> FleetView<'a> {
+    /// The fleet epoch captured when this view was created. If it no
+    /// longer matches [`DeviceFleet::epoch`], the fleet's dirty bits
+    /// were cleared (and possibly re-set) since — the view's notion of
+    /// "what changed" is stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Number of devices in the view.
     pub fn len(&self) -> usize {
         self.range.len()
@@ -772,5 +969,86 @@ mod tests {
             assert_eq!(sliced.device(local), f.device(global));
         }
         assert!(f.slice_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn rows_are_born_dirty_and_clear_dirty_bumps_epoch() {
+        let mut f = fleet(5);
+        assert_eq!(f.dirty_count(), 5, "new rows are born dirty");
+        assert_eq!(f.epoch(), 0);
+        let frontier = f.dirty_frontier();
+        assert_eq!(frontier.indices, vec![0, 1, 2, 3, 4]);
+        assert_eq!(frontier.epoch, 0);
+        assert_eq!(frontier.total, 5);
+        f.clear_dirty();
+        assert_eq!(f.dirty_count(), 0);
+        assert_eq!(f.epoch(), 1);
+        assert!(f.dirty_frontier().is_empty());
+    }
+
+    #[test]
+    fn mutators_dirty_only_on_change() {
+        let mut f = fleet(4);
+        f.clear_dirty();
+
+        // Bit-identical writes stay clean.
+        f.set_energy_j(0, f.energy_j(0));
+        f.set_gamma(1, f.gamma_mean(1), f.gamma_std(1));
+        f.set_connected(2, f.connected(2));
+        f.set_display(3, f.display(3));
+        assert_eq!(f.dirty_count(), 0, "no-op mutations must not dirty");
+
+        f.set_energy_j(0, f.energy_j(0) * 0.5);
+        assert!(f.is_dirty(0));
+        f.set_gamma(1, (f.gamma_mean(1) * 0.5).min(0.99), f.gamma_std(1));
+        assert!(f.is_dirty(1));
+        f.set_connected(2, !f.connected(2));
+        assert!(f.is_dirty(2));
+        let flipped = match f.display(3) {
+            DisplayKind::Oled => DisplayKind::Lcd,
+            DisplayKind::Lcd => DisplayKind::Oled,
+        };
+        f.set_display(3, flipped);
+        assert!(f.is_dirty(3));
+        assert_eq!(f.dirty_frontier().indices, vec![0, 1, 2, 3]);
+
+        // Epoch unchanged until the frontier is consumed.
+        assert_eq!(f.epoch(), 1);
+        f.clear_dirty();
+        assert_eq!(f.epoch(), 2);
+        f.mark_dirty(2);
+        assert_eq!(f.dirty_frontier().indices, vec![2]);
+        f.mark_all_dirty();
+        assert_eq!(f.dirty_count(), 4);
+    }
+
+    #[test]
+    fn equality_and_codec_ignore_dirty_state() {
+        let mut a = fleet(6);
+        let b = fleet(6);
+        a.clear_dirty();
+        assert_eq!(a, b, "dirty bits and epoch are advisory");
+
+        a.set_energy_j(3, 123.0);
+        let mut w = lpvs_codec::Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = lpvs_codec::Reader::new(&bytes);
+        let decoded = DeviceFleet::decode(&mut r).expect("decode");
+        // Decoded fleets are conservatively all-dirty at epoch 0: the
+        // codec does not persist dirty state.
+        assert_eq!(decoded.dirty_count(), decoded.len());
+        assert_eq!(decoded.epoch(), 0);
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn views_capture_the_creation_epoch() {
+        let mut f = fleet(8);
+        f.clear_dirty();
+        f.clear_dirty();
+        let view = f.view(2..6);
+        assert_eq!(view.epoch(), 2);
+        assert_eq!(view.epoch(), f.epoch());
     }
 }

@@ -40,7 +40,11 @@
 //! * [`budget`] — the per-slot compute budget ([`SlotBudget`]) the
 //!   resilient scheduler degrades against;
 //! * [`fleet`] — the columnar [`DeviceFleet`] store backing
-//!   provider-scale sharded scheduling (`lpvs_edge::fleet`).
+//!   provider-scale sharded scheduling (`lpvs_edge::fleet`), with
+//!   per-row dirty bits and epoch counters feeding the delta path;
+//! * [`delta`] — delta-aware incremental solving: [`SlotDelta`] change
+//!   sets and the residual sub-solve that re-solves only the dirty
+//!   frontier of a shard.
 //!
 //! A note on conventions: γ is the *saved* fraction — transformed
 //! power is `(1 − γ)·p` (see `lpvs_display::transform` and DESIGN.md).
@@ -68,6 +72,7 @@ pub mod backend;
 pub mod baseline;
 pub mod budget;
 pub mod compact;
+pub mod delta;
 pub mod explain;
 pub mod fleet;
 pub mod objective;
@@ -79,16 +84,17 @@ pub mod scheduler;
 
 pub use backend::{
     backend_for, ladder_from, solver_ladder, ExactBackend, GreedyBackend, LagrangianBackend,
-    SolverBackend,
+    SolverBackend, WarmStart,
 };
 pub use baseline::{Policy, SelectionPolicy};
 pub use budget::SlotBudget;
 pub use compact::CompactedDevice;
+pub use delta::{solve_shard_incremental, SlotDelta};
 pub use explain::{explain, Explanation, Reason};
-pub use fleet::{DeviceFleet, FleetDevice, FleetView};
+pub use fleet::{DeviceFleet, DirtyFrontier, FleetDevice, FleetView};
 pub use objective::{device_objective, objective_value, objective_value_recursive};
 pub use phase1::{solve_phase1, Phase1Config, Phase1Result, Phase1Solver};
-pub use phase2::{run_phase2, Phase2Stats};
+pub use phase2::{run_phase2, run_phase2_over, Phase2Stats};
 pub use problem::{DeviceRequest, SlotProblem};
 pub use provision::{price_capacity, CapacityPrices};
 pub use scheduler::{LpvsScheduler, Schedule, ScheduleStats, SchedulerConfig};

@@ -8,7 +8,7 @@
 //! branch-and-bound, with a greedy multi-knapsack fallback available
 //! for the solver-path ablation.
 
-use crate::backend::backend_for;
+use crate::backend::{backend_for, WarmStart};
 use crate::problem::SlotProblem;
 use lpvs_solver::SolverError;
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,11 @@ pub struct Phase1Result {
     /// (exact path) or subgradient iterations (Lagrangian path); 0 for
     /// the greedy path.
     pub pivots: usize,
+    /// Whether a supplied warm-start hint was actually adopted (exact
+    /// path: the cleaned hint seeded the incumbent; heuristic paths:
+    /// the hint replaced the backend's own selection). Always `false`
+    /// when no hint was offered.
+    pub warm_start_used: bool,
 }
 
 /// Solves Phase-1 for the slot problem.
@@ -103,7 +108,8 @@ pub fn solve_phase1_warm(
     config: &Phase1Config,
     hint: Option<&[bool]>,
 ) -> Result<Phase1Result, SolverError> {
-    backend_for(config.solver).solve(problem, config, hint)
+    let warm = hint.map(|selected| WarmStart { selected });
+    backend_for(config.solver).solve(problem, config, warm)
 }
 
 #[cfg(test)]
@@ -212,9 +218,32 @@ mod tests {
         assert!(hinted.energy_saved_j >= cold.energy_saved_j - 1e-9
             || (hinted.energy_saved_j - cold.energy_saved_j).abs()
                 <= 1e-3 * cold.energy_saved_j.abs());
+        assert!(hinted.warm_start_used, "feasible hint must engage the warm path");
+        assert!(!cold.warm_start_used, "no hint offered, none used");
         // A malformed hint (wrong length) is ignored, not fatal.
         let odd = solve_phase1_warm(&p, &Phase1Config::default(), Some(&[true])).unwrap();
         assert_eq!(odd.selected.len(), 3);
+        assert!(!odd.warm_start_used);
+    }
+
+    #[test]
+    fn heuristic_tiers_engage_warm_starts() {
+        let p = problem(2.0);
+        for solver in [Phase1Solver::Lagrangian, Phase1Solver::Greedy] {
+            let config = Phase1Config { solver, ..Phase1Config::default() };
+            let cold = solve_phase1(&p, &config).unwrap();
+            // Hint with the known optimum {0, 1}: at least ties the
+            // heuristic, so the selection never worsens.
+            let hinted =
+                solve_phase1_warm(&p, &config, Some(&[true, true, false])).unwrap();
+            assert!(hinted.energy_saved_j >= cold.energy_saved_j - 1e-9);
+            assert!(p.capacity_feasible(&hinted.selected));
+            // An over-capacity hint is rejected and reported unused.
+            let over = solve_phase1_warm(&p, &config, Some(&[true, true, true])).unwrap();
+            assert!(!over.warm_start_used, "{solver:?} adopted an infeasible hint");
+            assert!(p.capacity_feasible(&over.selected));
+            assert_eq!(over.selected, cold.selected);
+        }
     }
 
     #[test]

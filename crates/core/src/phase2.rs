@@ -36,9 +36,36 @@ pub struct Phase2Stats {
 ///
 /// Panics if `selected.len()` differs from the device count.
 pub fn run_phase2(problem: &SlotProblem, selected: &mut [bool]) -> Phase2Stats {
+    run_phase2_over(problem, selected, None)
+}
+
+/// [`run_phase2`] restricted to a subset of device indices — the delta
+/// scheduler's dirty frontier. Both candidates (devices swapped *in*)
+/// and victims (devices swapped *out*) must lie in `allowed`, so rows
+/// outside the frontier keep their standing decision verbatim: the
+/// pure-addition criterion holds with respect to every clean row.
+/// `allowed: None` swaps over the whole problem.
+///
+/// # Panics
+///
+/// Panics if `selected.len()` differs from the device count or an
+/// allowed index is out of range.
+pub fn run_phase2_over(
+    problem: &SlotProblem,
+    selected: &mut [bool],
+    allowed: Option<&[usize]>,
+) -> Phase2Stats {
     assert_eq!(selected.len(), problem.len(), "selection has wrong length");
     let mut stats = Phase2Stats::default();
     let n = problem.len();
+    let in_scope: Option<Vec<bool>> = allowed.map(|indices| {
+        let mut mask = vec![false; n];
+        for &i in indices {
+            mask[i] = true;
+        }
+        mask
+    });
+    let scoped = |i: usize| in_scope.as_ref().is_none_or(|m| m[i]);
 
     // Per-device objective contributions under both decisions, plus
     // transform feasibility — all O(N·K) once.
@@ -69,10 +96,10 @@ pub fn run_phase2(problem: &SlotProblem, selected: &mut [bool]) -> Phase2Stats {
         }
     }
 
-    // Candidates: unselected, transform-feasible devices by descending
-    // anxiety degree.
+    // Candidates: unselected, transform-feasible, in-scope devices by
+    // descending anxiety degree.
     let mut candidates: Vec<usize> = (0..n)
-        .filter(|&i| !selected[i] && feasible[i])
+        .filter(|&i| !selected[i] && feasible[i] && scoped(i))
         .collect();
     candidates.sort_by(|&a, &b| {
         let aa = problem.curve.phi(problem.requests[a].battery_fraction());
@@ -102,7 +129,7 @@ pub fn run_phase2(problem: &SlotProblem, selected: &mut [bool]) -> Phase2Stats {
         // delta: Δ = (on − off)[cand] + (off − on)[victim].
         let mut best: Option<(usize, f64)> = None;
         for victim in 0..n {
-            if !selected[victim] {
+            if !selected[victim] || !scoped(victim) {
                 continue;
             }
             let rv = &problem.requests[victim];
@@ -238,5 +265,43 @@ mod tests {
         let mut sel: Vec<bool> = Vec::new();
         let stats = run_phase2(&p, &mut sel);
         assert_eq!(stats, Phase2Stats::default());
+    }
+
+    #[test]
+    fn scoped_swapping_never_touches_out_of_scope_rows() {
+        // Same instance as the high-λ swap test, plus a third device.
+        // With the frontier restricted to {2}, devices 0 and 1 must
+        // keep their standing decision even though swapping 0 → 1
+        // would improve the objective.
+        let mut p = SlotProblem::new(1.0, 10.0, 60.0, AnxietyCurve::paper_shape());
+        p.push(device(1.0, 0.32, 0.80));
+        p.push(device(1.0, 0.30, 0.08));
+        p.push(device(1.0, 0.25, 0.50));
+        let mut sel = vec![true, false, false];
+        run_phase2_over(&p, &mut sel, Some(&[2]));
+        assert!(sel[0], "out-of-scope selection was evicted");
+        assert!(!sel[1], "out-of-scope candidate was admitted");
+
+        // An unrestricted run from the same start does perform the
+        // cross-row swap, so the scope is what held it back.
+        let mut free = vec![true, false, false];
+        run_phase2(&p, &mut free);
+        assert!(free[1]);
+    }
+
+    #[test]
+    fn full_scope_equals_unrestricted_run() {
+        let mut p = SlotProblem::new(3.0, 10.0, 2.0, AnxietyCurve::paper_shape());
+        for i in 0..6 {
+            p.push(device(0.8 + 0.1 * (i % 3) as f64, 0.2 + 0.04 * i as f64, 0.1 + 0.14 * i as f64));
+        }
+        let start = solve_phase1(&p, &Phase1Config::default()).unwrap().selected;
+        let mut all = start.clone();
+        let mut scoped = start;
+        let every: Vec<usize> = (0..p.len()).collect();
+        let a = run_phase2(&p, &mut all);
+        let b = run_phase2_over(&p, &mut scoped, Some(&every));
+        assert_eq!(all, scoped);
+        assert_eq!(a, b);
     }
 }

@@ -1,6 +1,6 @@
 //! The LPVS scheduler: Phase-1 + Phase-2 with instrumentation.
 
-use crate::backend::{backend_for, ladder_from, SolverBackend};
+use crate::backend::{backend_for, ladder_from, SolverBackend, WarmStart};
 use crate::budget::SlotBudget;
 use crate::objective::objective_value;
 use crate::phase1::{Phase1Config, Phase1Solver};
@@ -258,7 +258,8 @@ impl LpvsScheduler {
         let start = Instant::now();
         let phase1 = {
             let mut span = lpvs_obs::span!("sched.phase1", "devices" => problem.len());
-            let phase1 = backend.solve(problem, phase1_config, previous)?;
+            let warm = previous.map(|selected| WarmStart { selected });
+            let phase1 = backend.solve(problem, phase1_config, warm)?;
             span.record("nodes", phase1.nodes as f64);
             span.record("pivots", phase1.pivots as f64);
             phase1

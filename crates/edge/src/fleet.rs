@@ -467,6 +467,35 @@ impl FleetScheduler {
     }
 }
 
+/// Intersects a shard's device list with a fleet-wide dirty set,
+/// returning *shard-local* positions (indexes into `indices`).
+///
+/// Both inputs must be ascending: `indices` is a shard's global rows in
+/// shard order (both partitioners emit them ascending) and `dirty` is a
+/// [`SlotDelta`](lpvs_core::delta::SlotDelta)'s ascending frontier. A
+/// single sorted merge, O(|indices| + |dirty|), so taking a shard's
+/// frontier never costs more than scanning the shard.
+pub fn shard_frontier(indices: &[usize], dirty: &[usize]) -> Vec<usize> {
+    debug_assert!(indices.windows(2).all(|w| w[0] < w[1]), "shard rows must ascend");
+    debug_assert!(dirty.windows(2).all(|w| w[0] < w[1]), "dirty set must ascend");
+    let mut out = Vec::new();
+    let mut d = dirty.iter().peekable();
+    for (local, &global) in indices.iter().enumerate() {
+        while let Some(&&next) = d.peek() {
+            if next < global {
+                d.next();
+            } else {
+                break;
+            }
+        }
+        if d.peek() == Some(&&global) {
+            out.push(local);
+            d.next();
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -693,5 +722,40 @@ mod tests {
         assert!(out.selected.is_empty());
         assert_eq!(out.migrations, 0);
         assert_eq!(out.objective, 0.0);
+    }
+
+    #[test]
+    fn shard_frontier_intersects_in_local_coordinates() {
+        // Shard rows 2, 5, 9, 14; dirty 0, 5, 9, 20 → locals 1, 2.
+        assert_eq!(shard_frontier(&[2, 5, 9, 14], &[0, 5, 9, 20]), vec![1, 2]);
+        assert_eq!(shard_frontier(&[], &[1, 2]), Vec::<usize>::new());
+        assert_eq!(shard_frontier(&[3, 4], &[]), Vec::<usize>::new());
+        assert_eq!(shard_frontier(&[0, 1, 2], &[0, 1, 2]), vec![0, 1, 2]);
+        // Dirty rows outside the shard never leak in.
+        assert_eq!(shard_frontier(&[10, 20], &[11, 19]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn shard_frontiers_cover_the_whole_dirty_set() {
+        // Across both partitioners, every dirty row lands in exactly
+        // one shard's local frontier.
+        let f = fleet(97, 11);
+        for partitioner in [Partitioner::Locality, Partitioner::Hash] {
+            let sched = FleetScheduler::new(FleetConfig {
+                num_shards: 3,
+                partitioner,
+                ..FleetConfig::default()
+            });
+            let shards = sched.partition(&f);
+            let dirty: Vec<usize> = (0..97).step_by(7).collect();
+            let mut seen = 0;
+            for shard in &shards {
+                for local in shard_frontier(shard, &dirty) {
+                    assert!(dirty.contains(&shard[local]));
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, dirty.len(), "{partitioner:?} lost dirty rows");
+        }
     }
 }

@@ -323,6 +323,10 @@ impl SlotSource for EmulatorDriver {
             curve: clean.curve,
             budget,
             warm,
+            // The emulator rebuilds its fleet from the trace every
+            // slot, so it cannot attest to a change set — every shard
+            // solves cold, exactly as before deltas existed.
+            delta: None,
         };
         self.dispatched.push((slot, scratch.watching.clone()));
         self.scratch = Some(scratch);

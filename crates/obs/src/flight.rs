@@ -54,6 +54,10 @@ pub enum FlightKind {
     Fallback,
     /// A persisted checkpoint generation failed validation.
     CorruptCheckpoint,
+    /// The shard's delta memo was invalidated and the slot forced back
+    /// to an all-dirty cold solve (migration, death/respawn, population
+    /// change, or stale epoch).
+    DeltaReset,
 }
 
 impl FlightKind {
@@ -67,6 +71,7 @@ impl FlightKind {
             FlightKind::Death => 5,
             FlightKind::Fallback => 6,
             FlightKind::CorruptCheckpoint => 7,
+            FlightKind::DeltaReset => 8,
         }
     }
 
@@ -80,6 +85,7 @@ impl FlightKind {
             5 => FlightKind::Death,
             6 => FlightKind::Fallback,
             7 => FlightKind::CorruptCheckpoint,
+            8 => FlightKind::DeltaReset,
             _ => return None,
         })
     }
@@ -95,6 +101,7 @@ impl FlightKind {
             FlightKind::Death => "death",
             FlightKind::Fallback => "fallback",
             FlightKind::CorruptCheckpoint => "corrupt_checkpoint",
+            FlightKind::DeltaReset => "delta_reset",
         }
     }
 }

@@ -32,11 +32,13 @@
 //!   deaths, retries, replayed slots, and checkpoint generations that
 //!   replaces the old boolean-ish `fell_back` field.
 
+use crate::shard::ShardDeltaMemo;
 use lpvs_bayes::codec::bank_from_bytes;
 use lpvs_bayes::{BayesBank, GammaEstimator};
 use lpvs_codec::{crc64, CodecError, Reader, Writer};
 use lpvs_core::fleet::DeviceFleet;
-use lpvs_core::scheduler::Degradation;
+use lpvs_core::phase2::Phase2Stats;
+use lpvs_core::scheduler::{Degradation, Schedule, ScheduleStats};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -57,9 +59,18 @@ pub const SNAPSHOT_MAGIC: u64 = 0x4C50_5653_434B_5054;
 /// Magic number of a run manifest file (`"LPVSMANF"`).
 pub const MANIFEST_MAGIC: u64 = 0x4C50_5653_4D41_4E46;
 
-/// On-disk format version. Bump on any layout change; old versions are
-/// rejected with [`CodecError::BadVersion`], never misread.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// On-disk format version. Bump on any layout change; unknown versions
+/// are rejected with [`CodecError::BadVersion`], never misread.
+///
+/// Version 2 appends the shard's delta memo to the snapshot payload.
+/// Version-1 files (no memo section) still decode — their memo restores
+/// as `None`, which the runtime treats as all-dirty: the first solve
+/// after such a restore is cold.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The oldest on-disk format version [`ShardSnapshot::decode`] still
+/// accepts.
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 /// Where and how often the pipeline checkpoints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -128,16 +139,24 @@ pub struct ShardSnapshot {
     /// The in-flight fleet slice, when a solve was pending at snapshot
     /// time.
     pub fleet: Option<FleetSlice>,
+    /// The shard's delta memo at snapshot time (`None` for version-1
+    /// files, or when the shard had no live memo). Restoring it lets a
+    /// resumed run keep solving incrementally; a `None` restore just
+    /// means the first post-restore solve is cold.
+    pub memo: Option<ShardDeltaMemo>,
 }
 
 impl ShardSnapshot {
     /// Seals a snapshot into its on-disk container bytes. `bank_bytes`
-    /// is the worker-encoded bank payload (`lpvs_bayes::codec`).
+    /// is the worker-encoded bank payload (`lpvs_bayes::codec`);
+    /// `memo_bytes` the worker-encoded delta memo ([`memo_to_bytes`]),
+    /// when one was live.
     pub fn seal(
         shard: usize,
         slot: usize,
         bank_bytes: &[u8],
         fleet: Option<(&[usize], &DeviceFleet)>,
+        memo_bytes: Option<&[u8]>,
     ) -> Vec<u8> {
         let mut payload = Writer::with_capacity(64 + bank_bytes.len());
         payload.put_usize(shard);
@@ -148,6 +167,13 @@ impl ShardSnapshot {
                 payload.put_bool(true);
                 payload.put_usizes(device_ids);
                 fleet.encode(&mut payload);
+            }
+            None => payload.put_bool(false),
+        }
+        match memo_bytes {
+            Some(bytes) => {
+                payload.put_bool(true);
+                payload.put_bytes(bytes);
             }
             None => payload.put_bool(false),
         }
@@ -176,7 +202,7 @@ impl ShardSnapshot {
             return Err(CodecError::BadMagic);
         }
         let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version));
         }
         let len = r.usize_()?;
@@ -202,8 +228,15 @@ impl ShardSnapshot {
         } else {
             None
         };
+        // Version 1 predates delta memos; restoring without one is
+        // always sound (the next solve is simply cold).
+        let memo = if version >= 2 && p.bool_()? {
+            Some(memo_from_bytes(p.bytes()?)?)
+        } else {
+            None
+        };
         p.expect_end()?;
-        Ok(ShardSnapshot { shard, slot, bank, fleet })
+        Ok(ShardSnapshot { shard, slot, bank, fleet, memo })
     }
 }
 
@@ -361,6 +394,70 @@ fn degradation_from_u8(byte: u8) -> Result<Degradation, CodecError> {
     })
 }
 
+/// Encodes a shard's delta memo for the snapshot payload. The schedule's
+/// wall-clock `runtime` is not persisted (it restores as zero) — it is
+/// measurement, not state, and excluding it keeps restored memos
+/// comparable across machines.
+pub(crate) fn memo_to_bytes(memo: &ShardDeltaMemo) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + 9 * memo.indices.len() + memo.schedule.selected.len());
+    w.put_u64(memo.epoch);
+    w.put_usizes(&memo.indices);
+    w.put_f64(memo.compute_capacity);
+    w.put_f64(memo.storage_capacity_gb);
+    w.put_f64(memo.lambda);
+    w.put_bools(&memo.schedule.selected);
+    let stats = &memo.schedule.stats;
+    w.put_f64(stats.objective);
+    w.put_f64(stats.energy_saved_j);
+    w.put_usize(stats.infeasible_devices);
+    w.put_usize(stats.phase1_nodes);
+    w.put_usize(stats.phase1_pivots);
+    w.put_usize(stats.phase2.swaps_tried);
+    w.put_usize(stats.phase2.swaps_accepted);
+    w.put_usize(stats.phase2.additions);
+    w.put_u8(degradation_to_u8(stats.degradation));
+    w.put_usize(stats.rejected_devices);
+    w.into_bytes()
+}
+
+/// Decodes a delta memo encoded by [`memo_to_bytes`].
+pub(crate) fn memo_from_bytes(bytes: &[u8]) -> Result<ShardDeltaMemo, CodecError> {
+    let mut r = Reader::new(bytes);
+    let epoch = r.u64()?;
+    let indices = r.usizes()?;
+    let compute_capacity = r.f64()?;
+    let storage_capacity_gb = r.f64()?;
+    let lambda = r.f64()?;
+    let selected = r.bools()?;
+    if selected.len() != indices.len() {
+        return Err(CodecError::Malformed("memo selection length"));
+    }
+    let stats = ScheduleStats {
+        objective: r.f64()?,
+        energy_saved_j: r.f64()?,
+        infeasible_devices: r.usize_()?,
+        phase1_nodes: r.usize_()?,
+        phase1_pivots: r.usize_()?,
+        phase2: Phase2Stats {
+            swaps_tried: r.usize_()?,
+            swaps_accepted: r.usize_()?,
+            additions: r.usize_()?,
+        },
+        degradation: degradation_from_u8(r.u8()?)?,
+        rejected_devices: r.usize_()?,
+        runtime: Duration::ZERO,
+    };
+    r.expect_end()?;
+    Ok(ShardDeltaMemo {
+        epoch,
+        indices,
+        compute_capacity,
+        storage_capacity_gb,
+        lambda,
+        schedule: Schedule { selected, stats },
+    })
+}
+
 /// The newest complete checkpoint round: resume the run at `slot`,
 /// restoring shard `s` from generation `generations[s]`.
 #[derive(Debug, Clone, PartialEq)]
@@ -489,6 +586,7 @@ impl CheckpointStore {
         slot: usize,
         bank_bytes: &[u8],
         fleet: Option<(&[usize], &DeviceFleet)>,
+        memo_bytes: Option<&[u8]>,
     ) -> Result<Option<Vec<u64>>, CheckpointError> {
         let started = std::time::Instant::now();
         let round = self.round.as_mut().ok_or(CheckpointError::Manifest("no pending round"))?;
@@ -496,7 +594,7 @@ impl CheckpointStore {
             return Err(CheckpointError::Manifest("snapshot slot outside pending round"));
         }
         let mark = round.marks[shard];
-        let mut bytes = ShardSnapshot::seal(shard, slot, bank_bytes, fleet);
+        let mut bytes = ShardSnapshot::seal(shard, slot, bank_bytes, fleet, memo_bytes);
 
         let files = &mut self.shards[shard];
         let gen = files.next_gen;
@@ -621,8 +719,10 @@ impl CheckpointStore {
         if r.u64()? != MANIFEST_MAGIC {
             return Err(CodecError::BadMagic.into());
         }
+        // The manifest layout has not changed across snapshot versions,
+        // so a v1 manifest (written by a pre-delta hub) still resumes.
         let version = r.u32()?;
-        if version != SNAPSHOT_VERSION {
+        if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(CodecError::BadVersion(version).into());
         }
         let len = r.usize_()?;
@@ -981,18 +1081,80 @@ mod tests {
     #[test]
     fn snapshot_round_trips_bank_and_fleet_slice() {
         let bank = learned_bank(11, 0.0);
-        let bytes = ShardSnapshot::seal(2, 40, &bank_to_bytes(&bank), None);
+        let bytes = ShardSnapshot::seal(2, 40, &bank_to_bytes(&bank), None, None);
         let snap = ShardSnapshot::decode(&bytes).expect("decode");
         assert_eq!(snap.shard, 2);
         assert_eq!(snap.slot, 40);
         assert_eq!(snap.bank, bank);
         assert!(snap.fleet.is_none());
+        assert!(snap.memo.is_none());
+    }
+
+    fn sample_memo() -> ShardDeltaMemo {
+        ShardDeltaMemo {
+            epoch: 17,
+            indices: vec![2, 5, 9, 11],
+            compute_capacity: 3.75,
+            storage_capacity_gb: 42.5,
+            lambda: 1.25,
+            schedule: Schedule {
+                selected: vec![true, false, true, true],
+                stats: ScheduleStats {
+                    objective: -12.625,
+                    energy_saved_j: 9_001.5,
+                    infeasible_devices: 1,
+                    phase1_nodes: 7,
+                    phase1_pivots: 41,
+                    phase2: Phase2Stats { swaps_tried: 5, swaps_accepted: 2, additions: 1 },
+                    degradation: Degradation::Lagrangian,
+                    rejected_devices: 0,
+                    runtime: Duration::ZERO,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn delta_memo_round_trips_through_a_snapshot() {
+        let memo = sample_memo();
+        let bytes = memo_to_bytes(&memo);
+        assert_eq!(memo_from_bytes(&bytes).expect("memo decode"), memo);
+        let bank = learned_bank(4, 0.0);
+        let sealed = ShardSnapshot::seal(1, 24, &bank_to_bytes(&bank), None, Some(&bytes));
+        let snap = ShardSnapshot::decode(&sealed).expect("decode");
+        assert_eq!(snap.memo, Some(memo));
+        assert_eq!(snap.bank, bank);
+    }
+
+    #[test]
+    fn version_one_snapshots_restore_with_no_memo() {
+        // Hand-seal a v1 container: same payload layout minus the memo
+        // section, stamped with version 1.
+        let bank = learned_bank(6, 0.02);
+        let mut payload = Writer::with_capacity(64);
+        payload.put_usize(3);
+        payload.put_usize(16);
+        payload.put_bytes(&bank_to_bytes(&bank));
+        payload.put_bool(false); // no fleet slice
+        let payload = payload.into_bytes();
+        let mut w = Writer::with_capacity(28 + payload.len());
+        w.put_u64(SNAPSHOT_MAGIC);
+        w.put_u32(1);
+        w.put_usize(payload.len());
+        w.put_u64(crc64(&payload));
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&payload);
+        let snap = ShardSnapshot::decode(&bytes).expect("v1 decodes");
+        assert_eq!(snap.shard, 3);
+        assert_eq!(snap.slot, 16);
+        assert_eq!(snap.bank, bank);
+        assert!(snap.memo.is_none(), "v1 restores to all-dirty (no memo)");
     }
 
     #[test]
     fn snapshot_rejects_any_flipped_byte() {
         let bank = learned_bank(5, 0.01);
-        let clean = ShardSnapshot::seal(0, 3, &bank_to_bytes(&bank), None);
+        let clean = ShardSnapshot::seal(0, 3, &bank_to_bytes(&bank), None, None);
         assert!(ShardSnapshot::decode(&clean).is_ok());
         // Flip each payload byte in turn: the checksum must catch it.
         for at in 28..clean.len() {
@@ -1023,7 +1185,7 @@ mod tests {
             store.begin_round(slot, vec![round * 10]);
             let bank = learned_bank(4, round as f64 * 0.02);
             let marks = store
-                .persist_shard(0, slot, &bank_to_bytes(&bank), None)
+                .persist_shard(0, slot, &bank_to_bytes(&bank), None, None)
                 .expect("persist");
             assert!(marks.is_some(), "single-shard round completes immediately");
         }
@@ -1049,10 +1211,10 @@ mod tests {
         let mut store = CheckpointStore::create(&config, 1).expect("create");
         let old = learned_bank(6, 0.0);
         store.begin_round(0, vec![0]);
-        store.persist_shard(0, 0, &bank_to_bytes(&old), None).expect("persist");
+        store.persist_shard(0, 0, &bank_to_bytes(&old), None, None).expect("persist");
         let new = learned_bank(6, 0.03);
         store.begin_round(8, vec![7]);
-        store.persist_shard(0, 8, &bank_to_bytes(&new), None).expect("persist");
+        store.persist_shard(0, 8, &bank_to_bytes(&new), None, None).expect("persist");
         // Flip one byte of the newest generation on disk.
         let newest = dir.join("shard-0").join("gen-00000001.ckpt");
         let mut bytes = fs::read(&newest).unwrap();
@@ -1073,7 +1235,7 @@ mod tests {
         let mut store = CheckpointStore::create(&config, 1).expect("create");
         store.begin_round(0, vec![0]);
         store
-            .persist_shard(0, 0, &bank_to_bytes(&learned_bank(3, 0.0)), None)
+            .persist_shard(0, 0, &bank_to_bytes(&learned_bank(3, 0.0)), None, None)
             .expect("persist");
         assert_eq!(store.checkpoints_corrupted(), 1);
         assert!(store.restore_latest(0).is_none(), "corrupted gen must not restore");
@@ -1127,8 +1289,8 @@ mod tests {
         store.begin_round(16, vec![3, 4]);
         let a = learned_bank(3, 0.0);
         let b = learned_bank(4, 0.05);
-        assert!(store.persist_shard(0, 16, &bank_to_bytes(&a), None).expect("persist").is_none());
-        assert!(store.persist_shard(1, 16, &bank_to_bytes(&b), None).expect("persist").is_some());
+        assert!(store.persist_shard(0, 16, &bank_to_bytes(&a), None, None).expect("persist").is_none());
+        assert!(store.persist_shard(1, 16, &bank_to_bytes(&b), None, None).expect("persist").is_some());
         let manifest = store.read_manifest().expect("read").expect("written");
         assert_eq!(manifest, RunManifest { slot: 16, generations: vec![0, 0] });
         assert_eq!(store.load_generation(1, 0).expect("load").bank, b);

@@ -70,6 +70,7 @@
 pub mod checkpoint;
 pub mod pipeline;
 pub mod shard;
+pub mod synthetic;
 
 pub use checkpoint::{
     flight_to_jsonl, CheckpointConfig, CheckpointError, CheckpointStore, FlightReason,
@@ -77,9 +78,11 @@ pub use checkpoint::{
     ShardRecovery, ShardSnapshot,
 };
 pub use pipeline::{RuntimeConfig, RuntimeReport, RuntimeSummary, SlotRuntime, StageFaults};
-pub use shard::ShardState;
+pub use shard::{ShardDeltaMemo, ShardState};
+pub use synthetic::{SyntheticConfig, SyntheticDriver, SyntheticRecord};
 
 use lpvs_core::budget::SlotBudget;
+use lpvs_core::delta::SlotDelta;
 use lpvs_core::fleet::DeviceFleet;
 use lpvs_core::scheduler::Degradation;
 use lpvs_edge::fleet::FleetSchedule;
@@ -123,6 +126,12 @@ pub struct GatheredSlot {
     /// Warm-start selection in fleet order, if the previous slot's
     /// population matches.
     pub warm: Option<Vec<bool>>,
+    /// The slot's change set — which fleet rows mutated since the
+    /// previous gather — captured from the source fleet's dirty
+    /// frontier. `None` means the source does not track deltas (the
+    /// trace emulator rebuilds its fleet every slot), which forces
+    /// every shard down the cold path.
+    pub delta: Option<SlotDelta>,
 }
 
 /// A completed fleet solve, delivered to [`SlotSink::solved`] once all

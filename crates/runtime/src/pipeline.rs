@@ -162,6 +162,10 @@ pub struct RuntimeReport {
     pub estimators: Vec<GammaEstimator>,
     /// Total wall-clock spent in (dispatch → joined) solves.
     pub solve_runtime: Duration,
+    /// `(slot, solver wall-clock)` per solved slot, join order. Lets
+    /// benchmarks separate the cold first solve from the steady-state
+    /// tail instead of averaging them together.
+    pub slot_solve_runtimes: Vec<(usize, Duration)>,
 }
 
 #[derive(Default)]
@@ -170,6 +174,15 @@ struct RunStats {
     solved_slots: usize,
     estimator_migrations: usize,
     solve_runtime: Duration,
+    slot_solve_runtimes: Vec<(usize, Duration)>,
+}
+
+impl RunStats {
+    fn count_solved(&mut self, slot: usize, runtime: Duration) {
+        self.solve_runtime += runtime;
+        self.solved_slots += 1;
+        self.slot_solve_runtimes.push((slot, runtime));
+    }
 }
 
 /// A dispatched, not-yet-joined solve.
@@ -180,6 +193,10 @@ struct PendingSolve {
     servers: Vec<EdgeServer>,
     /// Per-shard dispatch attempt for this slot (bumped on respawn).
     attempts: Vec<u32>,
+    /// Per-shard memo invalidation: set at dispatch when the hub knows
+    /// the shard's warm state cannot be trusted (an estimator migration
+    /// touched it), and on every re-dispatch after a death.
+    force_cold: Vec<bool>,
     dispatched_at: Instant,
     /// The slot span's context, shipped with every (re-)dispatch so
     /// worker-side solve spans join the slot's trace.
@@ -227,6 +244,10 @@ struct Hub {
     /// actions here; the ring survives respawns (the replacement worker
     /// writes into the same ring), so a recording spans the death.
     rings: Vec<Arc<FlightRing>>,
+    /// Shards whose next dispatch must invalidate the delta memo —
+    /// set when an estimator migration moves γ state into or out of a
+    /// shard's bank, drained at dispatch.
+    force_cold: Vec<bool>,
 }
 
 impl Hub {
@@ -307,6 +328,7 @@ impl Supervisor {
         shard: usize,
         slot: usize,
         bank_bytes: &[u8],
+        memo_bytes: Option<&[u8]>,
         pending: Option<&PendingSolve>,
     ) {
         let Some(store) = self.store.as_mut() else { return };
@@ -317,7 +339,7 @@ impl Supervisor {
             (ids, slice)
         });
         let fleet = fleet_ctx.as_ref().map(|(ids, fl)| (ids.as_slice(), fl));
-        match store.persist_shard(shard, slot, bank_bytes, fleet) {
+        match store.persist_shard(shard, slot, bank_bytes, fleet, memo_bytes) {
             Ok(Some(marks)) => {
                 for (journal, mark) in self.journals.iter_mut().zip(marks) {
                     journal.truncate_to(mark);
@@ -422,8 +444,12 @@ impl SlotRuntime {
     ) -> RuntimeReport {
         let k = self.config.fleet.num_shards;
         let owner = self.home_shards(estimators.len());
-        let banks = BayesBank::from_estimators(estimators).split(k, |d| owner[d]);
-        self.run_from(driver, banks, owner, 0, self.open_store(), None)
+        let shards = BayesBank::from_estimators(estimators)
+            .split(k, |d| owner[d])
+            .into_iter()
+            .map(|bank| (bank, None))
+            .collect();
+        self.run_from(driver, shards, owner, 0, self.open_store(), None)
     }
 
     /// Resumes a halted run mid-horizon from the checkpoint store's
@@ -456,19 +482,24 @@ impl SlotRuntime {
             return Err(CheckpointError::Manifest("manifest shard count mismatch"));
         }
         let restore_start = Instant::now();
-        let mut banks = Vec::with_capacity(k);
+        let mut shards = Vec::with_capacity(k);
         for (s, &gen) in manifest.generations.iter().enumerate() {
-            banks.push(store.load_generation(s, gen)?.bank);
+            let snapshot = store.load_generation(s, gen)?;
+            // The snapshot's memo is the solve the shard completed just
+            // before the checkpoint round, so a resumed run continues
+            // the incremental chain exactly where the halted one left
+            // it. A v1 snapshot has no memo and resumes cold.
+            shards.push((snapshot.bank, snapshot.memo));
         }
         // The ownership map is implicit in the restored banks: whatever
         // shard holds a device's estimator owns it.
-        let devices = banks
+        let devices = shards
             .iter()
-            .flat_map(|b| b.devices())
+            .flat_map(|(bank, _)| bank.devices())
             .max()
             .map_or(0, |d| d + 1);
         let mut owner = vec![0usize; devices];
-        for (s, bank) in banks.iter().enumerate() {
+        for (s, (bank, _)) in shards.iter().enumerate() {
             for d in bank.devices() {
                 owner[d] = s;
             }
@@ -495,15 +526,16 @@ impl SlotRuntime {
             lpvs_obs::observe("recovery_restore_seconds", restore_start.elapsed().as_secs_f64());
             lpvs_obs::gauge_set("recovery_restored_slots", slot as f64);
         }
-        Ok(self.run_from(driver, banks, owner, slot, Some(store), Some(slot)))
+        Ok(self.run_from(driver, shards, owner, slot, Some(store), Some(slot)))
     }
 
-    /// The pipelined slot loop, entered at `start_slot` with per-shard
-    /// `banks` already split and `owner` routing devices to them.
+    /// The pipelined slot loop, entered at `start_slot` with one
+    /// `(bank, delta memo)` pair per shard already split (memos all
+    /// `None` on a fresh run) and `owner` routing devices to them.
     fn run_from<D: SlotSource + SlotSink>(
         &self,
         driver: &mut D,
-        banks: Vec<BayesBank>,
+        shards: Vec<(BayesBank, Option<crate::shard::ShardDeltaMemo>)>,
         owner: Vec<usize>,
         start_slot: usize,
         store: Option<CheckpointStore>,
@@ -515,13 +547,13 @@ impl SlotRuntime {
         let (event_tx, events) = bounded(4 * k + 4);
         let rings: Vec<Arc<FlightRing>> =
             (0..k).map(|_| Arc::new(FlightRing::with_default_capacity())).collect();
-        let workers: Vec<WorkerHandle> = banks
+        let workers: Vec<WorkerHandle> = shards
             .into_iter()
             .enumerate()
-            .map(|(s, bank)| {
+            .map(|(s, (bank, memo))| {
                 let (tx, rx) = bounded(self.config.command_depth.max(2));
                 let thread = spawn_worker(
-                    ShardState { shard: s, bank },
+                    ShardState { shard: s, bank, memo },
                     self.config.fleet.scheduler,
                     faults,
                     Arc::clone(&rings[s]),
@@ -531,8 +563,16 @@ impl SlotRuntime {
                 WorkerHandle { commands: Some(tx), thread: Some(thread) }
             })
             .collect();
-        let mut hub =
-            Hub { workers, events, event_tx, owner, lost: Vec::new(), workers_lost: 0, rings };
+        let mut hub = Hub {
+            workers,
+            events,
+            event_tx,
+            owner,
+            lost: Vec::new(),
+            workers_lost: 0,
+            rings,
+            force_cold: vec![false; k],
+        };
         let mut sup = Supervisor::new(store, k);
         let interval = self.config.checkpoints.as_ref().map(|c| c.interval);
 
@@ -670,7 +710,7 @@ impl SlotRuntime {
                 );
             }
             if let Some(g) = gathered {
-                in_flight = Some(self.dispatch(&hub, slot, g, slot_ctx));
+                in_flight = Some(self.dispatch(&mut hub, slot, g, slot_ctx));
             }
 
             // --- apply(t) — overlaps solve(t) --------------------------
@@ -740,6 +780,7 @@ impl SlotRuntime {
             },
             estimators,
             solve_runtime: stats.solve_runtime,
+            slot_solve_runtimes: stats.slot_solve_runtimes,
         }
     }
 
@@ -786,6 +827,7 @@ impl SlotRuntime {
             },
             estimators: bank.into_dense(),
             solve_runtime: stats.solve_runtime,
+            slot_solve_runtimes: stats.slot_solve_runtimes,
         }
     }
 
@@ -834,8 +876,7 @@ impl SlotRuntime {
                 .map(|r| r.stats.degradation)
                 .max()
                 .unwrap_or(Degradation::Passthrough);
-            stats.solve_runtime += schedule.runtime;
-            stats.solved_slots += 1;
+            stats.count_solved(slot, schedule.runtime);
             driver.solved(&SolvedSlot { slot, schedule, tier });
             *recycled = Some(g.fleet);
         }
@@ -851,8 +892,8 @@ impl SlotRuntime {
     fn request_checkpoints(&self, hub: &mut Hub, sup: &mut Supervisor, slot: usize) {
         loop {
             match hub.events.try_recv() {
-                Ok(WorkerEvent::Checkpointed { shard, slot: ckpt_slot, bank }) => {
-                    sup.persist(shard, ckpt_slot, &bank, None);
+                Ok(WorkerEvent::Checkpointed { shard, slot: ckpt_slot, bank, memo }) => {
+                    sup.persist(shard, ckpt_slot, &bank, memo.as_deref(), None);
                 }
                 Ok(WorkerEvent::Down { state } | WorkerEvent::Finished { state }) => {
                     // No solve is outstanding here, so this death has
@@ -894,14 +935,17 @@ impl SlotRuntime {
             compute_capacity: pending.servers[s].compute_capacity(),
             storage_capacity_gb: pending.servers[s].storage_capacity_gb(),
             warm: warm.map(|p| pending.shards[s].iter().map(|&i| p[i]).collect()),
+            force_cold: pending.force_cold[s],
             ctx: pending.ctx,
         }
     }
 
-    /// Partitions a gathered slot and fans it out to the workers.
+    /// Partitions a gathered slot and fans it out to the workers. Any
+    /// pending per-shard memo invalidations (estimator migrations since
+    /// the last dispatch) ride along as `force_cold` and are cleared.
     fn dispatch(
         &self,
-        hub: &Hub,
+        hub: &mut Hub,
         slot: usize,
         g: crate::GatheredSlot,
         ctx: Option<SpanContext>,
@@ -912,12 +956,14 @@ impl SlotRuntime {
         let server = EdgeServer::new(gathered.compute_capacity, gathered.storage_capacity_gb);
         let servers = FleetScheduler::split_server(&server, k);
         let dispatched_at = Instant::now();
+        let force_cold = std::mem::replace(&mut hub.force_cold, vec![false; k]);
         let pending = PendingSolve {
             slot,
             gathered,
             shards,
             servers,
             attempts: vec![0; k],
+            force_cold,
             dispatched_at,
             ctx,
         };
@@ -1010,8 +1056,8 @@ impl SlotRuntime {
                         remaining -= 1;
                     }
                 }
-                Ok(WorkerEvent::Checkpointed { shard, slot, bank }) => {
-                    sup.persist(shard, slot, &bank, Some(&pending));
+                Ok(WorkerEvent::Checkpointed { shard, slot, bank, memo }) => {
+                    sup.persist(shard, slot, &bank, memo.as_deref(), Some(&pending));
                 }
                 Ok(WorkerEvent::Down { state }) => {
                     let s = state.shard;
@@ -1047,8 +1093,12 @@ impl SlotRuntime {
                             let (tx, rx) = bounded(self.config.command_depth.max(2));
                             let faults =
                                 self.config.stage_faults.map(|f| (f.rate, f.seed, f.repeat));
+                            // The respawned worker starts with no delta
+                            // memo, and the re-dispatch forces a cold
+                            // solve: recovery correctness never depends
+                            // on warm state.
                             let thread = spawn_worker(
-                                ShardState { shard: s, bank },
+                                ShardState::new(s, bank),
                                 self.config.fleet.scheduler,
                                 faults,
                                 Arc::clone(&hub.rings[s]),
@@ -1060,6 +1110,7 @@ impl SlotRuntime {
                             sup.report.shards[s].retries += 1;
                             lpvs_obs::inc("recovery_respawns_total");
                             pending.attempts[s] = attempt + 1;
+                            pending.force_cold[s] = true;
                             let _ = hub.workers[s].send(WorkerMsg::Solve(Self::shard_job(&pending, s)));
                             // Not accounted: the respawned worker's
                             // Solved event closes this shard out.
@@ -1104,8 +1155,7 @@ impl SlotRuntime {
             .map(|r| r.stats.degradation)
             .max()
             .unwrap_or(Degradation::Passthrough);
-        stats.solve_runtime += schedule.runtime;
-        stats.solved_slots += 1;
+        stats.count_solved(slot, schedule.runtime);
         // Every worker dropped its handle before reporting, so ours is
         // unique and the buffer comes back for the next gather.
         let (buffer, device_ids) = match Arc::try_unwrap(gathered) {
@@ -1142,6 +1192,12 @@ impl SlotRuntime {
                 sup.journal(to, JournalOp::Insert(device, estimator.clone()));
                 hub.workers[to].send(WorkerMsg::MigrateIn { device, estimator })?;
                 hub.owner[device] = to;
+                // γ state moved across banks: both shards' standing
+                // solves are built on posteriors that no longer live
+                // where the memo assumed, so their next dispatch is
+                // forced cold (all-dirty).
+                hub.force_cold[from] = true;
+                hub.force_cold[to] = true;
                 stats.estimator_migrations += 1;
                 lpvs_obs::inc("runtime_migrations_total");
             }
@@ -1224,8 +1280,8 @@ impl SlotRuntime {
                 Ok(WorkerEvent::Finished { state } | WorkerEvent::Down { state }) => {
                     states.push(*state);
                 }
-                Ok(WorkerEvent::Checkpointed { shard, slot, bank }) => {
-                    sup.persist(shard, slot, &bank, None);
+                Ok(WorkerEvent::Checkpointed { shard, slot, bank, memo }) => {
+                    sup.persist(shard, slot, &bank, memo.as_deref(), None);
                 }
                 Ok(WorkerEvent::Solved { .. }) => continue,
                 Err(_) => break,
@@ -1234,8 +1290,8 @@ impl SlotRuntime {
         // Late checkpoint bytes can still be queued behind the final
         // states (a worker checkpoints, then finishes).
         while let Ok(event) = hub.events.try_recv() {
-            if let WorkerEvent::Checkpointed { shard, slot, bank } = event {
-                sup.persist(shard, slot, &bank, None);
+            if let WorkerEvent::Checkpointed { shard, slot, bank, memo } = event {
+                sup.persist(shard, slot, &bank, memo.as_deref(), None);
             }
         }
         for worker in &mut hub.workers {

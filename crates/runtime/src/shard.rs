@@ -26,21 +26,68 @@
 use crate::GatheredSlot;
 use crossbeam::channel::{Receiver, Sender};
 use lpvs_bayes::{BayesBank, GammaEstimator};
+use lpvs_core::delta::solve_shard_incremental;
 use lpvs_core::scheduler::{LpvsScheduler, Schedule, SchedulerConfig};
+use lpvs_edge::fleet::shard_frontier;
 use lpvs_obs::{FlightKind, FlightRing, SpanContext};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Everything a shard worker owns: identity plus its γ bank. Migrated
-/// wholesale when a worker dies or finishes.
+/// Everything a shard worker owns: identity plus its γ bank and the
+/// delta memo of its last solve. Migrated wholesale when a worker dies
+/// or finishes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardState {
     /// Shard index.
     pub shard: usize,
     /// γ estimators for the devices this shard is home to.
     pub bank: BayesBank,
+    /// The previous slot's solve, kept for delta reuse. `None` until
+    /// the first delta-carrying solve succeeds, and after any
+    /// invalidation.
+    pub memo: Option<ShardDeltaMemo>,
 }
+
+impl ShardState {
+    /// A fresh shard state with no delta memo.
+    pub fn new(shard: usize, bank: BayesBank) -> Self {
+        Self { shard, bank, memo: None }
+    }
+}
+
+/// What a shard remembers between slots to solve incrementally: the
+/// previous slot's schedule plus everything needed to prove the next
+/// slot is a contiguous extension of it.
+///
+/// The memo is valid for a job exactly when the job carries a
+/// [`SlotDelta`](lpvs_core::delta::SlotDelta) whose epoch is
+/// `memo.epoch + 1` (no missed frontiers), the shard's device list is
+/// unchanged (same rows, same order — a connectivity flip or repartition
+/// changes it and automatically forces cold), and the shard's
+/// capacities and λ are bit-identical. Anything else is a cold solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDeltaMemo {
+    /// Epoch of the delta this memo's schedule consumed.
+    pub epoch: u64,
+    /// Global fleet indices of the shard at solve time, in shard order.
+    pub indices: Vec<usize>,
+    /// Shard compute capacity at solve time (bit-compared).
+    pub compute_capacity: f64,
+    /// Shard storage capacity at solve time (GB, bit-compared).
+    pub storage_capacity_gb: f64,
+    /// λ at solve time (bit-compared).
+    pub lambda: f64,
+    /// The shard schedule the memo reuses or extends.
+    pub schedule: Schedule,
+}
+
+/// Fraction gate: the incremental path only pays off while the dirty
+/// frontier is small; past a quarter of the shard the residual
+/// sub-solve plus the full-slice Phase-2 costs about as much as a cold
+/// solve, so the worker solves cold (the memo stays continuous).
+const MAX_INCREMENTAL_FRACTION_NUM: usize = 1;
+const MAX_INCREMENTAL_FRACTION_DEN: usize = 4;
 
 /// One shard's slice of a dispatched solve.
 pub(crate) struct SolveJob {
@@ -61,6 +108,11 @@ pub(crate) struct SolveJob {
     pub storage_capacity_gb: f64,
     /// Warm start for this shard's slice, in slice order.
     pub warm: Option<Vec<bool>>,
+    /// Invalidate the shard's delta memo before solving: the hub sets
+    /// this after a cross-shard estimator migration touched the shard
+    /// (and on re-dispatch after a death) — recovery correctness must
+    /// never depend on warm state.
+    pub force_cold: bool,
     /// The hub's `runtime.slot` span context, handed across the
     /// channel so the worker's solve span joins the slot's trace.
     pub ctx: Option<SpanContext>,
@@ -102,9 +154,9 @@ pub(crate) enum WorkerEvent {
     /// A solve completed. `None` means the solver panicked and the
     /// shard degrades to passthrough for this slot.
     Solved { shard: usize, slot: usize, schedule: Option<Box<Schedule>> },
-    /// The worker's bank, encoded for checkpointing as of
-    /// `prepare(slot)`.
-    Checkpointed { shard: usize, slot: usize, bank: Vec<u8> },
+    /// The worker's bank (and delta memo, when one is live), encoded
+    /// for checkpointing as of `prepare(slot)`.
+    Checkpointed { shard: usize, slot: usize, bank: Vec<u8>, memo: Option<Vec<u8>> },
     /// The worker is exiting abnormally; its state rides along so no
     /// posterior is lost.
     Down { state: Box<ShardState> },
@@ -209,7 +261,7 @@ pub(crate) fn spawn_worker(
                         }
                     }
                     let slot = job.slot;
-                    let schedule = solve_slice(&scheduler, shard, &job);
+                    let schedule = solve_slice(&scheduler, shard, &job, &mut state.memo, &ring);
                     // Release the shared buffer before announcing, so
                     // the hub's handle is unique once all shards report.
                     drop(job);
@@ -227,8 +279,12 @@ pub(crate) fn spawn_worker(
                 }
                 WorkerMsg::Checkpoint { slot } => {
                     let bank = lpvs_bayes::codec::bank_to_bytes(&state.bank);
+                    let memo = state.memo.as_ref().map(crate::checkpoint::memo_to_bytes);
                     ring.push(FlightKind::CheckpointSeal, "seal", slot as f64, bank.len() as f64);
-                    if events.send(WorkerEvent::Checkpointed { shard, slot, bank }).is_err() {
+                    if events
+                        .send(WorkerEvent::Checkpointed { shard, slot, bank, memo })
+                        .is_err()
+                    {
                         return;
                     }
                 }
@@ -258,11 +314,87 @@ pub(crate) fn spawn_worker(
     })
 }
 
-/// Runs the resilient scheduler on one shard's slice. A solver panic is
-/// contained here — the shard reports `None` (→ passthrough) and the
-/// worker stays up, mirroring the scoped-thread fleet path where a dead
-/// shard thread degrades the same way.
-fn solve_slice(scheduler: &LpvsScheduler, shard: usize, job: &SolveJob) -> Option<Schedule> {
+/// How a shard slice was solved this slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaPath {
+    /// Empty local frontier: the memo's schedule is reused verbatim.
+    Reuse,
+    /// Non-empty frontier within the fraction gate: residual sub-solve
+    /// over the dirty rows merged into the standing selection.
+    Incremental,
+    /// Full re-solve (no delta, no memo, invalidated memo, or a
+    /// frontier too large to pay off).
+    Cold,
+}
+
+impl DeltaPath {
+    fn label(self) -> &'static str {
+        match self {
+            DeltaPath::Reuse => "reuse",
+            DeltaPath::Incremental => "incremental",
+            DeltaPath::Cold => "cold",
+        }
+    }
+}
+
+/// Decides the solve path for a job against the shard's memo. Returns
+/// the path plus the shard-local dirty positions (for the incremental
+/// path) and, when a live memo had to be discarded, the reset reason
+/// for the flight ring.
+fn classify_delta(
+    job: &SolveJob,
+    memo: &Option<ShardDeltaMemo>,
+) -> (DeltaPath, Vec<usize>, Option<&'static str>) {
+    let Some(delta) = job.gathered.delta.as_ref() else {
+        // Sources that don't track deltas solve cold every slot; no
+        // memo was promised, so nothing is "reset".
+        return (DeltaPath::Cold, Vec::new(), None);
+    };
+    if job.force_cold {
+        return (DeltaPath::Cold, Vec::new(), memo.is_some().then_some("force_cold"));
+    }
+    let Some(memo) = memo.as_ref() else {
+        return (DeltaPath::Cold, Vec::new(), None);
+    };
+    if memo.indices != job.indices {
+        return (DeltaPath::Cold, Vec::new(), Some("population"));
+    }
+    if delta.epoch != memo.epoch + 1 {
+        return (DeltaPath::Cold, Vec::new(), Some("stale_epoch"));
+    }
+    if memo.compute_capacity.to_bits() != job.compute_capacity.to_bits()
+        || memo.storage_capacity_gb.to_bits() != job.storage_capacity_gb.to_bits()
+        || memo.lambda.to_bits() != job.gathered.lambda.to_bits()
+    {
+        return (DeltaPath::Cold, Vec::new(), Some("capacity"));
+    }
+    let local = shard_frontier(&job.indices, &delta.dirty);
+    if local.is_empty() {
+        (DeltaPath::Reuse, local, None)
+    } else if local.len() * MAX_INCREMENTAL_FRACTION_DEN
+        > job.indices.len() * MAX_INCREMENTAL_FRACTION_NUM
+    {
+        // Past the gate a cold solve is cheaper; the memo survives and
+        // stays continuous (it is refreshed from this solve).
+        (DeltaPath::Cold, local, None)
+    } else {
+        (DeltaPath::Incremental, local, None)
+    }
+}
+
+/// Runs the resilient scheduler on one shard's slice — cold,
+/// incrementally over the dirty frontier, or by reusing the memo
+/// outright when nothing in the shard changed. A solver panic is
+/// contained here — the shard reports `None` (→ passthrough), the memo
+/// is dropped, and the worker stays up, mirroring the scoped-thread
+/// fleet path where a dead shard thread degrades the same way.
+fn solve_slice(
+    scheduler: &LpvsScheduler,
+    shard: usize,
+    job: &SolveJob,
+    memo: &mut Option<ShardDeltaMemo>,
+    ring: &FlightRing,
+) -> Option<Schedule> {
     // Parented on the hub's slot span via the shipped context, so the
     // solve shows up under its slot's trace instead of as an orphan
     // root on the worker thread.
@@ -271,17 +403,77 @@ fn solve_slice(scheduler: &LpvsScheduler, shard: usize, job: &SolveJob) -> Optio
         "shard" => shard, "slot" => job.slot, "devices" => job.indices.len()
     );
     let started = std::time::Instant::now();
-    let problem = job.gathered.fleet.subproblem(
-        &job.indices,
-        job.compute_capacity,
-        job.storage_capacity_gb,
-        job.gathered.lambda,
-        &job.gathered.curve,
-    );
-    let schedule = catch_unwind(AssertUnwindSafe(|| {
-        scheduler.schedule_resilient(&problem, job.warm.as_deref(), &job.gathered.budget)
-    }))
-    .ok();
+    let (path, local_dirty, reset) = classify_delta(job, memo);
+    if let Some(reason) = reset {
+        *memo = None;
+        ring.push(FlightKind::DeltaReset, reason, job.slot as f64, shard as f64);
+        lpvs_obs::inc("delta_reset_total");
+    }
+    span.record("frontier", local_dirty.len() as f64);
+    if lpvs_obs::enabled() {
+        let shard_label = shard.to_string();
+        lpvs_obs::gauge_set_labeled(
+            "delta_dirty_devices",
+            &[("shard", &shard_label)],
+            local_dirty.len() as f64,
+        );
+        lpvs_obs::inc_labeled("delta_solve_total", &[("path", path.label())]);
+    }
+
+    let schedule = match path {
+        DeltaPath::Reuse => {
+            // Bit-identical to a cold solve by solver determinism: the
+            // problem is unchanged, so the answer is too.
+            memo.as_ref().map(|m| m.schedule.clone())
+        }
+        DeltaPath::Incremental => {
+            let m = memo.as_ref().expect("incremental path requires a memo");
+            catch_unwind(AssertUnwindSafe(|| {
+                solve_shard_incremental(
+                    scheduler,
+                    &job.gathered.fleet,
+                    &job.indices,
+                    &local_dirty,
+                    &m.schedule.selected,
+                    m.schedule.stats.degradation,
+                    job.compute_capacity,
+                    job.storage_capacity_gb,
+                    job.gathered.lambda,
+                    &job.gathered.curve,
+                    &job.gathered.budget,
+                )
+            }))
+            .ok()
+        }
+        DeltaPath::Cold => {
+            let problem = job.gathered.fleet.subproblem(
+                &job.indices,
+                job.compute_capacity,
+                job.storage_capacity_gb,
+                job.gathered.lambda,
+                &job.gathered.curve,
+            );
+            catch_unwind(AssertUnwindSafe(|| {
+                scheduler.schedule_resilient(&problem, job.warm.as_deref(), &job.gathered.budget)
+            }))
+            .ok()
+        }
+    };
+
+    // Refresh the memo: every successful delta-carrying solve becomes
+    // the next slot's baseline; panics and delta-less slots clear it.
+    *memo = match (&schedule, job.gathered.delta.as_ref()) {
+        (Some(schedule), Some(delta)) => Some(ShardDeltaMemo {
+            epoch: delta.epoch,
+            indices: job.indices.clone(),
+            compute_capacity: job.compute_capacity,
+            storage_capacity_gb: job.storage_capacity_gb,
+            lambda: job.gathered.lambda,
+            schedule: (*schedule).clone(),
+        }),
+        _ => None,
+    };
+
     span.record("ok", if schedule.is_some() { 1.0 } else { 0.0 });
     if lpvs_obs::enabled() {
         lpvs_obs::observe_labeled(

@@ -36,6 +36,9 @@ pub struct IlpStats {
     /// True if the node budget ran out and the best incumbent was
     /// returned without an optimality certificate.
     pub hit_node_limit: bool,
+    /// True if a caller-supplied [`BranchBound::warm_start`] hint was
+    /// feasible and adopted as the incumbent at the time it was offered.
+    pub warm_start_used: bool,
 }
 
 /// Branch-and-bound solver over a [`BinaryProgram`].
@@ -80,16 +83,23 @@ impl<'a> BranchBound<'a> {
         }
     }
 
-    /// Supplies a feasible warm-start point, replacing the greedy seed
-    /// if it is better.
-    pub fn warm_start(&mut self, x: Vec<bool>) {
+    /// Supplies a warm-start point, adopted as the incumbent when it is
+    /// feasible and beats the current one. Returns whether the hint was
+    /// actually used — infeasible or non-improving hints are dropped,
+    /// and callers (the delta scheduler's hit/miss accounting) need to
+    /// know which. The outcome is also recorded in
+    /// [`IlpStats::warm_start_used`].
+    pub fn warm_start(&mut self, x: Vec<bool>) -> bool {
         if self.program.is_feasible(&x) {
             let cost = self.cost_at(&x);
             if cost < self.incumbent_cost {
                 self.incumbent_cost = cost;
                 self.incumbent = Some(x);
+                self.stats.warm_start_used = true;
+                return true;
             }
         }
+        false
     }
 
     fn cost_at(&self, x: &[bool]) -> f64 {
@@ -491,5 +501,28 @@ mod tests {
         let p = knapsack(&[18.0, 16.0, 14.0], &[3.0, 4.0, 4.0], 8.0);
         let sol = p.solve().unwrap();
         assert!(sol.stats.nodes >= 1);
+    }
+
+    #[test]
+    fn warm_start_reports_adoption() {
+        let p = knapsack(&[60.0, 100.0, 120.0], &[10.0, 20.0, 30.0], 50.0);
+
+        // Feasible hint offered against an empty incumbent: adopted.
+        let mut bb = BranchBound::new(&p);
+        assert!(bb.warm_start(vec![true, false, false]));
+        let sol = bb.solve().unwrap();
+        assert!(sol.stats.warm_start_used);
+        assert!((sol.objective - 220.0).abs() < 1e-9, "still solves to optimality");
+
+        // Infeasible hint (over capacity): dropped, and says so.
+        let mut bb = BranchBound::new(&p);
+        assert!(!bb.warm_start(vec![true, true, true]));
+        let sol = bb.solve().unwrap();
+        assert!(!sol.stats.warm_start_used);
+
+        // The empty selection is feasible and beats the INFINITY cost
+        // of "no incumbent", so even a trivial hint counts as used.
+        let mut bb = BranchBound::new(&p);
+        assert!(bb.warm_start(vec![false, false, false]));
     }
 }

@@ -118,7 +118,7 @@ proptest! {
             let indices: Vec<usize> = (0..n).filter(|&d| owner[d] == s).collect();
             let slice = fleet.slice_rows(&indices);
             let bytes =
-                ShardSnapshot::seal(s, 7, &bank_to_bytes(bank), Some((&indices, &slice)));
+                ShardSnapshot::seal(s, 7, &bank_to_bytes(bank), Some((&indices, &slice)), None);
             let decoded = ShardSnapshot::decode(&bytes).expect("snapshot decodes");
             prop_assert_eq!(decoded.shard, s);
             prop_assert_eq!(decoded.slot, 7);
@@ -152,10 +152,10 @@ fn a_flipped_byte_is_rejected_and_an_older_generation_restores() {
 
     let old = BayesBank::from_estimators(learned_estimators(5, &[(0, 0.3), (3, 0.5)]));
     store.begin_round(0, vec![0]);
-    store.persist_shard(0, 0, &bank_to_bytes(&old), None).expect("persist gen 0");
+    store.persist_shard(0, 0, &bank_to_bytes(&old), None, None).expect("persist gen 0");
     let new = BayesBank::from_estimators(learned_estimators(5, &[(0, 0.3), (3, 0.5), (4, 0.2)]));
     store.begin_round(1, vec![0]);
-    store.persist_shard(0, 1, &bank_to_bytes(&new), None).expect("persist gen 1");
+    store.persist_shard(0, 1, &bank_to_bytes(&new), None, None).expect("persist gen 1");
 
     // Flip one byte in the newest snapshot file on disk.
     let newest = std::fs::read_dir(dir.join("shard-0"))

@@ -1,0 +1,266 @@
+//! Delta-aware solving invariants.
+//!
+//! The delta path's contract has three layers. At the fleet level,
+//! every mutating setter that actually changes a row must land that row
+//! in the dirty frontier — and *only* mutated rows may appear there. At
+//! the runtime level, shipping an empty delta must be semantically
+//! invisible: a steady-state run with deltas enabled reproduces the
+//! cold baseline bit-for-bit, across 1–4 shards, both partitioners, and
+//! under injected worker deaths. And the incremental chain must survive
+//! a hub halt + resume: the restored delta memo (snapshot v2) continues
+//! exactly where the halted run left off, so the resumed run is
+//! bit-identical to one that never stopped.
+
+use lpvs::core::fleet::{DeviceFleet, FleetDevice};
+use lpvs::core::problem::DeviceRequest;
+use lpvs::display::spec::DisplayKind;
+use lpvs::edge::fleet::{FleetConfig, Partitioner};
+use lpvs::runtime::{
+    CheckpointConfig, RuntimeConfig, SlotRuntime, StageFaults, SyntheticConfig, SyntheticDriver,
+    SyntheticRecord,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh scratch directory per test invocation (no tempfile crate).
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "lpvs-delta-it-{}-{tag}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Drives a synthetic workload through the pipelined runtime and
+/// returns every delivered decision.
+fn run_records(
+    config: SyntheticConfig,
+    shards: usize,
+    partitioner: Partitioner,
+    faults: Option<StageFaults>,
+) -> Vec<SyntheticRecord> {
+    let mut driver = SyntheticDriver::new(config);
+    let estimators = driver.estimators();
+    let runtime = SlotRuntime::new(RuntimeConfig {
+        fleet: FleetConfig { num_shards: shards, partitioner, ..FleetConfig::default() },
+        stage_faults: faults,
+        ..RuntimeConfig::default()
+    });
+    let report = runtime.run(&mut driver, estimators);
+    assert_eq!(report.summary.recovery.fell_back, None, "recovery ladder bottomed out");
+    driver.records().to_vec()
+}
+
+/// A fleet with clean dirty bits, ready for targeted mutation.
+fn clean_fleet(n: usize) -> DeviceFleet {
+    let mut fleet = DeviceFleet::with_capacity(n, 8);
+    for d in 0..n {
+        fleet.push(FleetDevice::from_request(DeviceRequest::uniform(
+            1.0 + 0.01 * d as f64,
+            10.0,
+            8,
+            30_000.0,
+            55_440.0,
+            0.3,
+            1.0,
+            0.1,
+        )));
+    }
+    fleet.clear_dirty();
+    fleet
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every setter that changes a row's value marks it dirty, and the
+    /// frontier holds exactly the mutated rows — no false positives
+    /// from untouched rows, no lost updates, for any interleaving of
+    /// the four mutation kinds.
+    #[test]
+    fn mutated_rows_are_exactly_the_dirty_frontier(
+        n in 1usize..40,
+        ops in prop::collection::vec((0usize..40, 0u8..4), 0..64),
+    ) {
+        let mut fleet = clean_fleet(n);
+        let epoch = fleet.epoch();
+        let mut touched = BTreeSet::new();
+        for (d, kind) in ops {
+            let d = d % n;
+            match kind {
+                // Each write is guaranteed to differ from the current
+                // value, so the bit-level change test always fires.
+                0 => {
+                    let e = fleet.energy_j(d);
+                    fleet.set_energy_j(d, e * 0.9 + 1.0);
+                }
+                1 => {
+                    let mean = fleet.gamma_mean(d);
+                    fleet.set_gamma(d, mean + 0.01, fleet.gamma_std(d));
+                }
+                2 => {
+                    let connected = fleet.connected(d);
+                    fleet.set_connected(d, !connected);
+                }
+                _ => {
+                    let flip = match fleet.display(d) {
+                        DisplayKind::Oled => DisplayKind::Lcd,
+                        _ => DisplayKind::Oled,
+                    };
+                    fleet.set_display(d, flip);
+                }
+            }
+            prop_assert!(fleet.is_dirty(d), "mutated row {d} not dirty");
+            touched.insert(d);
+        }
+        let frontier = fleet.dirty_frontier();
+        prop_assert_eq!(frontier.epoch, epoch);
+        prop_assert_eq!(frontier.total, n);
+        let expected: Vec<usize> = touched.iter().copied().collect();
+        prop_assert_eq!(&frontier.indices, &expected);
+        fleet.clear_dirty();
+        prop_assert_eq!(fleet.dirty_count(), 0);
+        prop_assert_eq!(fleet.epoch(), epoch + 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A frozen fleet ships an empty delta every steady-state slot, and
+    /// the reuse path must be invisible: the delta-enabled run delivers
+    /// the same selection and tier as the identical workload forced
+    /// down the cold path — for any shard count, either partitioner,
+    /// with and without injected worker deaths.
+    #[test]
+    fn empty_delta_slots_are_bit_identical_to_cold(
+        devices in 16usize..48,
+        shards in 1usize..=4,
+        hash_partitioner in any::<bool>(),
+        faulty in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let partitioner =
+            if hash_partitioner { Partitioner::Hash } else { Partitioner::Locality };
+        let faults = faulty.then(|| StageFaults::new(0.25, seed ^ 0xFA17));
+        let mut config = SyntheticConfig::steady(devices, 6, seed);
+        config.mutation_fraction = 0.0;
+        let delta = run_records(
+            SyntheticConfig { delta_enabled: true, ..config.clone() },
+            shards,
+            partitioner,
+            faults,
+        );
+        let cold = run_records(
+            SyntheticConfig { delta_enabled: false, ..config },
+            shards,
+            partitioner,
+            faults,
+        );
+        prop_assert_eq!(delta, cold);
+    }
+}
+
+/// Nonzero mutation rates exercise the incremental path (small
+/// frontiers) and the fraction gate (large frontiers force cold). Both
+/// regimes must be deterministic — the same seed twice delivers the
+/// same decisions — and structurally sound.
+#[test]
+fn delta_runs_are_deterministic_for_identical_seeds() {
+    for fraction in [0.15, 0.6] {
+        let mut config = SyntheticConfig::steady(56, 8, 9);
+        config.mutation_fraction = fraction;
+        let a = run_records(config.clone(), 2, Partitioner::Locality, None);
+        let b = run_records(config, 2, Partitioner::Locality, None);
+        assert_eq!(a, b, "fraction {fraction} diverged across identical runs");
+        assert_eq!(a.len(), 8);
+        for (i, record) in a.iter().enumerate() {
+            assert_eq!(record.slot, i);
+            assert_eq!(record.selected.len(), 56);
+        }
+    }
+}
+
+/// The delta machinery must actually engage on steady-state slots —
+/// this guards the bit-identity tests above against vacuously passing
+/// because every slot quietly solved cold.
+#[test]
+fn steady_state_slots_ride_the_reuse_and_incremental_paths() {
+    let recorder = lpvs::obs::init();
+    recorder.reset();
+    let mut config = SyntheticConfig::steady(48, 10, 33);
+    config.mutation_fraction = 0.05;
+    let _ = run_records(config, 2, Partitioner::Locality, None);
+    lpvs::obs::set_enabled(false);
+    let metrics = recorder.metrics().snapshot();
+    let reuse = metrics.counter_labeled("delta_solve_total", &[("path", "reuse")]).unwrap_or(0);
+    let incremental =
+        metrics.counter_labeled("delta_solve_total", &[("path", "incremental")]).unwrap_or(0);
+    let cold = metrics.counter_labeled("delta_solve_total", &[("path", "cold")]).unwrap_or(0);
+    assert!(cold >= 2, "slot 0 solves cold on every shard (saw {cold})");
+    assert!(
+        reuse + incremental > 0,
+        "no steady-state slot rode the delta path (reuse {reuse}, incremental {incremental})"
+    );
+    let hits = metrics.counter("delta_warm_start_hit_total").unwrap_or(0);
+    let misses = metrics.counter("delta_warm_start_miss_total").unwrap_or(0);
+    assert!(hits + misses > 0, "warm-start plumbing never reached the exact tier");
+}
+
+/// Halting mid-horizon and resuming from the checkpoint store must be
+/// bit-identical to an uninterrupted run *with delta solving enabled*:
+/// the restored memo (snapshot v2) continues the incremental chain, and
+/// replayed slots rebuild the same fleet epochs the halted run saw.
+/// Injected worker deaths ride along on the multi-shard case, so
+/// death → cold-resolve → memo rebuild is exercised across the restart.
+#[test]
+fn halted_and_resumed_delta_runs_are_bit_identical() {
+    let cases = [
+        (1usize, Partitioner::Locality, None),
+        (3usize, Partitioner::Hash, Some(StageFaults::new(0.2, 5))),
+    ];
+    for (shards, partitioner, faults) in cases {
+        let mut config = SyntheticConfig::steady(48, 10, 13);
+        config.mutation_fraction = 0.2;
+        let baseline = run_records(config.clone(), shards, partitioner, faults);
+
+        let dir = scratch("resume");
+        let fleet =
+            FleetConfig { num_shards: shards, partitioner, ..FleetConfig::default() };
+        let checkpoints = CheckpointConfig {
+            interval: 2,
+            ..CheckpointConfig::new(&dir)
+        };
+        let halted = SlotRuntime::new(RuntimeConfig {
+            fleet,
+            stage_faults: faults,
+            checkpoints: Some(checkpoints.clone()),
+            halt_after_slot: Some(5),
+            ..RuntimeConfig::default()
+        });
+        let mut driver = SyntheticDriver::new(config.clone());
+        let estimators = driver.estimators();
+        let report = halted.run(&mut driver, estimators);
+        assert!(report.summary.slots < 10, "halt_after_slot did not stop the run");
+
+        let resumer = SlotRuntime::new(RuntimeConfig {
+            fleet,
+            stage_faults: faults,
+            checkpoints: Some(checkpoints),
+            ..RuntimeConfig::default()
+        });
+        let mut resumed = SyntheticDriver::new(config);
+        resumer.resume(&mut resumed).expect("resume from manifest");
+        assert_eq!(
+            resumed.records(),
+            &baseline[..],
+            "resumed run diverged from the uninterrupted baseline \
+             ({shards} shards, {partitioner:?})"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
