@@ -1,0 +1,158 @@
+//! Columnar-vs-scalar baseline for the two hot fleet kernels, as a
+//! committed artifact.
+//!
+//! The criterion bench (`benches/fleet_kernels.rs`) measures the same
+//! kernels interactively; this binary pins the columnar advantage into
+//! `BENCH_kernels.json` so the bench sentinel can gate regressions: the
+//! SoA [`DeviceFleet::transform_feasible`] / [`DeviceFleet::device_objective`]
+//! sweeps must stay ahead of the same arithmetic over pre-materialized
+//! [`DeviceRequest`] rows. The delta is pure memory layout (SoA columns
+//! vs AoS rows), not algorithm — a ratio collapse means someone broke
+//! the columnar layout.
+//!
+//! [`DeviceFleet::transform_feasible`]: lpvs_core::fleet::DeviceFleet::transform_feasible
+//! [`DeviceFleet::device_objective`]: lpvs_core::fleet::DeviceFleet::device_objective
+//! [`DeviceRequest`]: lpvs_core::problem::DeviceRequest
+
+use lpvs_core::compact::compact_device;
+use lpvs_core::fleet::{DeviceFleet, FleetDevice};
+use lpvs_core::objective::device_objective;
+use lpvs_core::problem::DeviceRequest;
+use lpvs_obs::json::Json;
+use lpvs_survey::curve::AnxietyCurve;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEVICES: usize = 4096;
+const CHUNKS: usize = 30;
+
+fn corpus() -> (DeviceFleet, Vec<DeviceRequest>) {
+    let mut fleet = DeviceFleet::with_capacity(DEVICES, CHUNKS);
+    for d in 0..DEVICES {
+        fleet.push(FleetDevice::from_request(DeviceRequest::uniform(
+            0.8 + 0.05 * (d % 7) as f64,
+            10.0,
+            CHUNKS,
+            2_000.0 + 37.0 * (d % 101) as f64,
+            55_440.0,
+            0.1 + 0.006 * (d % 97) as f64,
+            1.0,
+            0.1,
+        )));
+    }
+    let requests = (0..DEVICES).map(|d| fleet.device_request(d)).collect();
+    (fleet, requests)
+}
+
+/// Median seconds per pass over `iters` timed passes (after warmup).
+fn median_secs(iters: usize, mut pass: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 + 1 {
+        pass();
+    }
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            pass();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+struct Kernel {
+    name: &'static str,
+    columnar_secs: f64,
+    scalar_secs: f64,
+}
+
+impl Kernel {
+    /// Scalar-per-columnar: > 1 means the columnar layout wins.
+    fn advantage(&self) -> f64 {
+        self.scalar_secs / self.columnar_secs
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let iters = if smoke { 40 } else { 200 };
+    let (fleet, requests) = corpus();
+    let curve = AnxietyCurve::paper_shape();
+    let lambda = 1.0;
+
+    let kernels = vec![
+        Kernel {
+            name: "transform_feasible",
+            columnar_secs: median_secs(iters, || {
+                let mut feasible = 0usize;
+                for d in 0..DEVICES {
+                    feasible += usize::from(black_box(&fleet).transform_feasible(d));
+                }
+                black_box(feasible);
+            }),
+            scalar_secs: median_secs(iters, || {
+                let mut feasible = 0usize;
+                for request in black_box(&requests) {
+                    feasible += usize::from(compact_device(request).transform_feasible);
+                }
+                black_box(feasible);
+            }),
+        },
+        Kernel {
+            name: "device_objective",
+            columnar_secs: median_secs(iters, || {
+                let mut total = 0.0;
+                for d in 0..DEVICES {
+                    total += black_box(&fleet).device_objective(d, d % 2 == 0, lambda, &curve);
+                }
+                black_box(total);
+            }),
+            scalar_secs: median_secs(iters, || {
+                let mut total = 0.0;
+                for (d, request) in black_box(&requests).iter().enumerate() {
+                    total += device_objective(request, d % 2 == 0, lambda, &curve);
+                }
+                black_box(total);
+            }),
+        },
+    ];
+
+    println!("Fleet kernel baselines — {DEVICES} devices × {CHUNKS} chunks, median of {iters}\n");
+    println!("{:>20} {:>14} {:>14} {:>10}", "kernel", "columnar (s)", "scalar (s)", "advantage");
+    for k in &kernels {
+        println!(
+            "{:>20} {:>14.9} {:>14.9} {:>9.2}x",
+            k.name,
+            k.columnar_secs,
+            k.scalar_secs,
+            k.advantage()
+        );
+    }
+
+    let artifact = Json::obj([
+        ("bench", Json::Str("fleet_kernels_baseline".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("devices", Json::Num(DEVICES as f64)),
+        ("chunks", Json::Num(CHUNKS as f64)),
+        ("iters", Json::Num(iters as f64)),
+        (
+            "kernels",
+            Json::Arr(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        Json::obj([
+                            ("name", Json::Str(k.name.into())),
+                            ("columnar_secs", Json::Num(k.columnar_secs)),
+                            ("scalar_secs", Json::Num(k.scalar_secs)),
+                            ("scalar_over_columnar", Json::Num(k.advantage())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, format!("{artifact}\n")).expect("write BENCH_kernels.json");
+    println!("\nwrote {path}");
+}

@@ -7,6 +7,7 @@
 //! top of* the core scheduler), and `lpvs_edge::slot` re-exports it for
 //! compatibility.
 
+use crate::scheduler::Degradation;
 use serde::{Deserialize, Serialize};
 
 /// Per-slot scheduling budget: how much work the scheduler may spend
@@ -25,6 +26,14 @@ pub struct SlotBudget {
     /// Cap on branch-and-bound nodes for this slot. `None` leaves the
     /// configured node limit in force; a cap only ever tightens it.
     pub solver_nodes: Option<usize>,
+    /// Lowest ladder rung the resilient scheduler may *start* at —
+    /// the load-shedding knob. `Some(rung)` skips every rung cheaper
+    /// in severity than `rung` (e.g. `Some(Greedy)` jumps straight to
+    /// the greedy knapsack), so an overloaded edge can trade solution
+    /// quality for latency without dropping the slot. `None` (the
+    /// default) starts from the configured solver. The produced tier
+    /// is therefore always `>= rung` in severity.
+    pub solver_floor: Option<Degradation>,
 }
 
 impl SlotBudget {
@@ -45,6 +54,13 @@ impl SlotBudget {
         self
     }
 
+    /// Budget that starts the degradation ladder at `floor` — the
+    /// shed → ladder mapping used by a loaded serving path.
+    pub fn with_solver_floor(mut self, floor: Degradation) -> Self {
+        self.solver_floor = Some(floor);
+        self
+    }
+
     /// Applies a transient budget cut: the node cap becomes `fraction`
     /// of `baseline_nodes` (at least one node). Non-finite or negative
     /// fractions are treated as a full cut.
@@ -55,9 +71,9 @@ impl SlotBudget {
         self
     }
 
-    /// Whether either knob is tightened.
+    /// Whether any knob is tightened.
     pub fn is_bounded(&self) -> bool {
-        self.deadline_secs.is_some() || self.solver_nodes.is_some()
+        self.deadline_secs.is_some() || self.solver_nodes.is_some() || self.solver_floor.is_some()
     }
 }
 
@@ -93,5 +109,13 @@ mod tests {
             SlotBudget::unbounded().with_solver_nodes(8).cut(0.5, 128).solver_nodes,
             Some(8)
         );
+    }
+
+    #[test]
+    fn solver_floor_bounds_the_budget() {
+        let b = SlotBudget::unbounded().with_solver_floor(Degradation::Greedy);
+        assert!(b.is_bounded());
+        assert_eq!(b.solver_floor, Some(Degradation::Greedy));
+        assert_eq!(SlotBudget::unbounded().solver_floor, None);
     }
 }

@@ -345,9 +345,15 @@ impl LpvsScheduler {
         // Solver rungs, starting from the configured solver so the
         // ladder never silently *upgrades* an ablation configuration.
         // Each rung is a boxed [`SolverBackend`]; walking the ladder is
-        // walking the slice.
+        // walking the slice. A budget's solver floor (the load-shedding
+        // knob) additionally skips every rung cheaper in severity than
+        // the floor, so a shed slot starts directly at the forced rung.
+        let floor = budget.solver_floor.unwrap_or(Degradation::Exact);
         let ladder = ladder_from(self.config.phase1.solver);
         for backend in &ladder {
+            if backend.rung() < floor {
+                continue;
+            }
             if out_of_time() {
                 break;
             }
@@ -378,8 +384,9 @@ impl LpvsScheduler {
         }
 
         // Rung 4: reuse the previous slot's selection if it is still
-        // feasible for today's (possibly browned-out) capacities.
-        if let Some(previous) = previous {
+        // feasible for today's (possibly browned-out) capacities — and
+        // the floor permits it (a Passthrough floor sheds even reuse).
+        if let Some(previous) = previous.filter(|_| floor <= Degradation::ReusedPrevious) {
             if previous.len() == n {
                 let reused: Vec<bool> =
                     previous.iter().zip(&valid).map(|(&x, &ok)| x && ok).collect();
@@ -680,6 +687,39 @@ mod tests {
         assert_eq!(warm.stats.degradation, Degradation::ReusedPrevious);
         assert_eq!(warm.selected, standing);
         assert!(warm.stats.energy_saved_j > 0.0);
+    }
+
+    #[test]
+    fn resilient_solver_floor_sheds_expensive_rungs() {
+        let p = random_problem(30, 10.0, 1.0, 29);
+        for floor in Degradation::ALL {
+            let budget = SlotBudget::unbounded().with_solver_floor(floor);
+            let s = LpvsScheduler::paper_default().schedule_resilient(&p, None, &budget);
+            assert!(
+                s.stats.degradation >= floor,
+                "floor {floor} produced tier {}",
+                s.stats.degradation
+            );
+            assert!(p.capacity_feasible(&s.selected));
+        }
+        let standing = LpvsScheduler::paper_default().schedule(&p).unwrap().selected;
+        // A ReusedPrevious floor reuses the standing selection verbatim
+        // instead of solving.
+        let reuse = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            Some(&standing),
+            &SlotBudget::unbounded().with_solver_floor(Degradation::ReusedPrevious),
+        );
+        assert_eq!(reuse.stats.degradation, Degradation::ReusedPrevious);
+        assert_eq!(reuse.selected, standing);
+        // A Passthrough floor sheds even the reuse rung.
+        let shed = LpvsScheduler::paper_default().schedule_resilient(
+            &p,
+            Some(&standing),
+            &SlotBudget::unbounded().with_solver_floor(Degradation::Passthrough),
+        );
+        assert_eq!(shed.stats.degradation, Degradation::Passthrough);
+        assert_eq!(shed.num_selected(), 0);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! lpvs_obs::set_enabled(false);
 //! ```
 
+pub mod dashboard;
 pub mod flight;
 pub mod json;
 pub mod metrics;

@@ -1,0 +1,88 @@
+//! `lpvs-serve` — boot the network-facing scheduler service.
+//!
+//! ```text
+//! lpvs-serve [--addr 127.0.0.1:7070] [--devices 256] [--shards 2]
+//!            [--tick-interval-ms 250 | --manual-tick]
+//!            [--checkpoint-dir DIR] [--checkpoint-interval 4]
+//!            [--journal FILE] [--resume] [--horizon N]
+//! ```
+//!
+//! Prints `lpvs-serve listening on <addr>` once bound (port 0 resolves
+//! to the picked port), then serves until `POST /v1/shutdown` drains
+//! the slot loop and seals the final checkpoint.
+
+use lpvs_serve::{serve, ServeConfig, TickMode};
+use std::io::Write;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lpvs-serve [--addr A] [--devices N] [--shards K] \
+         [--tick-interval-ms MS | --manual-tick] [--checkpoint-dir DIR] \
+         [--checkpoint-interval S] [--journal FILE] [--resume] [--horizon N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServeConfig::loopback(256);
+    config.addr = "127.0.0.1:7070".to_owned();
+    config.tick = TickMode::Interval(Duration::from_millis(250));
+
+    let mut args = std::env::args().skip(1);
+    let mut devices = 256usize;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--devices" | "--max-devices" => {
+                devices = value("--devices").parse().unwrap_or_else(|_| usage())
+            }
+            "--shards" => config.shards = value("--shards").parse().unwrap_or_else(|_| usage()),
+            "--tick-interval-ms" => {
+                let ms: u64 = value("--tick-interval-ms").parse().unwrap_or_else(|_| usage());
+                config.tick = TickMode::Interval(Duration::from_millis(ms.max(1)));
+            }
+            "--manual-tick" => config.tick = TickMode::Manual,
+            "--checkpoint-dir" => config.checkpoint_dir = Some(value("--checkpoint-dir").into()),
+            "--checkpoint-interval" => {
+                config.checkpoint_interval =
+                    value("--checkpoint-interval").parse().unwrap_or_else(|_| usage())
+            }
+            "--journal" => config.engine.journal = Some(value("--journal").into()),
+            "--resume" => config.resume = true,
+            "--horizon" => {
+                let h: usize = value("--horizon").parse().unwrap_or_else(|_| usage());
+                config.engine.horizon = (h > 0).then_some(h);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let sized = lpvs_serve::EngineConfig::sized(devices);
+    config.engine.max_devices = sized.max_devices;
+    config.engine.compute_capacity = sized.compute_capacity;
+    config.engine.storage_capacity_gb = sized.storage_capacity_gb;
+
+    match serve(config) {
+        Ok(handle) => {
+            // Tolerate a closed stdout (a supervisor that only reads the
+            // banner): losing a log line must not fail the drain.
+            let mut out = std::io::stdout();
+            let _ = writeln!(out, "lpvs-serve listening on {}", handle.addr);
+            let _ = out.flush();
+            handle.join();
+            let _ = writeln!(out, "lpvs-serve drained and sealed; bye");
+        }
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Hand-rolled, fail-closed HTTP/1.1 request parsing and response
+//! writing.
+//!
+//! The workspace vendors no async runtime and no HTTP stack, so the
+//! server speaks a deliberately small dialect over blocking
+//! [`std::io`]: one request per connection (`Connection: close` on
+//! every response), `Content-Length` bodies only (chunked transfer is
+//! rejected), and hard byte limits on every stage of the parse. The
+//! parser is generic over [`Read`] so property tests can feed it
+//! truncated, oversized, junk, and slow-trickle inputs without a
+//! socket.
+//!
+//! Fail-closed means two things here:
+//!
+//! * every malformed input maps to a 4xx [`HttpError`] — the parser
+//!   never panics, whatever the bytes;
+//! * no input can make it allocate beyond its configured limits — the
+//!   header buffer is capped *before* it grows, and the body buffer is
+//!   reserved with `try_reserve_exact` so an allocator refusal is a
+//!   413, not an abort.
+
+use std::io::Read;
+use std::time::Instant;
+
+/// Byte limits on one request — the parser's allocation contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpLimits {
+    /// Cap on the request line (method + target + version).
+    pub max_request_line: usize,
+    /// Cap on the whole header block, request line included.
+    pub max_header_bytes: usize,
+    /// Cap on the declared (and read) body length.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self { max_request_line: 2048, max_header_bytes: 8192, max_body_bytes: 1 << 20 }
+    }
+}
+
+/// How a request failed to parse, mapped onto the 4xx it earns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, header, or framing → 400.
+    BadRequest(&'static str),
+    /// Request line exceeded its cap → 414.
+    UriTooLong,
+    /// Header block exceeded its cap → 431.
+    HeadersTooLarge,
+    /// Declared or delivered body exceeded its cap, or the allocator
+    /// refused the reservation → 413.
+    PayloadTooLarge,
+    /// A POST without a `Content-Length` (chunked included) → 411.
+    LengthRequired,
+    /// The peer went quiet (or trickled) past the deadline → 408.
+    Timeout,
+    /// The connection closed mid-request → no response possible.
+    ConnectionClosed,
+}
+
+impl HttpError {
+    /// HTTP status code for this error (408 for both timeout flavors).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge => 431,
+            HttpError::PayloadTooLarge => 413,
+            HttpError::LengthRequired => 411,
+            HttpError::Timeout => 408,
+            HttpError::ConnectionClosed => 400,
+        }
+    }
+}
+
+/// One parsed request: method, target path, and raw body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as received.
+    pub method: String,
+    /// Request target as received (path + optional query).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Reads and parses one HTTP/1.1 request from `reader`.
+///
+/// `deadline` bounds the whole parse: a peer that trickles bytes slower
+/// than the socket timeout refreshes the read but still runs into the
+/// deadline check between reads. The caller is expected to have set a
+/// read timeout on the underlying socket so no single `read` blocks
+/// past it.
+///
+/// # Errors
+///
+/// An [`HttpError`] naming the 4xx the connection should be answered
+/// with ([`HttpError::ConnectionClosed`] when no answer is possible).
+pub fn parse_request<R: Read>(
+    reader: &mut R,
+    limits: &HttpLimits,
+    deadline: Instant,
+) -> Result<Request, HttpError> {
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    // --- header block ---------------------------------------------
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&head) {
+            break pos;
+        }
+        // Limits are enforced on what we already hold, before reading
+        // more: an attacker streaming an endless header block is cut
+        // off at the cap, not buffered.
+        if head.len() > limits.max_header_bytes {
+            return Err(overlong_head(&head, limits));
+        }
+        if Instant::now() >= deadline {
+            return Err(HttpError::Timeout);
+        }
+        let want = chunk.len().min(limits.max_header_bytes + 4 - head.len() + 1);
+        match reader.read(&mut chunk[..want.max(1)]) {
+            Ok(0) => {
+                return Err(if head.is_empty() {
+                    HttpError::ConnectionClosed
+                } else {
+                    HttpError::BadRequest("truncated header block")
+                });
+            }
+            Ok(n) => {
+                if head.try_reserve_exact(n).is_err() {
+                    return Err(HttpError::HeadersTooLarge);
+                }
+                head.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::ConnectionClosed),
+        }
+    };
+    if header_end > limits.max_header_bytes {
+        return Err(overlong_head(&head[..header_end], limits));
+    }
+    let header_text =
+        std::str::from_utf8(&head[..header_end]).map_err(|_| HttpError::BadRequest("non-UTF-8 header block"))?;
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::BadRequest("empty request"))?;
+    if request_line.len() > limits.max_request_line {
+        return Err(HttpError::UriTooLong);
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts.next().filter(|m| !m.is_empty()).ok_or(HttpError::BadRequest("no method"))?;
+    let path = parts.next().filter(|p| p.starts_with('/')).ok_or(HttpError::BadRequest("bad target"))?;
+    let version = parts.next().ok_or(HttpError::BadRequest("no version"))?;
+    if parts.next().is_some() || !matches!(version, "HTTP/1.1" | "HTTP/1.0") {
+        return Err(HttpError::BadRequest("bad version"));
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("bad method"));
+    }
+
+    // --- headers we care about ------------------------------------
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest("junk header line"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("bad header name"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let len: usize =
+                value.parse().map_err(|_| HttpError::BadRequest("bad content-length"))?;
+            if content_length.replace(len).is_some() {
+                return Err(HttpError::BadRequest("duplicate content-length"));
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked framing is out of dialect; demand a plain length.
+            return Err(HttpError::LengthRequired);
+        }
+    }
+
+    // --- body ------------------------------------------------------
+    let already = head.len() - header_end - 4;
+    let declared = match content_length {
+        Some(len) => len,
+        None if method == "POST" || method == "PUT" => return Err(HttpError::LengthRequired),
+        None if already > 0 => return Err(HttpError::BadRequest("body without content-length")),
+        None => 0,
+    };
+    if declared > limits.max_body_bytes || already > declared {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    // Fail-closed allocation: the reservation is bounded by the limit
+    // check above, and an allocator refusal degrades to a 413 instead
+    // of aborting the worker.
+    let mut body: Vec<u8> = Vec::new();
+    if body.try_reserve_exact(declared).is_err() {
+        return Err(HttpError::PayloadTooLarge);
+    }
+    body.extend_from_slice(&head[header_end + 4..]);
+    while body.len() < declared {
+        if Instant::now() >= deadline {
+            return Err(HttpError::Timeout);
+        }
+        let want = chunk.len().min(declared - body.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => return Err(HttpError::BadRequest("truncated body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(HttpError::ConnectionClosed),
+        }
+    }
+    Ok(Request { method: method.to_owned(), path: path.to_owned(), body })
+}
+
+/// Distinguishes an overlong request line (414) from an overlong
+/// header block (431) when the cap is blown before the terminator.
+fn overlong_head(head: &[u8], limits: &HttpLimits) -> HttpError {
+    let first_line_done = head.iter().position(|&b| b == b'\n');
+    match first_line_done {
+        Some(_) => HttpError::HeadersTooLarge,
+        None if head.len() > limits.max_request_line => HttpError::UriTooLong,
+        None => HttpError::HeadersTooLarge,
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes one response with `Connection: close` framing.
+pub fn render_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    let mut out = head.into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Renders a JSON error body for `status` with a short detail string.
+pub fn error_body(status: u16, detail: &str) -> Vec<u8> {
+    use lpvs_obs::json::Json;
+    Json::obj([
+        ("error", Json::Str(reason(status).to_owned())),
+        ("status", Json::Num(f64::from(status))),
+        ("detail", Json::Str(detail.to_owned())),
+    ])
+    .to_string()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::time::Duration;
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        parse_request(&mut Cursor::new(bytes), &HttpLimits::default(), far())
+    }
+
+    #[test]
+    fn parses_a_get_and_a_post() {
+        let r = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/healthz"));
+        assert!(r.body.is_empty());
+        let r = parse(b"POST /v1/tick HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}").unwrap();
+        assert_eq!(r.body, b"{}");
+    }
+
+    #[test]
+    fn truncation_and_junk_fail_closed() {
+        assert_eq!(parse(b""), Err(HttpError::ConnectionClosed));
+        assert_eq!(parse(b"GET /x HTTP/1.1\r\n"), Err(HttpError::BadRequest("truncated header block")));
+        assert!(matches!(parse(b"\x00\xffgarbage\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        );
+        assert_eq!(
+            parse(b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\ncontent-length: 2\r\n\r\nhi"),
+            Err(HttpError::LengthRequired)
+        );
+    }
+
+    #[test]
+    fn oversized_inputs_hit_their_caps() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4096));
+        assert_eq!(parse(long_line.as_bytes()), Err(HttpError::UriTooLong));
+        let many_headers =
+            format!("GET / HTTP/1.1\r\n{}\r\n", "x-pad: yyyyyyyyyyyyyyyy\r\n".repeat(512));
+        assert_eq!(parse(many_headers.as_bytes()), Err(HttpError::HeadersTooLarge));
+        let big_body = format!("POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n", 64 << 20);
+        assert_eq!(parse(big_body.as_bytes()), Err(HttpError::PayloadTooLarge));
+    }
+
+    #[test]
+    fn response_rendering_frames_the_body() {
+        let bytes = render_response(429, "application/json", b"{}");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,618 @@
+//! The network-facing service: listener, bounded connection queue,
+//! worker pool, request routing, and the runtime thread that drives the
+//! pipelined [`SlotRuntime`] over the [`ServeEngine`].
+//!
+//! ## Endpoints
+//!
+//! | Method & path            | Purpose                                        |
+//! |--------------------------|------------------------------------------------|
+//! | `POST /v1/telemetry`     | γ observations + energy/display updates        |
+//! | `POST /v1/sessions`      | arrivals/departures with admission control     |
+//! | `POST /v1/brownout`      | edge capacity factor                           |
+//! | `POST /v1/tick`          | manual slot tick (any mode)                    |
+//! | `POST /v1/shutdown`      | graceful drain + final checkpoint seal         |
+//! | `GET /v1/schedule/{t}`   | decided slot `t` (selection, tier, shed floor) |
+//! | `GET /metrics`           | Prometheus text exposition                     |
+//! | `GET /healthz`           | lifecycle phase + applied slots                |
+//!
+//! ## Operational behavior
+//!
+//! Connections queue in a bounded deque; when it is full the accept
+//! thread answers 429 inline and drops — the server never queues
+//! without bound and never hangs below its limits. Each request gets a
+//! socket timeout plus a parse deadline. Telemetry pressure raises the
+//! solver floor of upcoming slots (see [`crate::shed`]) before anything
+//! is dropped. On shutdown the slot loop drains in-flight solves, then
+//! the final bank state is sealed as one more checkpoint round so the
+//! next boot resumes exactly where this one stopped.
+
+use crate::engine::{
+    Admission, Decision, EngineConfig, Op, Phase, ServeEngine, Shared, CAPACITY_J,
+};
+use crate::http::{error_body, parse_request, render_response, HttpError, HttpLimits, Request};
+use lpvs_bayes::codec::bank_to_bytes;
+use lpvs_bayes::BayesBank;
+use lpvs_core::scheduler::SchedulerConfig;
+use lpvs_edge::fleet::{FleetConfig, Partitioner};
+use lpvs_obs::json::Json;
+use lpvs_runtime::{CheckpointConfig, CheckpointStore, RuntimeConfig, SlotRuntime};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the slot clock advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickMode {
+    /// A ticker thread posts one tick per interval.
+    Interval(Duration),
+    /// Only `POST /v1/tick` advances slots (deterministic tests).
+    Manual,
+}
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Engine (fleet/capacity/journal/horizon) configuration.
+    pub engine: EngineConfig,
+    /// Shard worker count for the slot pipeline.
+    pub shards: usize,
+    /// Slot clock mode.
+    pub tick: TickMode,
+    /// Checkpoint directory (`None` disables checkpoints and resume).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Slots between checkpoint rounds.
+    pub checkpoint_interval: usize,
+    /// Resume from an existing manifest/journal when present.
+    pub resume: bool,
+    /// Bound on queued (accepted, unparsed) connections.
+    pub conn_queue: usize,
+    /// Bound on queued telemetry/session ops awaiting a slot.
+    pub ops_queue: usize,
+    /// HTTP worker threads.
+    pub http_workers: usize,
+    /// Per-request parse/handle deadline.
+    pub request_deadline: Duration,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+}
+
+impl ServeConfig {
+    /// A loopback config for `max_devices` devices with manual ticks —
+    /// the deterministic-test shape.
+    pub fn loopback(max_devices: usize) -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_owned(),
+            engine: EngineConfig::sized(max_devices),
+            shards: 2,
+            tick: TickMode::Manual,
+            checkpoint_dir: None,
+            checkpoint_interval: 4,
+            resume: false,
+            conn_queue: 64,
+            ops_queue: 256,
+            http_workers: 4,
+            request_deadline: Duration::from_secs(2),
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// A running server: bound address plus the threads behind it.
+pub struct ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    conns: Arc<ConnQueue>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The shared engine-facing state (tests poke at counters).
+    pub fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Blocks until the slot loop has drained (a shutdown was posted or
+    /// the horizon ran out), then tears down the HTTP layer and joins
+    /// every thread.
+    pub fn join(mut self) {
+        // The runtime thread is pushed first and exits once the slot
+        // loop drains + the final seal lands.
+        if let Some(runtime) = (!self.threads.is_empty()).then(|| self.threads.remove(0)) {
+            let _ = runtime.join();
+        }
+        self.conns.stop();
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bounded handoff between the accept thread and the HTTP workers.
+struct ConnQueue {
+    queue: Mutex<(VecDeque<TcpStream>, bool)>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Self {
+        Self { queue: Mutex::new((VecDeque::new(), false)), ready: Condvar::new(), capacity: capacity.max(1) }
+    }
+
+    /// `Err` hands the stream back: the queue is full, reject inline.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        if q.1 || q.0.len() >= self.capacity {
+            return Err(stream);
+        }
+        q.0.push_back(stream);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn pop(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("conn queue poisoned");
+        loop {
+            if let Some(stream) = q.0.pop_front() {
+                return Some(stream);
+            }
+            if q.1 {
+                return None;
+            }
+            q = self.ready.wait(q).expect("conn queue poisoned");
+        }
+    }
+
+    fn stop(&self) {
+        self.queue.lock().expect("conn queue poisoned").1 = true;
+        self.ready.notify_all();
+    }
+
+    fn stopped(&self) -> bool {
+        self.queue.lock().expect("conn queue poisoned").1
+    }
+}
+
+/// Boots the service: binds, spawns the runtime thread, the accept
+/// thread, the worker pool, and (in interval mode) the ticker.
+///
+/// # Errors
+///
+/// Propagates the bind error; everything after the bind is spawned.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    lpvs_obs::init();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Shared::new(&config.engine, config.ops_queue);
+    let engine = ServeEngine::new(config.engine.clone(), Arc::clone(&shared));
+    let conns = Arc::new(ConnQueue::new(config.conn_queue));
+    let mut threads = Vec::new();
+
+    // --- runtime thread (always index 0; join() relies on it) --------
+    {
+        let shared = Arc::clone(&shared);
+        let conns = Arc::clone(&conns);
+        let cfg = config.clone();
+        threads.push(std::thread::spawn(move || {
+            run_slot_loop(cfg, engine, &shared);
+            // Slot loop is done: tear the HTTP layer down so join()
+            // (and an orphaned accept thread) can finish.
+            conns.stop();
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }));
+    }
+
+    // --- interval ticker ---------------------------------------------
+    if let TickMode::Interval(period) = config.tick {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || loop {
+            std::thread::sleep(period);
+            let stop = shared.queue.lock().expect("ops queue poisoned").shutdown;
+            if stop {
+                break;
+            }
+            shared.tick();
+        }));
+    }
+
+    // --- accept thread ------------------------------------------------
+    {
+        let conns_acc = Arc::clone(&conns);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if conns_acc.stopped() {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Err(rejected) = conns_acc.push(stream) {
+                    // Full queue: shed inline, never block the listener.
+                    lpvs_obs::inc("serve_shed_total");
+                    let _ = rejected.set_write_timeout(Some(Duration::from_millis(250)));
+                    let mut rejected = rejected;
+                    let _ = rejected.write_all(&render_response(
+                        429,
+                        "application/json",
+                        &error_body(429, "connection queue full"),
+                    ));
+                }
+            }
+        }));
+    }
+
+    // --- HTTP workers --------------------------------------------------
+    for _ in 0..config.http_workers.max(1) {
+        let conns = Arc::clone(&conns);
+        let shared = Arc::clone(&shared);
+        let limits = config.limits;
+        let deadline = config.request_deadline;
+        let max_devices = config.engine.max_devices;
+        threads.push(std::thread::spawn(move || {
+            while let Some(stream) = conns.pop() {
+                handle_connection(stream, &shared, &limits, deadline, max_devices);
+            }
+        }));
+    }
+
+    Ok(ServerHandle { addr, shared, conns, threads })
+}
+
+/// Builds the runtime, runs (or resumes) the slot loop, and seals the
+/// final checkpoint round on the way out.
+fn run_slot_loop(config: ServeConfig, mut engine: ServeEngine, shared: &Shared) {
+    let runtime = SlotRuntime::new(RuntimeConfig {
+        fleet: FleetConfig {
+            num_shards: config.shards.max(1),
+            partitioner: Partitioner::Locality,
+            scheduler: SchedulerConfig::default(),
+            // Ownership must never drift from the home partition: the
+            // final seal splits the merged estimators by home shard.
+            max_migrations: 0,
+        },
+        stage_faults: None,
+        command_depth: 4,
+        recovery: Default::default(),
+        checkpoints: config.checkpoint_dir.as_ref().map(|dir| {
+            let mut c = CheckpointConfig::new(dir);
+            c.interval = config.checkpoint_interval.max(1);
+            c
+        }),
+        halt_after_slot: None,
+    });
+
+    let report = if config.resume {
+        match runtime.resume(&mut engine) {
+            Ok(report) => report,
+            // No manifest yet (killed before the first checkpoint
+            // round): a fresh run re-executes the journal from slot 0,
+            // which reconstructs the same state bit-for-bit.
+            Err(_) => {
+                let estimators = engine.estimators();
+                runtime.run(&mut engine, estimators)
+            }
+        }
+    } else {
+        let estimators = engine.estimators();
+        runtime.run(&mut engine, estimators)
+    };
+
+    // --- final seal ----------------------------------------------------
+    // One more checkpoint round at the slot a resumed run would re-enter
+    // at. Valid because migrations are disabled (ownership == home
+    // partition) and the drain already folded the last slot's feedback,
+    // so the merged estimators are exactly the post-prepare(T) banks.
+    if let Some(ckpt) = runtime.config().checkpoints.as_ref() {
+        let k = runtime.config().fleet.num_shards;
+        let owner = runtime.home_shards(report.estimators.len());
+        let final_slot = engine.applied_slots();
+        let banks = BayesBank::from_estimators(report.estimators.clone()).split(k, |d| owner[d]);
+        if let Ok(mut store) = CheckpointStore::create(ckpt, k) {
+            store.begin_round(final_slot, vec![0; k]);
+            for (s, bank) in banks.iter().enumerate() {
+                let _ = store.persist_shard(s, final_slot, &bank_to_bytes(bank), None, None);
+            }
+        }
+    }
+    shared.set_phase(Phase::Stopped);
+}
+
+/// Parses, routes, and answers one connection.
+fn handle_connection(
+    mut stream: TcpStream,
+    shared: &Shared,
+    limits: &HttpLimits,
+    deadline: Duration,
+    max_devices: usize,
+) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(deadline));
+    let _ = stream.set_write_timeout(Some(deadline));
+    let parsed = parse_request(&mut stream, limits, started + deadline);
+    let (endpoint, status, content_type, body) = match parsed {
+        Ok(req) => {
+            let endpoint = endpoint_of(&req);
+            let (status, content_type, body) = route(&req, shared, max_devices);
+            (endpoint, status, content_type, body)
+        }
+        Err(HttpError::ConnectionClosed) => return,
+        Err(e) => {
+            let status = e.status();
+            ("parse", status, "application/json", error_body(status, "malformed request"))
+        }
+    };
+    let _ = stream.write_all(&render_response(status, content_type, &body));
+    if lpvs_obs::enabled() {
+        lpvs_obs::observe("serve_request_seconds", started.elapsed().as_secs_f64());
+        lpvs_obs::inc_labeled(
+            "serve_requests_total",
+            &[("endpoint", endpoint), ("status", &status.to_string())],
+        );
+    }
+}
+
+/// Static endpoint label for metrics (bounded cardinality).
+fn endpoint_of(req: &Request) -> &'static str {
+    match req.path.as_str() {
+        "/v1/telemetry" => "telemetry",
+        "/v1/sessions" => "sessions",
+        "/v1/brownout" => "brownout",
+        "/v1/tick" => "tick",
+        "/v1/shutdown" => "shutdown",
+        "/metrics" => "metrics",
+        "/healthz" => "healthz",
+        p if p.starts_with("/v1/schedule/") => "schedule",
+        _ => "other",
+    }
+}
+
+type Routed = (u16, &'static str, Vec<u8>);
+
+fn json_ok(status: u16, body: Json) -> Routed {
+    (status, "application/json", body.to_string().into_bytes())
+}
+
+fn json_err(status: u16, detail: &str) -> Routed {
+    (status, "application/json", error_body(status, detail))
+}
+
+fn route(req: &Request, shared: &Shared, max_devices: usize) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let status = shared.status.lock().expect("status poisoned");
+            json_ok(
+                200,
+                Json::obj([
+                    ("status", Json::Str(status.phase.label().to_owned())),
+                    ("slots", Json::Num(status.slots as f64)),
+                ]),
+            )
+        }
+        ("GET", "/metrics") => {
+            let text = lpvs_obs::global()
+                .registry()
+                .map(|r| lpvs_obs::sink::render_prometheus(&r.snapshot()))
+                .unwrap_or_default();
+            (200, "text/plain; version=0.0.4", text.into_bytes())
+        }
+        ("GET", path) if path.starts_with("/v1/schedule/") => {
+            let Some(slot) = path["/v1/schedule/".len()..].parse::<usize>().ok() else {
+                return json_err(400, "slot must be an integer");
+            };
+            let log = shared.schedules.lock().expect("schedule log poisoned");
+            match log.get(&slot) {
+                Some(d) => json_ok(200, decision_json(slot, d)),
+                None => json_err(404, "slot not decided yet"),
+            }
+        }
+        ("POST", "/v1/tick") => {
+            shared.tick();
+            json_ok(202, Json::obj([("ticked", Json::Bool(true))]))
+        }
+        ("POST", "/v1/shutdown") => {
+            shared.shutdown();
+            json_ok(200, Json::obj([("draining", Json::Bool(true))]))
+        }
+        ("POST", "/v1/telemetry") => post_telemetry(req, shared, max_devices),
+        ("POST", "/v1/sessions") => post_session(req, shared, max_devices),
+        ("POST", "/v1/brownout") => post_brownout(req, shared),
+        ("GET" | "POST", _) => json_err(404, "no such endpoint"),
+        _ => json_err(405, "method not allowed"),
+    }
+}
+
+fn decision_json(slot: usize, d: &Decision) -> Json {
+    Json::obj([
+        ("slot", Json::Num(slot as f64)),
+        ("tier", Json::Str(d.tier.label().to_owned())),
+        ("shed_floor", Json::Str(d.shed.label().to_owned())),
+        (
+            "selected",
+            Json::Arr(d.selected.iter().map(|&id| Json::Num(id as f64)).collect()),
+        ),
+        ("selected_count", Json::Num(d.selected.len() as f64)),
+    ])
+}
+
+fn parse_body(req: &Request) -> Result<Json, Routed> {
+    let text = std::str::from_utf8(&req.body).map_err(|_| json_err(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|_| json_err(400, "body is not JSON"))
+}
+
+fn device_of(body: &Json, max_devices: usize) -> Result<usize, Routed> {
+    let device = body
+        .get("device")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| json_err(422, "missing device id"))? as usize;
+    if device >= max_devices {
+        return Err(json_err(422, "device id beyond the configured ceiling"));
+    }
+    Ok(device)
+}
+
+fn finite_in(body: &Json, key: &str, lo: f64, hi: f64) -> Result<Option<f64>, Routed> {
+    match body.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let x = v.as_f64().filter(|x| x.is_finite() && (lo..=hi).contains(x));
+            match x {
+                Some(x) => Ok(Some(x)),
+                None => Err(json_err(422, "field out of range")),
+            }
+        }
+    }
+}
+
+fn oled_of(body: &Json) -> Result<Option<bool>, Routed> {
+    match body.get("display").and_then(Json::as_str) {
+        None => Ok(None),
+        Some("oled") => Ok(Some(true)),
+        Some("lcd") => Ok(Some(false)),
+        Some(_) => Err(json_err(422, "display must be \"oled\" or \"lcd\"")),
+    }
+}
+
+fn enqueue_or_shed(shared: &Shared, op: Op) -> Routed {
+    if shared.enqueue(op) {
+        json_ok(202, Json::obj([("queued", Json::Bool(true))]))
+    } else {
+        json_err(429, "telemetry queue full — shed")
+    }
+}
+
+fn post_telemetry(req: &Request, shared: &Shared, max_devices: usize) -> Routed {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let op = (|| {
+        let device = device_of(&body, max_devices)?;
+        let energy_j = finite_in(&body, "energy_j", 0.0, CAPACITY_J)?;
+        let mean = finite_in(&body, "gamma_mean", 0.0, 0.999_999)?;
+        let std = finite_in(&body, "gamma_std", 0.0, 10.0)?;
+        let gamma = match (mean, std) {
+            (Some(m), s) => Some((m, s.unwrap_or(0.0))),
+            (None, Some(_)) => return Err(json_err(422, "gamma_std without gamma_mean")),
+            (None, None) => None,
+        };
+        let observed = finite_in(&body, "observed", 0.0, 10.0)?;
+        let oled = oled_of(&body)?;
+        Ok(Op::Telemetry { device, energy_j, gamma, oled, observed })
+    })();
+    match op {
+        Ok(op) => enqueue_or_shed(shared, op),
+        Err(e) => e,
+    }
+}
+
+fn post_session(req: &Request, shared: &Shared, max_devices: usize) -> Routed {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let Some(action) = body.get("action").and_then(Json::as_str) else {
+        return json_err(422, "missing action (arrive|depart)");
+    };
+    let device = match device_of(&body, max_devices) {
+        Ok(d) => d,
+        Err(e) => return e,
+    };
+    match action {
+        "arrive" => {
+            let phase = shared.status.lock().expect("status poisoned").phase;
+            if phase != Phase::Live {
+                return json_err(503, "recovering — retry shortly");
+            }
+            let energy_j = match finite_in(&body, "energy_j", 0.0, CAPACITY_J) {
+                Ok(e) => e.unwrap_or(0.5 * CAPACITY_J),
+                Err(e) => return e,
+            };
+            let gamma = match finite_in(&body, "gamma", 0.0, 0.999_999) {
+                Ok(g) => g.unwrap_or(0.3),
+                Err(e) => return e,
+            };
+            let oled = match oled_of(&body) {
+                Ok(o) => o.unwrap_or(false),
+                Err(e) => return e,
+            };
+            let mut adm: std::sync::MutexGuard<'_, Admission> =
+                shared.admission.lock().expect("admission poisoned");
+            if adm.brownout <= 0.0 {
+                return json_err(503, "edge browned out");
+            }
+            if adm.active[device] {
+                return json_err(422, "session already active for device");
+            }
+            if !adm.fits_one() {
+                adm.rejected += 1;
+                lpvs_obs::inc("serve_sessions_rejected_total");
+                return json_err(429, "admission control: no capacity");
+            }
+            // Reserve before enqueueing so a concurrent arrival can't
+            // double-book the same headroom; roll back if the op queue
+            // sheds the request.
+            adm.active[device] = true;
+            adm.compute_reserved += crate::engine::SESSION_COMPUTE_COST;
+            adm.storage_reserved_gb += crate::engine::SESSION_STORAGE_GB;
+            adm.accepted += 1;
+            let active = adm.active_sessions();
+            drop(adm);
+            if shared.enqueue(Op::Arrive { device, energy_j, gamma, oled }) {
+                if lpvs_obs::enabled() {
+                    lpvs_obs::inc("serve_sessions_accepted_total");
+                    lpvs_obs::gauge_set("serve_sessions_active", active as f64);
+                }
+                json_ok(202, Json::obj([("admitted", Json::Bool(true))]))
+            } else {
+                let mut adm = shared.admission.lock().expect("admission poisoned");
+                adm.active[device] = false;
+                adm.compute_reserved -= crate::engine::SESSION_COMPUTE_COST;
+                adm.storage_reserved_gb -= crate::engine::SESSION_STORAGE_GB;
+                adm.accepted -= 1;
+                json_err(429, "telemetry queue full — shed")
+            }
+        }
+        "depart" => {
+            let mut adm = shared.admission.lock().expect("admission poisoned");
+            if !adm.active[device] {
+                return json_err(422, "no active session for device");
+            }
+            if shared.enqueue(Op::Depart { device }) {
+                adm.active[device] = false;
+                adm.compute_reserved -= crate::engine::SESSION_COMPUTE_COST;
+                adm.storage_reserved_gb -= crate::engine::SESSION_STORAGE_GB;
+                let active = adm.active_sessions();
+                drop(adm);
+                if lpvs_obs::enabled() {
+                    lpvs_obs::gauge_set("serve_sessions_active", active as f64);
+                }
+                json_ok(202, Json::obj([("departed", Json::Bool(true))]))
+            } else {
+                json_err(429, "telemetry queue full — shed")
+            }
+        }
+        _ => json_err(422, "action must be arrive or depart"),
+    }
+}
+
+fn post_brownout(req: &Request, shared: &Shared) -> Routed {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(e) => return e,
+    };
+    let factor = match finite_in(&body, "factor", 0.0, 1.0) {
+        Ok(Some(f)) => f,
+        Ok(None) => return json_err(422, "missing factor"),
+        Err(e) => return e,
+    };
+    shared.admission.lock().expect("admission poisoned").brownout = factor;
+    enqueue_or_shed(shared, Op::Brownout { factor })
+}

@@ -1,0 +1,76 @@
+//! Minimal blocking HTTP/1.1 client for the serve integration tests.
+//!
+//! One request per connection (the server answers `Connection: close`),
+//! so a request is: connect, write, read-to-EOF, split status and body.
+
+#![allow(dead_code)]
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one request and returns `(status, body)`.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    try_request(addr, method, path, body).expect("request failed")
+}
+
+/// Fallible flavor of [`request`] for polling loops that race boot.
+pub fn try_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    let wire = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(wire.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no status line"))?;
+    let body = raw.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Polls `/healthz` until the server reports the wanted phase.
+pub fn wait_phase(addr: SocketAddr, phase: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((200, body)) = try_request(addr, "GET", "/healthz", "") {
+            if body.contains(&format!("\"status\":\"{phase}\"")) {
+                return;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never reached phase {phase:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls `GET /v1/schedule/{slot}` until the decision lands; returns
+/// the response body.
+pub fn wait_schedule(addr: SocketAddr, slot: usize, timeout: Duration) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((200, body)) = try_request(addr, "GET", &format!("/v1/schedule/{slot}"), "") {
+            return body;
+        }
+        assert!(Instant::now() < deadline, "slot {slot} was never decided");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Pulls a quoted string field out of a flat JSON body.
+pub fn str_field(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = body.find(&marker)? + marker.len();
+    let end = body[start..].find('"')?;
+    Some(body[start..start + end].to_owned())
+}

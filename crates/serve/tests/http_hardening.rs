@@ -1,0 +1,166 @@
+//! Fail-closed property tests for the hand-rolled HTTP parser.
+//!
+//! The parser fronts an open TCP port, so its contract is adversarial:
+//! whatever bytes arrive — random junk, truncated requests, oversized
+//! declarations, one-byte trickles, stalled peers — it must answer with
+//! a bounded-allocation 4xx and never panic, hang, or buffer without
+//! limit.
+
+use lpvs_serve::http::{parse_request, HttpError, HttpLimits};
+use proptest::prelude::*;
+use std::io::{Cursor, Read};
+use std::time::{Duration, Instant};
+
+fn far() -> Instant {
+    Instant::now() + Duration::from_secs(5)
+}
+
+fn parse(bytes: &[u8]) -> Result<lpvs_serve::Request, HttpError> {
+    parse_request(&mut Cursor::new(bytes), &HttpLimits::default(), far())
+}
+
+/// A reader that hands out at most `step` bytes per `read` call —
+/// a well-behaved but slow peer.
+struct Trickle<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    step: usize,
+}
+
+impl Read for Trickle<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.step.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A peer that never sends anything: every read times out.
+struct Stalled;
+
+impl Read for Stalled {
+    fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+        Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+    }
+}
+
+/// A well-formed POST whose framing the truncation property can cut.
+fn valid_post(path_pad: usize, body_len: usize) -> Vec<u8> {
+    let body: String = "x".repeat(body_len);
+    format!(
+        "POST /v1/t{} HTTP/1.1\r\nhost: a\r\ncontent-length: {}\r\n\r\n{}",
+        "e".repeat(path_pad),
+        body.len(),
+        body
+    )
+    .into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic the parser; any accepted request
+    /// stays within the configured body cap.
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let limits = HttpLimits::default();
+        match parse_request(&mut Cursor::new(&bytes), &limits, far()) {
+            Ok(req) => prop_assert!(req.body.len() <= limits.max_body_bytes),
+            Err(e) => {
+                let s = e.status();
+                prop_assert!((400..500).contains(&s), "non-4xx status {s} for {e:?}");
+            }
+        }
+    }
+
+    /// Any strict prefix of a valid POST fails closed — the parser
+    /// never fabricates a request out of a half-delivered one.
+    fn truncated_posts_fail_closed(
+        pad in 0usize..32,
+        body_len in 1usize..256,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = valid_post(pad, body_len);
+        let cut = 1 + ((full.len() - 2) as f64 * cut_frac) as usize; // in [1, len-1]
+        let r = parse(&full[..cut]);
+        prop_assert!(r.is_err(), "prefix of {} bytes parsed: {r:?}", cut);
+        let status = r.unwrap_err().status();
+        prop_assert!((400..500).contains(&status));
+    }
+
+    /// A header line without a colon is junk: always a 400, wherever
+    /// it lands in the block.
+    fn junk_header_lines_are_400(
+        junk in prop::collection::vec(97u8..123, 1..40),
+        before in 0usize..3,
+    ) {
+        let mut req = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..before {
+            req.push_str(&format!("x-pad-{i}: y\r\n"));
+        }
+        req.push_str(std::str::from_utf8(&junk).unwrap());
+        req.push_str("\r\nhost: a\r\n\r\n");
+        let status = parse(req.as_bytes()).unwrap_err().status();
+        prop_assert!(
+            status == 400,
+            "junk line {:?} got {status}, not 400",
+            String::from_utf8_lossy(&junk)
+        );
+    }
+
+    /// A huge declared content-length is refused up front (413) — the
+    /// parser must reject on the declaration, not after buffering.
+    fn oversized_declarations_are_413_before_any_body(extra in 1u64..u64::MAX / 2) {
+        let limits = HttpLimits::default();
+        let declared = limits.max_body_bytes as u64 + extra;
+        let head = format!("POST /v1/telemetry HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        // No body bytes follow the declaration: if the parser tried to
+        // read (or reserve) the declared length it would error on
+        // truncation or allocation instead of the cap.
+        let r = parse_request(&mut Cursor::new(head.as_bytes()), &limits, far());
+        prop_assert_eq!(r, Err(HttpError::PayloadTooLarge));
+    }
+
+    /// A peer that trickles `step` bytes per read still parses to the
+    /// same request as one that delivers everything at once.
+    fn slow_trickle_parses_identically(
+        pad in 0usize..32,
+        body_len in 0usize..128,
+        step in 1usize..17,
+    ) {
+        let full = valid_post(pad, body_len.max(1));
+        let want = parse(&full).expect("reference parse");
+        let mut trickle = Trickle { bytes: &full, pos: 0, step };
+        let got = parse_request(&mut trickle, &HttpLimits::default(), far());
+        prop_assert_eq!(got, Ok(want));
+    }
+}
+
+#[test]
+fn stalled_peer_hits_the_deadline_not_a_hang() {
+    let deadline = Instant::now() + Duration::from_millis(5);
+    let r = parse_request(&mut Stalled, &HttpLimits::default(), deadline);
+    assert_eq!(r, Err(HttpError::Timeout));
+}
+
+#[test]
+fn trickled_stall_mid_body_times_out() {
+    // Headers arrive, then the peer goes quiet mid-body.
+    struct HalfThenStall {
+        sent: bool,
+    }
+    impl Read for HalfThenStall {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.sent {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            self.sent = true;
+            let head = b"POST /x HTTP/1.1\r\ncontent-length: 64\r\n\r\nhalf";
+            buf[..head.len()].copy_from_slice(head);
+            Ok(head.len())
+        }
+    }
+    let deadline = Instant::now() + Duration::from_millis(20);
+    let r = parse_request(&mut HalfThenStall { sent: false }, &HttpLimits::default(), deadline);
+    assert_eq!(r, Err(HttpError::Timeout));
+}

@@ -9,6 +9,12 @@
 //! Writes `obs_trace.json` (open it at <https://ui.perfetto.dev>),
 //! `obs_events.jsonl`, and `obs_metrics.prom` to the current
 //! directory.
+//!
+//! With `--scrape <addr>` it renders a *running* `lpvs-serve` instead
+//! of an in-process snapshot: pulls `/metrics` over plain TCP, parses
+//! the Prometheus text back into a metrics snapshot, and prints the
+//! operator tables (`cargo run --example operator_dashboard --
+//! --scrape localhost:7070`).
 
 use lpvs::core::explain::{explain, Reason};
 use lpvs::core::fleet::DeviceFleet;
@@ -24,6 +30,24 @@ use lpvs::obs::sink;
 use lpvs::survey::curve::AnxietyCurve;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--scrape") {
+        let addr = args.get(pos + 1).unwrap_or_else(|| {
+            eprintln!("--scrape needs an address (host:port of a running lpvs-serve)");
+            std::process::exit(2);
+        });
+        let text = lpvs::obs::dashboard::scrape(addr).unwrap_or_else(|e| {
+            eprintln!("scrape {addr} failed: {e}");
+            std::process::exit(1);
+        });
+        let snapshot = lpvs::obs::dashboard::parse_prometheus(&text).unwrap_or_else(|e| {
+            eprintln!("could not parse exposition text from {addr}: {e}");
+            std::process::exit(1);
+        });
+        print!("{}", lpvs::obs::dashboard::render_dashboard(&snapshot, addr));
+        return;
+    }
+
     let recorder = lpvs::obs::init();
     let cap = 55_440.0;
     let curve = AnxietyCurve::paper_shape();
