@@ -1,19 +1,21 @@
-//! Columnar vs row-materializing throughput of the two hot fleet
-//! kernels, [`DeviceFleet::transform_feasible`] (constraint 11) and
-//! [`DeviceFleet::device_objective`] (eq. 13).
+//! Batched vs per-row throughput of the two hot fleet kernels,
+//! constraint-11 feasibility and the eq.-13 objective.
 //!
 //! These dominate the incremental Phase-2 pass over a dirty frontier —
-//! every candidate swap re-evaluates both — so this is the CPU baseline
-//! any future SIMD columnar kernel must beat. The scalar variants run
-//! the same arithmetic over pre-materialized [`DeviceRequest`] rows:
-//! the delta is pure memory layout (SoA columns vs AoS rows), not
-//! algorithm.
+//! every candidate swap re-evaluates both. Three variants per kernel:
+//! `batched` (the columnar batch kernels, AVX2 where detected),
+//! `columnar` (per-row walks over the SoA columns), and `scalar` (the
+//! same arithmetic over pre-materialized [`DeviceRequest`] rows). The
+//! committed artifact lives in `BENCH_kernels.json` via the
+//! `fleet-kernels-baseline` binary; this bench is for interactive
+//! exploration.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lpvs_core::compact::compact_device;
 use lpvs_core::fleet::{DeviceFleet, FleetDevice};
 use lpvs_core::objective::device_objective;
 use lpvs_core::problem::DeviceRequest;
+use lpvs_core::{device_objective_batch, transform_feasible_batch, Select};
 use lpvs_survey::curve::AnxietyCurve;
 use std::hint::black_box;
 
@@ -43,7 +45,19 @@ fn bench_fleet_kernels(c: &mut Criterion) {
     let curve = AnxietyCurve::paper_shape();
     let lambda = 1.0;
 
+    let cols = fleet.columns();
+    let indices: Vec<usize> = (0..DEVICES).collect();
+    let sel: Vec<bool> = (0..DEVICES).map(|d| d % 2 == 0).collect();
+
     let mut group = c.benchmark_group("fleet_kernels");
+    group.bench_function("transform_feasible/batched", |b| {
+        let mut flags = Vec::with_capacity(DEVICES);
+        b.iter(|| {
+            flags.clear();
+            transform_feasible_batch(black_box(&cols), &indices, &mut flags);
+            black_box(&flags);
+        });
+    });
     group.bench_function("transform_feasible/columnar", |b| {
         b.iter(|| {
             let mut feasible = 0usize;
@@ -60,6 +74,21 @@ fn bench_fleet_kernels(c: &mut Criterion) {
                 feasible += usize::from(compact_device(request).transform_feasible);
             }
             black_box(feasible)
+        });
+    });
+    group.bench_function("device_objective/batched", |b| {
+        let mut values = Vec::with_capacity(DEVICES);
+        b.iter(|| {
+            values.clear();
+            device_objective_batch(
+                black_box(&cols),
+                &indices,
+                Select::PerRow(&sel),
+                lambda,
+                &curve,
+                &mut values,
+            );
+            black_box(&values);
         });
     });
     group.bench_function("device_objective/columnar", |b| {

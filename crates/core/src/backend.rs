@@ -20,7 +20,7 @@
 //!   [`Phase1Result`] (nodes, inner-iteration work, energy saved) and
 //!   name the [`Degradation`] rung it occupies on the ladder.
 
-use crate::compact::compact_device;
+use crate::kernels;
 use crate::phase1::{Phase1Config, Phase1Result, Phase1Solver};
 use crate::problem::SlotProblem;
 use crate::scheduler::Degradation;
@@ -93,12 +93,15 @@ struct CompactedInputs {
 impl CompactedInputs {
     fn gather(problem: &SlotProblem) -> Self {
         let _span = lpvs_obs::span!("sched.compact", "devices" => problem.len());
-        let savings: Vec<f64> = problem.requests.iter().map(|r| r.saving_j()).collect();
-        let feasible: Vec<bool> = problem
-            .requests
-            .iter()
-            .map(|r| compact_device(r).transform_feasible)
-            .collect();
+        // Candidate scoring runs through the batched columnar kernels
+        // (savings + feasibility in one pass) — bit-identical to the
+        // per-row `saving_j` / `compact_device` path it replaces.
+        let indices: Vec<usize> = (0..problem.len()).collect();
+        let mut savings = Vec::new();
+        let mut feasible = Vec::new();
+        kernels::with_problem_columns(problem, |cols| {
+            kernels::transform_savings_batch(&cols, &indices, &mut feasible, &mut savings);
+        });
         let infeasible_devices = feasible.iter().filter(|&&f| !f).count();
         let g: Vec<f64> = problem.requests.iter().map(|r| r.compute_cost).collect();
         let h: Vec<f64> = problem.requests.iter().map(|r| r.storage_cost_gb).collect();

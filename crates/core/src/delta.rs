@@ -35,8 +35,10 @@
 
 use crate::budget::SlotBudget;
 use crate::fleet::{DeviceFleet, DirtyFrontier};
+use crate::kernels;
 use crate::objective::objective_value;
 use crate::phase2::run_phase2_over;
+use crate::problem::SlotProblem;
 use crate::scheduler::{Degradation, LpvsScheduler, Schedule, ScheduleStats, SchedulerConfig};
 use lpvs_survey::curve::AnxietyCurve;
 use serde::{Deserialize, Serialize};
@@ -88,6 +90,83 @@ impl From<DirtyFrontier> for SlotDelta {
     }
 }
 
+/// Reusable extraction buffers for the solve stage: the full-shard and
+/// residual [`SlotProblem`]s (each request's chunk vectors included)
+/// plus the index/warm-start scratch. A worker that keeps one of these
+/// across slots extracts steady-state subproblems with **zero heap
+/// allocation** — every buffer is refilled in place via
+/// [`DeviceFleet::subproblem_into`].
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    problem: Option<SlotProblem>,
+    sub_problem: Option<SlotProblem>,
+    dirty_globals: Vec<usize>,
+    sub_warm: Vec<bool>,
+    savings: Vec<f64>,
+    savings_feasible: Vec<bool>,
+}
+
+impl SolveScratch {
+    /// Empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extracts `indices` from the fleet into this scratch's full-shard
+    /// problem buffer, reusing allocations when warm.
+    pub fn extract_problem<'a>(
+        &'a mut self,
+        fleet: &DeviceFleet,
+        indices: &[usize],
+        compute_capacity: f64,
+        storage_capacity_gb: f64,
+        lambda: f64,
+        curve: &AnxietyCurve,
+    ) -> &'a SlotProblem {
+        extract_into(
+            &mut self.problem,
+            fleet,
+            indices,
+            compute_capacity,
+            storage_capacity_gb,
+            lambda,
+            curve,
+        )
+    }
+}
+
+/// Fills (or first-allocates) a scratch slot with a fleet subproblem.
+fn extract_into<'a>(
+    slot: &'a mut Option<SlotProblem>,
+    fleet: &DeviceFleet,
+    indices: &[usize],
+    compute_capacity: f64,
+    storage_capacity_gb: f64,
+    lambda: f64,
+    curve: &AnxietyCurve,
+) -> &'a SlotProblem {
+    match slot {
+        Some(problem) => {
+            fleet.subproblem_into(
+                indices,
+                compute_capacity,
+                storage_capacity_gb,
+                lambda,
+                curve,
+                problem,
+            );
+            problem
+        }
+        None => slot.get_or_insert(fleet.subproblem(
+            indices,
+            compute_capacity,
+            storage_capacity_gb,
+            lambda,
+            curve,
+        )),
+    }
+}
+
 /// Solves one shard incrementally: dirty rows are re-solved against the
 /// capacity the clean rows left behind, clean rows keep their standing
 /// decision, and Phase-2 swapping re-runs restricted to the frontier.
@@ -126,6 +205,47 @@ pub fn solve_shard_incremental(
     curve: &AnxietyCurve,
     budget: &SlotBudget,
 ) -> Schedule {
+    solve_shard_incremental_with(
+        &mut SolveScratch::new(),
+        scheduler,
+        fleet,
+        indices,
+        local_dirty,
+        previous_selected,
+        previous_degradation,
+        compute_capacity,
+        storage_capacity_gb,
+        lambda,
+        curve,
+        budget,
+    )
+}
+
+/// [`solve_shard_incremental`] with caller-provided [`SolveScratch`]:
+/// the subproblem extraction reuses the scratch's buffers, so a worker
+/// that keeps the scratch warm across slots allocates nothing on the
+/// steady-state incremental path. Results are bit-identical to the
+/// scratch-free entry point.
+///
+/// # Panics
+///
+/// Panics if `previous_selected.len() != indices.len()` or a dirty
+/// position is out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_shard_incremental_with(
+    scratch: &mut SolveScratch,
+    scheduler: &LpvsScheduler,
+    fleet: &DeviceFleet,
+    indices: &[usize],
+    local_dirty: &[usize],
+    previous_selected: &[bool],
+    previous_degradation: Degradation,
+    compute_capacity: f64,
+    storage_capacity_gb: f64,
+    lambda: f64,
+    curve: &AnxietyCurve,
+    budget: &SlotBudget,
+) -> Schedule {
     assert_eq!(
         previous_selected.len(),
         indices.len(),
@@ -137,7 +257,15 @@ pub fn solve_shard_incremental(
         "devices" => indices.len(),
         "frontier" => local_dirty.len()
     );
-    let problem = fleet.subproblem(indices, compute_capacity, storage_capacity_gb, lambda, curve);
+    let problem = extract_into(
+        &mut scratch.problem,
+        fleet,
+        indices,
+        compute_capacity,
+        storage_capacity_gb,
+        lambda,
+        curve,
+    );
 
     // Capacity the clean rows' standing selections already consume.
     let mut g_clean = 0.0;
@@ -156,20 +284,24 @@ pub fn solve_shard_incremental(
     // Residual sub-problem over the dirty rows only, warm-started with
     // their previous decisions. Phase-2 is deferred to the merged
     // selection so swaps see the frontier, not the sub-problem.
-    let dirty_globals: Vec<usize> = local_dirty.iter().map(|&l| indices[l]).collect();
-    let sub_problem = fleet.subproblem(
-        &dirty_globals,
+    scratch.dirty_globals.clear();
+    scratch.dirty_globals.extend(local_dirty.iter().map(|&l| indices[l]));
+    let sub_problem = extract_into(
+        &mut scratch.sub_problem,
+        fleet,
+        &scratch.dirty_globals,
         (compute_capacity - g_clean).max(0.0),
         (storage_capacity_gb - h_clean).max(0.0),
         lambda,
         curve,
     );
-    let sub_warm: Vec<bool> = local_dirty.iter().map(|&l| previous_selected[l]).collect();
+    scratch.sub_warm.clear();
+    scratch.sub_warm.extend(local_dirty.iter().map(|&l| previous_selected[l]));
     let sub_scheduler = LpvsScheduler::new(SchedulerConfig {
         enable_phase2: false,
         ..*scheduler.config()
     });
-    let sub = sub_scheduler.schedule_resilient(&sub_problem, Some(&sub_warm), budget);
+    let sub = sub_scheduler.schedule_resilient(sub_problem, Some(&scratch.sub_warm), budget);
 
     // Merge: clean rows keep their standing decision.
     let mut selected = previous_selected.to_vec();
@@ -179,25 +311,35 @@ pub fn solve_shard_incremental(
     if !problem.capacity_feasible(&selected) {
         // Unreachable up to rounding; a cold solve is always sound.
         span.record("cold_fallback", 1.0);
-        return scheduler.schedule_resilient(&problem, Some(previous_selected), budget);
+        return scheduler.schedule_resilient(problem, Some(previous_selected), budget);
     }
 
     let phase2 = if scheduler.config().enable_phase2 {
-        run_phase2_over(&problem, &mut selected, Some(local_dirty))
+        run_phase2_over(problem, &mut selected, Some(local_dirty))
     } else {
         Default::default()
     };
 
-    let energy_saved_j = problem
-        .requests
+    // Savings accounting through the batched columnar kernel (same
+    // per-row values and fold order as a sequential `saving_j` sum).
+    scratch.savings.clear();
+    scratch.savings_feasible.clear();
+    kernels::transform_savings_batch(
+        &fleet.columns(),
+        indices,
+        &mut scratch.savings_feasible,
+        &mut scratch.savings,
+    );
+    let energy_saved_j = scratch
+        .savings
         .iter()
         .zip(&selected)
-        .map(|(r, &x)| if x { r.saving_j() } else { 0.0 })
+        .map(|(s, &x)| if x { *s } else { 0.0 })
         .sum();
     let degradation = previous_degradation.max(sub.stats.degradation);
     span.record("tier", degradation.severity() as f64);
     let stats = ScheduleStats {
-        objective: objective_value(&problem, &selected),
+        objective: objective_value(problem, &selected),
         energy_saved_j,
         infeasible_devices: sub.stats.infeasible_devices,
         phase1_nodes: sub.stats.phase1_nodes,

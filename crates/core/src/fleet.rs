@@ -39,6 +39,7 @@
 //! row is bit-identical to what it was when the bit was last cleared.
 
 use crate::compact::{compact_device, CompactedDevice};
+use crate::kernels::FleetColumns;
 use crate::problem::{DeviceRequest, SlotProblem};
 use lpvs_display::spec::DisplayKind;
 use lpvs_survey::curve::AnxietyCurve;
@@ -344,6 +345,54 @@ impl DeviceFleet {
         problem
     }
 
+    /// Rebuilds a [`SlotProblem`] in place from an index list — the
+    /// recycling counterpart of [`subproblem`](Self::subproblem): the
+    /// problem's request vector *and* each request's per-chunk vectors
+    /// are reused, so a warm scratch problem extracts a steady-state
+    /// slot with zero heap allocation. Rows are bit-identical to the
+    /// [`subproblem`](Self::subproblem) path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subproblem_into(
+        &self,
+        indices: &[usize],
+        compute_capacity: f64,
+        storage_capacity_gb: f64,
+        lambda: f64,
+        curve: &AnxietyCurve,
+        out: &mut SlotProblem,
+    ) {
+        out.compute_capacity = compute_capacity;
+        out.storage_capacity_gb = storage_capacity_gb;
+        out.lambda = lambda;
+        out.curve.clone_from(curve);
+        out.requests.truncate(indices.len());
+        for (slot, &i) in indices.iter().enumerate() {
+            match out.requests.get_mut(slot) {
+                Some(request) => self.fill_request(i, request),
+                None => out.requests.push(self.device_request(i)),
+            }
+        }
+    }
+
+    /// Overwrites `out` with row `i` — the allocation-reusing mirror of
+    /// [`device_request`](Self::device_request): every float is copied
+    /// bit-exactly and the chunk vectors are refilled in place.
+    pub fn fill_request(&self, i: usize, out: &mut DeviceRequest) {
+        let chunks = self.chunk_range(i);
+        out.power_rates_w.clear();
+        out.power_rates_w.extend_from_slice(&self.power_rates_w[chunks.clone()]);
+        out.chunk_secs.clear();
+        out.chunk_secs.extend_from_slice(&self.chunk_secs[chunks]);
+        out.energy_j = self.energy_j[i];
+        out.capacity_j = self.capacity_j[i];
+        out.gamma = self.gamma_mean[i];
+        out.compute_cost = self.compute_cost[i];
+        out.storage_cost_gb = self.storage_cost_gb[i];
+    }
+
     /// Copies the listed rows into a new fleet, in the order given —
     /// the materialized (owning) counterpart of [`view`](Self::view)
     /// for non-contiguous shards. Every column value is copied
@@ -354,8 +403,13 @@ impl DeviceFleet {
     ///
     /// Panics if any index is out of bounds.
     pub fn slice_rows(&self, indices: &[usize]) -> DeviceFleet {
-        let chunks_hint = indices.first().map_or(0, |&i| self.num_chunks(i));
-        let mut out = Self::with_capacity(indices.len(), chunks_hint);
+        // Reserve from the summed chunk ranges: a first-index hint
+        // under-reserves for mixed-length shards and forces regrows
+        // mid-copy.
+        let total_chunks: usize = indices.iter().map(|&i| self.num_chunks(i)).sum();
+        let mut out = Self::with_capacity(indices.len(), 0);
+        out.power_rates_w.reserve(total_chunks);
+        out.chunk_secs.reserve(total_chunks);
         for &i in indices {
             let chunks = self.chunk_range(i);
             out.power_rates_w.extend_from_slice(&self.power_rates_w[chunks.clone()]);
@@ -700,6 +754,20 @@ impl DeviceFleet {
             prefix_j += psi * d;
         }
         total
+    }
+
+    /// Zero-copy view of the columns the batch kernels
+    /// ([`crate::kernels`]) read. Borrowed — the fleet cannot be
+    /// mutated while a batch runs over it.
+    pub fn columns(&self) -> FleetColumns<'_> {
+        FleetColumns {
+            chunk_offsets: &self.chunk_offsets,
+            power_rates_w: &self.power_rates_w,
+            chunk_secs: &self.chunk_secs,
+            energy_j: &self.energy_j,
+            capacity_j: &self.capacity_j,
+            gamma_mean: &self.gamma_mean,
+        }
     }
 }
 

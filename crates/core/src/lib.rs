@@ -75,6 +75,7 @@ pub mod compact;
 pub mod delta;
 pub mod explain;
 pub mod fleet;
+pub mod kernels;
 pub mod objective;
 pub mod phase1;
 pub mod phase2;
@@ -89,9 +90,13 @@ pub use backend::{
 pub use baseline::{Policy, SelectionPolicy};
 pub use budget::SlotBudget;
 pub use compact::CompactedDevice;
-pub use delta::{solve_shard_incremental, SlotDelta};
+pub use delta::{solve_shard_incremental, solve_shard_incremental_with, SlotDelta, SolveScratch};
 pub use explain::{explain, Explanation, Reason};
 pub use fleet::{DeviceFleet, DirtyFrontier, FleetDevice, FleetView};
+pub use kernels::{
+    active_path, detected_path, device_objective_batch, set_forced_path, transform_feasible_batch,
+    transform_savings_batch, ColumnScratch, FleetColumns, KernelPath, Select,
+};
 pub use objective::{device_objective, objective_value, objective_value_recursive};
 pub use phase1::{solve_phase1, Phase1Config, Phase1Result, Phase1Solver};
 pub use phase2::{run_phase2, run_phase2_over, Phase2Stats};

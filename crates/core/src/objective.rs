@@ -20,6 +20,7 @@
 //! directly. They are equal by construction (eq. 12 only substitutes
 //! equalities) and the tests assert it.
 
+use crate::kernels::{self, Select};
 use crate::problem::{DeviceRequest, SlotProblem};
 use lpvs_survey::curve::AnxietyCurve;
 
@@ -46,19 +47,28 @@ pub fn device_objective(
 }
 
 /// Full objective of a selection over the slot problem (compacted
-/// evaluation).
+/// evaluation). Runs through the batched columnar kernels
+/// ([`crate::kernels`]); per-device terms and their left-to-right sum
+/// are bit-identical to a sequential [`device_objective`] loop.
 ///
 /// # Panics
 ///
 /// Panics if `selected.len()` differs from the device count.
 pub fn objective_value(problem: &SlotProblem, selected: &[bool]) -> f64 {
     assert_eq!(selected.len(), problem.len(), "selection has wrong length");
-    problem
-        .requests
-        .iter()
-        .zip(selected)
-        .map(|(r, &x)| device_objective(r, x, problem.lambda, &problem.curve))
-        .sum()
+    let indices: Vec<usize> = (0..problem.len()).collect();
+    let mut terms = Vec::new();
+    kernels::with_problem_columns(problem, |cols| {
+        kernels::device_objective_batch(
+            &cols,
+            &indices,
+            Select::PerRow(selected),
+            problem.lambda,
+            &problem.curve,
+            &mut terms,
+        );
+    });
+    terms.iter().sum()
 }
 
 /// Reference evaluator: walks the energy recursion of eq. (5) chunk by

@@ -13,8 +13,7 @@
 //! affected devices' terms — which is what keeps the whole heuristic's
 //! runtime linear-ish in the cluster size (paper Fig. 10).
 
-use crate::compact::compact_device;
-use crate::objective::device_objective;
+use crate::kernels::{self, Select};
 use crate::problem::SlotProblem;
 use serde::{Deserialize, Serialize};
 
@@ -68,23 +67,44 @@ pub fn run_phase2_over(
     let scoped = |i: usize| in_scope.as_ref().is_none_or(|m| m[i]);
 
     // Per-device objective contributions under both decisions, plus
-    // transform feasibility — all O(N·K) once.
+    // transform feasibility, via the batched columnar kernels — only
+    // scoped rows are scored (out-of-scope rows are never read as
+    // candidates *or* victims), so a delta solve pays O(frontier·K),
+    // not O(N·K). Values are bit-identical to the per-row evaluators.
     let lambda = problem.lambda;
-    let off: Vec<f64> = problem
-        .requests
-        .iter()
-        .map(|r| device_objective(r, false, lambda, &problem.curve))
-        .collect();
-    let on: Vec<f64> = problem
-        .requests
-        .iter()
-        .map(|r| device_objective(r, true, lambda, &problem.curve))
-        .collect();
-    let feasible: Vec<bool> = problem
-        .requests
-        .iter()
-        .map(|r| compact_device(r).transform_feasible)
-        .collect();
+    let scope: Vec<usize> =
+        allowed.map_or_else(|| (0..n).collect(), <[usize]>::to_vec);
+    let mut off_scoped = Vec::new();
+    let mut on_scoped = Vec::new();
+    let mut feasible_scoped = Vec::new();
+    kernels::with_problem_columns(problem, |cols| {
+        let curve = &problem.curve;
+        kernels::device_objective_batch(
+            &cols,
+            &scope,
+            Select::Uniform(false),
+            lambda,
+            curve,
+            &mut off_scoped,
+        );
+        kernels::device_objective_batch(
+            &cols,
+            &scope,
+            Select::Uniform(true),
+            lambda,
+            curve,
+            &mut on_scoped,
+        );
+        kernels::transform_feasible_batch(&cols, &scope, &mut feasible_scoped);
+    });
+    let mut off = vec![0.0; n];
+    let mut on = vec![0.0; n];
+    let mut feasible = vec![false; n];
+    for (slot, &i) in scope.iter().enumerate() {
+        off[i] = off_scoped[slot];
+        on[i] = on_scoped[slot];
+        feasible[i] = feasible_scoped[slot];
+    }
 
     // Current capacity usage.
     let mut g_used = 0.0;

@@ -602,8 +602,8 @@ mod tests {
         let s = LpvsScheduler::paper_default().schedule(&p).unwrap();
         // Shorter, longer, and empty previous selections all report
         // None rather than silently zipping over the common prefix.
-        assert_eq!(s.churn_vs(&vec![false; 9]), None);
-        assert_eq!(s.churn_vs(&vec![false; 11]), None);
+        assert_eq!(s.churn_vs(&[false; 9]), None);
+        assert_eq!(s.churn_vs(&[false; 11]), None);
         assert_eq!(s.churn_vs(&[]), None);
         // Equal lengths still report: identical selections churn 0.
         assert_eq!(s.churn_vs(&s.selected), Some(0.0));

@@ -353,11 +353,26 @@ impl FleetScheduler {
         let migrations =
             self.rebalance(fleet, servers, shards, lambda, curve, &mut selected, &mut reports);
 
-        let objective: f64 = (0..fleet.len())
-            .map(|i| fleet.device_objective(i, selected[i], lambda, curve))
-            .sum();
+        // Fleet-wide accounting through the batched columnar kernels;
+        // per-row terms and fold order match the sequential loops
+        // bit-for-bit.
+        let cols = fleet.columns();
+        let all: Vec<usize> = (0..fleet.len()).collect();
+        let mut terms = Vec::new();
+        lpvs_core::device_objective_batch(
+            &cols,
+            &all,
+            lpvs_core::Select::PerRow(&selected),
+            lambda,
+            curve,
+            &mut terms,
+        );
+        let objective: f64 = terms.iter().sum();
+        let mut feasible = Vec::new();
+        let mut savings = Vec::new();
+        lpvs_core::transform_savings_batch(&cols, &all, &mut feasible, &mut savings);
         let energy_saved_j: f64 =
-            (0..fleet.len()).filter(|&i| selected[i]).map(|i| fleet.saving_j(i)).sum();
+            savings.iter().zip(&selected).map(|(s, &x)| if x { *s } else { 0.0 }).sum();
 
         if lpvs_obs::enabled() {
             lpvs_obs::add("fleet_migrations_total", migrations as u64);
@@ -416,30 +431,52 @@ impl FleetScheduler {
         }
 
         // Candidates in descending anxiety order (Phase-2's ranking),
-        // index-ascending on ties for determinism.
+        // index-ascending on ties for determinism. Feasibility and the
+        // eq.-13 gains run through the batched kernels: one pass over
+        // the prefiltered rows instead of per-candidate row calls.
+        let cols = fleet.columns();
         let mut candidates: Vec<usize> = (0..fleet.len())
-            .filter(|&i| {
-                !selected[i]
-                    && fleet.connected(i)
-                    && home[i] != usize::MAX
-                    && fleet.transform_feasible(i)
-            })
+            .filter(|&i| !selected[i] && fleet.connected(i) && home[i] != usize::MAX)
+            .collect();
+        let mut feasible = Vec::new();
+        lpvs_core::transform_feasible_batch(&cols, &candidates, &mut feasible);
+        candidates = candidates
+            .into_iter()
+            .zip(feasible)
+            .filter_map(|(i, f)| f.then_some(i))
             .collect();
         candidates.sort_by(|&a, &b| {
             let aa = curve.phi(fleet.battery_fraction(a));
             let ab = curve.phi(fleet.battery_fraction(b));
             ab.partial_cmp(&aa).expect("finite anxiety").then(a.cmp(&b))
         });
+        let mut on = Vec::new();
+        let mut off = Vec::new();
+        lpvs_core::device_objective_batch(
+            &cols,
+            &candidates,
+            lpvs_core::Select::Uniform(true),
+            lambda,
+            curve,
+            &mut on,
+        );
+        lpvs_core::device_objective_batch(
+            &cols,
+            &candidates,
+            lpvs_core::Select::Uniform(false),
+            lambda,
+            curve,
+            &mut off,
+        );
 
         let mut migrations = 0;
-        for i in candidates {
+        for (k, &i) in candidates.iter().enumerate() {
             if migrations >= self.config.max_migrations {
                 break;
             }
             // The Phase-2 pure-addition criterion: transforming must
             // strictly improve the device's eq.-13 contribution.
-            let gain_in = fleet.device_objective(i, true, lambda, curve)
-                - fleet.device_objective(i, false, lambda, curve);
+            let gain_in = on[k] - off[k];
             if gain_in >= -1e-12 {
                 continue;
             }
@@ -499,7 +536,6 @@ pub fn shard_frontier(indices: &[usize], dirty: &[usize]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lpvs_core::fleet::FleetDevice;
     use lpvs_core::problem::DeviceRequest;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};

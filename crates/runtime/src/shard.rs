@@ -26,7 +26,7 @@
 use crate::GatheredSlot;
 use crossbeam::channel::{Receiver, Sender};
 use lpvs_bayes::{BayesBank, GammaEstimator};
-use lpvs_core::delta::solve_shard_incremental;
+use lpvs_core::delta::{solve_shard_incremental_with, SolveScratch};
 use lpvs_core::scheduler::{LpvsScheduler, Schedule, SchedulerConfig};
 use lpvs_edge::fleet::shard_frontier;
 use lpvs_obs::{FlightKind, FlightRing, SpanContext};
@@ -206,6 +206,10 @@ pub(crate) fn spawn_worker(
     std::thread::spawn(move || {
         let shard = state.shard;
         let scheduler = LpvsScheduler::new(scheduler);
+        // Per-worker solver scratch: subproblem extraction reuses these
+        // buffers across slots, so the steady-state solve path does not
+        // allocate per-slot problem storage.
+        let mut scratch = SolveScratch::new();
         let mut courier = BankCourier { events: events.clone(), state: Some(Box::new(state)) };
         while let Ok(msg) = commands.recv() {
             let state = courier.state.as_mut().expect("state is present until Finish");
@@ -261,7 +265,8 @@ pub(crate) fn spawn_worker(
                         }
                     }
                     let slot = job.slot;
-                    let schedule = solve_slice(&scheduler, shard, &job, &mut state.memo, &ring);
+                    let schedule =
+                        solve_slice(&scheduler, shard, &job, &mut state.memo, &mut scratch, &ring);
                     // Release the shared buffer before announcing, so
                     // the hub's handle is unique once all shards report.
                     drop(job);
@@ -393,6 +398,7 @@ fn solve_slice(
     shard: usize,
     job: &SolveJob,
     memo: &mut Option<ShardDeltaMemo>,
+    scratch: &mut SolveScratch,
     ring: &FlightRing,
 ) -> Option<Schedule> {
     // Parented on the hub's slot span via the shipped context, so the
@@ -429,7 +435,8 @@ fn solve_slice(
         DeltaPath::Incremental => {
             let m = memo.as_ref().expect("incremental path requires a memo");
             catch_unwind(AssertUnwindSafe(|| {
-                solve_shard_incremental(
+                solve_shard_incremental_with(
+                    scratch,
                     scheduler,
                     &job.gathered.fleet,
                     &job.indices,
@@ -445,19 +452,18 @@ fn solve_slice(
             }))
             .ok()
         }
-        DeltaPath::Cold => {
-            let problem = job.gathered.fleet.subproblem(
+        DeltaPath::Cold => catch_unwind(AssertUnwindSafe(|| {
+            let problem = scratch.extract_problem(
+                &job.gathered.fleet,
                 &job.indices,
                 job.compute_capacity,
                 job.storage_capacity_gb,
                 job.gathered.lambda,
                 &job.gathered.curve,
             );
-            catch_unwind(AssertUnwindSafe(|| {
-                scheduler.schedule_resilient(&problem, job.warm.as_deref(), &job.gathered.budget)
-            }))
-            .ok()
-        }
+            scheduler.schedule_resilient(problem, job.warm.as_deref(), &job.gathered.budget)
+        }))
+        .ok(),
     };
 
     // Refresh the memo: every successful delta-carrying solve becomes

@@ -1,0 +1,253 @@
+//! Property tests for the batched columnar kernels: on every kernel
+//! path (portable scalar, and AVX2 where the host detects it), the
+//! batch entry points must be **bit-for-bit identical** to the per-row
+//! reference walks — across empty-chunk rows, ragged chunk counts, and
+//! arbitrary dirty/clean index mixes — and whole sharded schedules must
+//! not change when the vector path is swapped out.
+
+use lpvs::core::budget::SlotBudget;
+use lpvs::core::compact::compact_device;
+use lpvs::core::fleet::DeviceFleet;
+use lpvs::core::kernels::{
+    device_objective_batch_with, transform_feasible_batch_with, transform_savings_batch,
+    with_problem_columns,
+};
+use lpvs::core::objective::device_objective;
+use lpvs::core::problem::{DeviceRequest, SlotProblem};
+use lpvs::core::{detected_path, set_forced_path, KernelPath, Select};
+use lpvs::edge::fleet::FleetScheduler;
+use lpvs::edge::server::EdgeServer;
+use lpvs::survey::curve::AnxietyCurve;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const CAPACITY_J: f64 = 55_440.0;
+
+/// Kernel paths to exercise: the portable fallback always, the vector
+/// path when this host has it.
+fn paths() -> Vec<KernelPath> {
+    let mut paths = vec![KernelPath::Scalar];
+    if detected_path() == KernelPath::Avx2 {
+        paths.push(KernelPath::Avx2);
+    }
+    paths
+}
+
+/// Serializes the tests that flip the process-wide forced kernel path,
+/// so a concurrent test cannot un-force it mid-measurement.
+static FORCED_PATH: Mutex<()> = Mutex::new(());
+
+prop_compose! {
+    fn arb_request()(
+        watts in 0.5f64..2.0,
+        chunks in 1usize..40,
+        fraction in 0.0f64..1.0,
+        gamma in 0.0f64..0.49,
+        compute in 0.1f64..3.0,
+        storage in 0.01f64..0.3,
+    ) -> DeviceRequest {
+        DeviceRequest::uniform(
+            watts, 10.0, chunks, fraction * CAPACITY_J, CAPACITY_J, gamma, compute, storage,
+        )
+    }
+}
+
+prop_compose! {
+    fn arb_fleet()(
+        requests in prop::collection::vec(arb_request(), 1..48),
+    ) -> DeviceFleet {
+        let mut fleet = DeviceFleet::new();
+        for r in requests {
+            fleet.push_request(r);
+        }
+        fleet
+    }
+}
+
+/// Folds a raw index pool onto the fleet: an arbitrary dirty/clean mix
+/// (subsets, duplicates, any order), like a delta frontier.
+fn frontier(fleet: &DeviceFleet, raw: &[usize]) -> Vec<usize> {
+    raw.iter().map(|&r| r % fleet.len()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Batched feasibility ≡ per-row compacting, bitwise, on every
+    /// kernel path, for arbitrary index mixes.
+    #[test]
+    fn batched_feasibility_matches_per_row_on_every_path(
+        fleet in arb_fleet(),
+        raw in prop::collection::vec(0usize..4096, 0..96),
+    ) {
+        let indices = frontier(&fleet, &raw);
+        let cols = fleet.columns();
+        let expect: Vec<bool> = indices
+            .iter()
+            .map(|&i| compact_device(&fleet.device_request(i)).transform_feasible)
+            .collect();
+        for path in paths() {
+            let mut got = Vec::new();
+            transform_feasible_batch_with(path, &cols, &indices, &mut got);
+            prop_assert_eq!(&got, &expect);
+        }
+    }
+
+    /// Batched savings ≡ per-row `γ · total_energy`, with f64 **bit**
+    /// equality — the Phase-1 scoring path must not drift by an ulp
+    /// when the kernel path changes.
+    #[test]
+    fn batched_savings_match_per_row_bitwise(
+        fleet in arb_fleet(),
+        raw in prop::collection::vec(0usize..4096, 0..96),
+    ) {
+        let indices = frontier(&fleet, &raw);
+        let cols = fleet.columns();
+        let expect: Vec<f64> = indices
+            .iter()
+            .map(|&i| {
+                let r = fleet.device_request(i);
+                r.gamma * compact_device(&r).total_energy_j
+            })
+            .collect();
+        let _guard = FORCED_PATH.lock().unwrap_or_else(|e| e.into_inner());
+        for path in paths() {
+            set_forced_path(Some(path));
+            let mut feasible = Vec::new();
+            let mut savings = Vec::new();
+            transform_savings_batch(&cols, &indices, &mut feasible, &mut savings);
+            set_forced_path(None);
+            prop_assert_eq!(savings.len(), expect.len());
+            for (got, want) in savings.iter().zip(&expect) {
+                prop_assert!(
+                    got.to_bits() == want.to_bits(),
+                    "path {}: {} != {}",
+                    path.name(),
+                    got,
+                    want
+                );
+            }
+        }
+    }
+
+    /// Batched objective ≡ per-row eq. (13), with f64 bit equality, on
+    /// every kernel path, for arbitrary select masks.
+    #[test]
+    fn batched_objective_matches_per_row_bitwise(
+        fleet in arb_fleet(),
+        raw in prop::collection::vec(0usize..4096, 0..96),
+        lambda in 0.0f64..8.0,
+        flip in any::<bool>(),
+    ) {
+        let indices = frontier(&fleet, &raw);
+        let cols = fleet.columns();
+        let curve = AnxietyCurve::paper_shape();
+        let sel: Vec<bool> = (0..fleet.len()).map(|d| (d % 2 == 0) ^ flip).collect();
+        let expect: Vec<f64> = indices
+            .iter()
+            .map(|&i| device_objective(&fleet.device_request(i), sel[i], lambda, &curve))
+            .collect();
+        for path in paths() {
+            let mut got = Vec::new();
+            device_objective_batch_with(
+                path, &cols, &indices, Select::PerRow(&sel), lambda, &curve, &mut got,
+            );
+            prop_assert_eq!(got.len(), expect.len());
+            for (g, w) in got.iter().zip(&expect) {
+                prop_assert!(g.to_bits() == w.to_bits(), "path {} diverged", path.name());
+            }
+        }
+    }
+
+    /// Whole sharded schedules are kernel-path invariant: forcing the
+    /// scalar fallback end to end (Phase-1 scoring, Phase-2 frontier,
+    /// compaction) reproduces the detected-path schedule bit for bit,
+    /// at 1–4 shards.
+    #[test]
+    fn sharded_schedule_is_kernel_path_invariant(
+        fleet in arb_fleet(),
+        num_shards in 1usize..5,
+        capacity in 0.5f64..20.0,
+        storage in 0.1f64..3.0,
+        lambda in 0.0f64..8.0,
+    ) {
+        let curve = AnxietyCurve::paper_shape();
+        let server = EdgeServer::new(capacity, storage);
+        let scheduler = FleetScheduler::with_shards(num_shards);
+        let _guard = FORCED_PATH.lock().unwrap_or_else(|e| e.into_inner());
+        let detected = scheduler.schedule(
+            &fleet, &server, lambda, &curve, None, &SlotBudget::unbounded(),
+        );
+        set_forced_path(Some(KernelPath::Scalar));
+        let forced = scheduler.schedule(
+            &fleet, &server, lambda, &curve, None, &SlotBudget::unbounded(),
+        );
+        set_forced_path(None);
+        prop_assert_eq!(&forced.selected, &detected.selected);
+        prop_assert!(
+            forced.objective.to_bits() == detected.objective.to_bits(),
+            "objective diverged: forced {} vs detected {}",
+            forced.objective,
+            detected.objective
+        );
+        prop_assert_eq!(
+            forced.energy_saved_j.to_bits(),
+            detected.energy_saved_j.to_bits()
+        );
+    }
+}
+
+/// Empty-chunk rows: the fleet store rejects them, but unsanitized
+/// telemetry can reach the kernels through the [`SlotProblem`] scratch
+/// path ([`with_problem_columns`]). Every path must agree with the
+/// per-row reference on a mix of empty and ragged rows.
+#[test]
+fn empty_chunk_rows_agree_with_per_row_on_every_path() {
+    let curve = AnxietyCurve::paper_shape();
+    let mut problem = SlotProblem::new(4.0, 1.0, 1.3, curve.clone());
+    for d in 0..23 {
+        let chunks = [0, 3, 0, 1, 9, 0, 30, 5][d % 8];
+        problem.push(DeviceRequest::from_telemetry(
+            vec![0.9 + 0.05 * d as f64; chunks],
+            vec![10.0; chunks],
+            2_000.0 + 400.0 * d as f64,
+            CAPACITY_J,
+            0.1 + 0.01 * d as f64,
+            1.0,
+            0.1,
+        ));
+    }
+    let indices: Vec<usize> = (0..problem.len()).collect();
+    let sel: Vec<bool> = (0..problem.len()).map(|d| d % 3 == 0).collect();
+    let expect_feasible: Vec<bool> = problem
+        .requests
+        .iter()
+        .map(|r| compact_device(r).transform_feasible)
+        .collect();
+    let expect_objective: Vec<f64> = problem
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(d, r)| device_objective(r, sel[d], 1.3, &curve))
+        .collect();
+    with_problem_columns(&problem, |cols| {
+        for path in paths() {
+            let mut feasible = Vec::new();
+            transform_feasible_batch_with(path, &cols, &indices, &mut feasible);
+            assert_eq!(feasible, expect_feasible, "path {}", path.name());
+            let mut values = Vec::new();
+            device_objective_batch_with(
+                path,
+                &cols,
+                &indices,
+                Select::PerRow(&sel),
+                1.3,
+                &curve,
+                &mut values,
+            );
+            let got: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = expect_objective.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "path {}", path.name());
+        }
+    });
+}
